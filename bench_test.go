@@ -1,0 +1,507 @@
+package repro
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus ablations for the design choices DESIGN.md calls out.
+//
+//	BenchmarkFig3/...        Figure 3  — workloads across platforms (wall time)
+//	BenchmarkTable1Counts    Table 1   — barriers executed per workload
+//	BenchmarkBarrierMicro/.. §4.1      — cost of one barrier check
+//	BenchmarkFig4Simulation  Figure 4  — servlet scaling curves (fluid model)
+//	BenchmarkServletEngine   §4.2      — the real-VM servlet engine
+//	BenchmarkAblation*                 — exception dispatch, locking,
+//	                                     GC separation, engines, memlimits,
+//	                                     process lifecycle
+//
+// Regenerate the full paper-style tables with:
+//
+//	go run ./cmd/specbench -experiment fig3|table1|overhead|classes
+//	go run ./cmd/servbench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/jserv"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+	"repro/internal/spec"
+	"repro/internal/vmaddr"
+)
+
+// BenchmarkFig3 runs each workload on each platform; b.N full runs each.
+// This regenerates Figure 3's data as wall time per (platform, workload).
+func BenchmarkFig3(b *testing.B) {
+	for _, p := range spec.Platforms() {
+		for _, w := range spec.All() {
+			b.Run(p.Name+"/"+w.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := spec.Run(w, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Checksum != w.Checksum {
+						b.Fatal("checksum mismatch")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Counts reports the write barriers each workload executes
+// (Table 1's first column) as a benchmark metric.
+func BenchmarkTable1Counts(b *testing.B) {
+	p, _ := spec.PlatformByName("KaffeOS-NoHeapPointer")
+	for _, w := range spec.All() {
+		b.Run(w.Name, func(b *testing.B) {
+			var barriers uint64
+			for i := 0; i < b.N; i++ {
+				res, err := spec.Run(w, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				barriers = res.Barriers
+			}
+			b.ReportMetric(float64(barriers), "barriers")
+			b.ReportMetric(float64(barriers*41), "barrier-cycles@41")
+		})
+	}
+}
+
+// benchWorld builds the minimal heap world for barrier microbenchmarks.
+func benchWorld(b *testing.B, bar barrier.Barrier) (*heap.Registry, *heap.Heap, *object.Object, *object.Object) {
+	b.Helper()
+	space := vmaddr.NewSpace()
+	reg := heap.NewRegistry(space, heap.Config{HeaderExtra: bar.HeaderExtra()})
+	root := memlimit.NewRoot("root", memlimit.Unlimited)
+	user := reg.NewHeap(heap.KindUser, "user", root.MustChild("user", memlimit.Unlimited, false))
+	mod := bytecode.MustAssemble(".class java/lang/Object\n.end\n.class t/N\n.field next Lt/N;\n.end")
+	objDef, _ := mod.Class("java/lang/Object")
+	objC, err := object.NewClass(objDef, nil, "b", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nDef, _ := mod.Class("t/N")
+	nC, err := object.NewClass(nDef, objC, "b", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder, err := user.Alloc(nC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := user.Alloc(nC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg, user, holder, ref
+}
+
+// BenchmarkBarrierMicro measures one intra-heap barrier check per
+// implementation (§4.1's 25-vs-41-cycle comparison, in host nanoseconds).
+func BenchmarkBarrierMicro(b *testing.B) {
+	for _, bar := range barrier.All() {
+		b.Run(bar.Name(), func(b *testing.B) {
+			reg, _, holder, ref := benchWorld(b, bar)
+			var st barrier.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bar.Write(reg, holder, ref, false, &st); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(bar.CheckCost()), "model-cycles")
+		})
+	}
+}
+
+// BenchmarkFig4Simulation regenerates all six Figure 4 curves.
+func BenchmarkFig4Simulation(b *testing.B) {
+	p := jserv.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		curves := jserv.Figure4(p)
+		if len(curves) != 6 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+// BenchmarkServletEngine measures the real-VM servlet engine with and
+// without a MemHog (the §4.2 isolation property as a benchmark).
+func BenchmarkServletEngine(b *testing.B) {
+	for _, hog := range []bool{false, true} {
+		name := "clean"
+		if hog {
+			name = "memhog"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := jserv.NewEngine(vm)
+				for z := 0; z < 2; z++ {
+					if _, err := eng.AddServlet(fmt.Sprintf("z%d", z), 2048); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if hog {
+					if _, err := eng.AddMemHog("hog", 256); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := eng.ServeUntil(30, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// exceptionWorkload raises and catches n exceptions across a call frame.
+const exceptionWorkload = `
+.class t/E
+.method thrower ()V static
+.locals 0
+.stack 2
+	new java/lang/RuntimeException
+	athrow
+.end
+.method run (I)I static
+.locals 2
+.stack 2
+	iconst 0
+	istore 1
+L0:	iload 0
+	ifle OUT
+T0:	invokestatic t/E.thrower ()V
+	goto NEXT
+T1:	pop
+	iinc 1 1
+NEXT:	iinc 0 -1
+	goto L0
+.catch java/lang/RuntimeException T0 T1 T1
+OUT:	iload 1
+	ireturn
+.end
+.end`
+
+// BenchmarkAblationExceptions compares fast (table) vs slow (Kaffe99-style
+// walking) exception dispatch — the improvement that "shows up strongly in
+// jack".
+func BenchmarkAblationExceptions(b *testing.B) {
+	for _, fast := range []bool{true, false} {
+		name := "fast"
+		if !fast {
+			name = "slow"
+		}
+		b.Run(name, func(b *testing.B) {
+			fe := fast
+			vm, err := core.NewVM(core.Config{FastExceptions: &fe})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := vm.NewProcess("e", core.ProcessOptions{MemLimit: 32 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Load(bytecode.MustAssemble(exceptionWorkload)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th, err := p.Spawn("t/E", "run(I)I", interp.IntSlot(2000))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := vm.Run(0); err != nil {
+					b.Fatal(err)
+				}
+				if th.Result.I != 2000 {
+					b.Fatalf("caught %d", th.Result.I)
+				}
+				b.StopTimer()
+				p, err = vm.NewProcess("e", core.ProcessOptions{MemLimit: 32 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Load(bytecode.MustAssemble(exceptionWorkload)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+const lockWorkload = `
+.class t/L
+.method run (I)I static
+.locals 2
+.stack 2
+	new java/lang/Object
+	astore 1
+L0:	iload 0
+	ifle OUT
+	aload 1
+	monitorenter
+	aload 1
+	monitorexit
+	iinc 0 -1
+	goto L0
+OUT:	iconst 1
+	ireturn
+.end
+.end`
+
+// BenchmarkAblationLocks compares thin (header-word) vs heavyweight
+// (monitor-record) locking — Kaffe00's "lightweight locking".
+func BenchmarkAblationLocks(b *testing.B) {
+	for _, thin := range []bool{true, false} {
+		name := "thin"
+		if !thin {
+			name = "heavy"
+		}
+		b.Run(name, func(b *testing.B) {
+			vm, err := core.NewVM(core.Config{ThinLocks: thin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mod := bytecode.MustAssemble(lockWorkload)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p, err := vm.NewProcess("l", core.ProcessOptions{MemLimit: 32 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Load(mod); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				th, err := p.Spawn("t/L", "run(I)I", interp.IntSlot(5000))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := vm.RunUntil(func() bool { return !th.Alive() }); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(th.Cycles), "sim-cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGCSeparation demonstrates why per-process heaps matter
+// for GC cost: collecting a small process heap is independent of how much
+// the kernel (or anyone else) has allocated.
+func BenchmarkAblationGCSeparation(b *testing.B) {
+	build := func(b *testing.B, kernelObjects int) (*core.VM, *core.Process) {
+		vm, err := core.NewVM(core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		objC, err := vm.Shared.Class("java/util/ListNode")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Keep kernel objects alive via a chain from a shared static.
+		var prev *object.Object
+		for i := 0; i < kernelObjects; i++ {
+			o, err := vm.KernelHeap.Alloc(objC)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o.SetRef(1, prev)
+			prev = o
+		}
+		sys, err := vm.Shared.Class("java/lang/Thread")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sys.Statics == nil && prev != nil {
+			// Pin the chain through an entry item instead.
+			if err := vm.KernelHeap.RecordCrossRef(prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p, err := vm.NewProcess("small", core.ProcessOptions{MemLimit: 8 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cls, err := p.Loader.Class("java/util/ListNode")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := p.Heap.Alloc(cls); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return vm, p
+	}
+	for _, kernelObjs := range []int{0, 50_000} {
+		b.Run(fmt.Sprintf("kernelObjs=%d", kernelObjs), func(b *testing.B) {
+			_, p := build(b, kernelObjs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Collect()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEngines runs compress under each engine — the Figure 3
+// platform spread in miniature.
+func BenchmarkAblationEngines(b *testing.B) {
+	w := spec.Compress()
+	for _, cfg := range []struct {
+		name string
+		kind core.EngineKind
+	}{
+		{"interp-spill", core.EngineInterpSpill},
+		{"interp", core.EngineInterp},
+		{"jit", core.EngineJIT},
+		{"jit-opt", core.EngineJITOpt},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := spec.Platform{Name: cfg.name, Engine: cfg.kind, FastExceptions: true, ThinLocks: true, Barrier: barrier.NoBarrier}
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Run(w, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemlimits compares allocation through deep soft
+// hierarchies vs a flat hard reservation.
+func BenchmarkAblationMemlimits(b *testing.B) {
+	for _, hard := range []bool{false, true} {
+		name := "soft-chain"
+		if hard {
+			name = "hard-reservation"
+		}
+		b.Run(name, func(b *testing.B) {
+			root := memlimit.NewRoot("root", memlimit.Unlimited)
+			l1 := root.MustChild("l1", memlimit.Unlimited, hard)
+			l2 := l1.MustChild("l2", memlimit.Unlimited, false)
+			l3 := l2.MustChild("l3", memlimit.Unlimited, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l3.Debit(64); err != nil {
+					b.Fatal(err)
+				}
+				l3.Credit(64)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStackScanCrosstalk quantifies the "GC crosstalk" the
+// paper accepts as the price of direct sharing (§2): every thread's stack
+// can hold kernel- and shared-heap references, so the kernel collector
+// scans all of them — and "a process could create many threads in an
+// effort to get the system to scan them all". Process-local collections
+// stay immune (their roots are their own threads only); the kernel
+// collection degrades with the neighbour's thread count.
+func BenchmarkAblationStackScanCrosstalk(b *testing.B) {
+	for _, threads := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("neighbourThreads=%d", threads), func(b *testing.B) {
+			vm, err := core.NewVM(core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mod := bytecode.MustAssemble(`
+.class t/Spin
+.method main ()V static
+.locals 8
+.stack 1
+L0:	goto L0
+.end
+.end`)
+			noisy, err := vm.NewProcess("noisy", core.ProcessOptions{MemLimit: 32 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := noisy.Load(mod); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < threads; i++ {
+				if _, err := noisy.Spawn("t/Spin", "main()V"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			victim, err := vm.NewProcess("victim", core.ProcessOptions{MemLimit: 8 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cls, err := victim.Loader.Class("java/util/ListNode")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := victim.Heap.Alloc(cls); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Run("process-gc", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					victim.Collect()
+				}
+			})
+			b.Run("kernel-gc", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					vm.CollectKernel()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkProcessLifecycle measures the full create → run → kill →
+// reclaim cycle — the cost of the paper's process abstraction itself.
+func BenchmarkProcessLifecycle(b *testing.B) {
+	vm, err := core.NewVM(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := bytecode.MustAssemble(`
+.class t/P
+.method main ()V static
+.locals 0
+.stack 1
+L0:	goto L0
+.end
+.end`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := vm.NewProcess("cycle", core.ProcessOptions{MemLimit: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Load(mod); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Spawn("t/P", "main()V"); err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Run(200_000); err != nil {
+			b.Fatal(err)
+		}
+		p.Kill(nil)
+		if err := vm.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		if p.State() != core.ProcReclaimed {
+			b.Fatal("not reclaimed")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Command kaffeos runs programs written in kvm assembly on the KaffeOS
+// virtual machine, one isolated process per program file.
+//
+// Usage:
+//
+//	kaffeos run prog.kasm [prog2.kasm ...]   run programs, one process each
+//	kaffeos run -main app/Main prog.kasm     explicit entry class
+//	kaffeos run -mem 4096 prog.kasm          per-process memlimit (KiB)
+//	kaffeos check prog.kasm                  assemble + verify only
+//	kaffeos dis prog.kasm                    disassemble round-trip
+//
+// Each program must contain a class with a static main()V or main()I.
+// Without -main, the first class defining one is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bytecode"
+	"repro/kaffeos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "check":
+		err = checkCmd(os.Args[2:])
+	case "dis":
+		err = disCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kaffeos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: kaffeos run|check|dis [flags] file.kasm ...")
+	os.Exit(2)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	mainClass := fs.String("main", "", "entry class (default: first class with main)")
+	memKB := fs.Int("mem", 16384, "per-process memory limit in KiB")
+	engine := fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt")
+	barrier := fs.String("barrier", "NoHeapPointer", "write barrier: NoWriteBarrier | HeapPointer | NoHeapPointer | FakeHeapPointer")
+	stats := fs.Bool("stats", false, "print per-process resource accounting at exit")
+	cpuMS := fs.Int("cpu", 0, "per-process CPU limit in virtual milliseconds (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no program files")
+	}
+
+	vm, err := kaffeos.New(kaffeos.Config{
+		Engine:  kaffeos.Engine(*engine),
+		Barrier: kaffeos.WriteBarrier(*barrier),
+		Stdout:  os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+
+	type job struct {
+		proc *kaffeos.Process
+		th   *kaffeos.Thread
+		file string
+	}
+	var jobs []job
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		mod, err := bytecode.Assemble(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		entry := *mainClass
+		if entry == "" {
+			entry = findMain(mod)
+			if entry == "" {
+				return fmt.Errorf("%s: no class with a static main method", file)
+			}
+		}
+		p, err := vm.NewProcess(file, kaffeos.ProcessConfig{
+			MemLimit: uint64(*memKB) << 10,
+			CPULimit: uint64(*cpuMS) * 500_000,
+		})
+		if err != nil {
+			return err
+		}
+		if err := p.LoadModule(mod); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		th, err := p.Start(entry)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		jobs = append(jobs, job{proc: p, th: th, file: file})
+	}
+
+	if err := vm.Run(); err != nil {
+		return err
+	}
+	exitCode := 0
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%-30s %12s %12s %10s\n", "process", "cpu-cycles", "io-bytes", "virtual-ms")
+		for _, j := range jobs {
+			fmt.Fprintf(os.Stderr, "%-30s %12d %12d %10d\n",
+				j.file, j.proc.CPUCycles(), j.proc.IOBytes(), j.proc.CPUCycles()/500_000)
+		}
+	}
+	for _, j := range jobs {
+		switch {
+		case j.proc.Exited():
+			fmt.Fprintf(os.Stderr, "kaffeos: %s: exited", j.file)
+			if j.th.Done() && j.th.Err() == nil {
+				fmt.Fprintf(os.Stderr, " (result %d)", j.th.Result())
+			}
+			fmt.Fprintln(os.Stderr)
+		default:
+			fmt.Fprintf(os.Stderr, "kaffeos: %s: died: %s\n", j.file, j.proc.FailureClass())
+			exitCode = 1
+		}
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+	return nil
+}
+
+func findMain(mod *bytecode.Module) string {
+	for _, c := range mod.Classes {
+		for _, m := range c.Methods {
+			if m.Name == "main" && m.Static && (m.Sig == "()V" || m.Sig == "()I") {
+				return c.Name
+			}
+		}
+	}
+	return ""
+}
+
+func checkCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no files")
+	}
+	for _, file := range args {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		mod, err := bytecode.Assemble(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if err := bytecode.VerifyModule(mod); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		total := 0
+		for _, c := range mod.Classes {
+			for _, m := range c.Methods {
+				if m.Code != nil {
+					total += len(m.Code.Instrs)
+				}
+			}
+		}
+		fmt.Printf("%s: ok (%d classes, %d instructions)\n", file, len(mod.Classes), total)
+	}
+	return nil
+}
+
+func disCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no files")
+	}
+	for _, file := range args {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		mod, err := bytecode.Assemble(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		for _, c := range mod.Classes {
+			if c.Super != "" {
+				fmt.Printf(".class %s extends %s\n", c.Name, c.Super)
+			} else {
+				fmt.Printf(".class %s\n", c.Name)
+			}
+			for _, f := range c.Fields {
+				kw := ".field"
+				if f.Static {
+					kw = ".static"
+				}
+				fmt.Printf("%s %s %s\n", kw, f.Name, f.Desc)
+			}
+			for _, m := range c.Methods {
+				mod := ""
+				if m.Static {
+					mod = " static"
+				}
+				if m.Code == nil {
+					fmt.Printf(".method %s %s%s native\n.end\n", m.Name, m.Sig, mod)
+					continue
+				}
+				fmt.Printf(".method %s %s%s\n.locals %d\n.stack %d\n", m.Name, m.Sig, mod, m.MaxLocals, m.MaxStack)
+				fmt.Print(bytecode.Disassemble(m.Code))
+				fmt.Println(".end")
+			}
+			fmt.Println(".end")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command specbench regenerates the paper's Figure 3 and Table 1: the
+// SPEC-JVM98-like workload suite across execution platforms and write-
+// barrier configurations.
+//
+// Usage:
+//
+//	specbench -experiment fig3      # Figure 3: wall time per platform
+//	specbench -experiment table1    # Table 1: barriers executed per benchmark
+//	specbench -experiment overhead  # §4.1 headline: total barrier cost vs no-barrier
+//	specbench -experiment classes   # §3.2: shared vs reloaded library census
+//	specbench -experiment micro     # §4.1: cycles per barrier check
+//	specbench -workload db          # restrict to one workload
+//	specbench -repeats 3            # measurement repetitions (fig3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/barrier"
+	"repro/internal/classlib"
+	"repro/internal/spec"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig3", "fig3 | table1 | overhead | classes | micro")
+	workload := flag.String("workload", "", "run a single workload by name")
+	repeats := flag.Int("repeats", 3, "repetitions per fig3 measurement")
+	flag.Parse()
+
+	workloads := spec.All()
+	if *workload != "" {
+		w, ok := spec.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "specbench: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		workloads = []*spec.Workload{w}
+	}
+
+	var err error
+	switch *experiment {
+	case "fig3":
+		err = figure3(workloads, *repeats)
+	case "table1":
+		err = table1(workloads)
+	case "overhead":
+		err = overhead(workloads)
+	case "classes":
+		err = classes()
+	case "micro":
+		err = micro()
+	default:
+		fmt.Fprintf(os.Stderr, "specbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// figure3 prints wall-clock seconds per (platform, workload), the paper's
+// Figure 3 (its y axis is seconds per benchmark, grouped by platform).
+func figure3(workloads []*spec.Workload, repeats int) error {
+	platforms := spec.Platforms()
+	fmt.Println("Figure 3: SPEC-like workloads on various platforms (wall milliseconds, best of repeats)")
+	fmt.Printf("%-26s", "platform")
+	for _, w := range workloads {
+		fmt.Printf("%12s", w.Name)
+	}
+	fmt.Println()
+	for _, p := range platforms {
+		fmt.Printf("%-26s", p.Name)
+		for _, w := range workloads {
+			best := time.Duration(0)
+			for r := 0; r < repeats; r++ {
+				res, err := spec.Run(w, p)
+				if err != nil {
+					return err
+				}
+				if best == 0 || res.Wall < best {
+					best = res.Wall
+				}
+			}
+			fmt.Printf("%12.1f", float64(best.Microseconds())/1000)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// table1 prints the barrier census per workload with the paper's cost
+// model: time at 41 cycles per barrier (the No Heap Pointer cost) as a
+// percentage of the no-barrier execution time.
+func table1(workloads []*spec.Workload) error {
+	noBar, _ := spec.PlatformByName("KaffeOS-NoWriteBarrier")
+	withBar, _ := spec.PlatformByName("KaffeOS-NoHeapPointer")
+	fmt.Println("Table 1: write barriers executed per benchmark")
+	fmt.Printf("%-12s %14s %16s %10s\n", "benchmark", "barriers", "cycles@41/bar", "percent")
+	for _, w := range workloads {
+		base, err := spec.Run(w, noBar)
+		if err != nil {
+			return err
+		}
+		res, err := spec.Run(w, withBar)
+		if err != nil {
+			return err
+		}
+		barrierCycles := res.Barriers * uint64(barrier.NoHeapPointer.CheckCost())
+		pct := 100 * float64(barrierCycles) / float64(base.Cycles)
+		fmt.Printf("%-12s %14d %16d %9.2f%%\n", w.Name, res.Barriers, barrierCycles, pct)
+	}
+	return nil
+}
+
+// overhead prints the §4.1 headline: total cost of each barrier
+// configuration relative to the no-barrier KaffeOS baseline ("the total
+// cost of the write barrier is about 11%").
+func overhead(workloads []*spec.Workload) error {
+	base, _ := spec.PlatformByName("KaffeOS-NoWriteBarrier")
+	configs := []string{"KaffeOS-HeapPointer", "KaffeOS-NoHeapPointer", "KaffeOS-FakeHeapPointer"}
+	fmt.Println("Barrier overhead vs KaffeOS-NoWriteBarrier (simulated cycles, geometric mean)")
+	fmt.Printf("%-26s %10s\n", "configuration", "overhead")
+	for _, name := range configs {
+		p, _ := spec.PlatformByName(name)
+		prod := 1.0
+		for _, w := range workloads {
+			b, err := spec.Run(w, base)
+			if err != nil {
+				return err
+			}
+			r, err := spec.Run(w, p)
+			if err != nil {
+				return err
+			}
+			prod *= float64(r.Cycles) / float64(b.Cycles)
+		}
+		geo := pow(prod, 1/float64(len(workloads)))
+		fmt.Printf("%-26s %9.1f%%\n", name, (geo-1)*100)
+	}
+	return nil
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// classes prints the §3.2 census: how many library classes are shared vs
+// reloaded (paper: 430 of ~600, 72%).
+func classes() error {
+	lib := classlib.New()
+	shared, reloaded, pct := lib.Census()
+	fmt.Printf("Library class census (paper §3.2):\n")
+	fmt.Printf("  shared:   %3d classes\n", shared)
+	fmt.Printf("  reloaded: %3d classes\n", reloaded)
+	fmt.Printf("  shared fraction: %.0f%% (paper: 72%%)\n", pct)
+	fmt.Printf("\nreloaded classes (per-process statics force the copy):\n")
+	for _, n := range lib.ReloadedClassNames() {
+		fmt.Printf("  %s\n", n)
+	}
+	return nil
+}
+
+// micro prints the per-barrier costs of §4.1.
+func micro() error {
+	fmt.Println("Write-barrier implementations (paper §4.1):")
+	fmt.Printf("%-18s %8s %14s\n", "barrier", "cycles", "header bytes")
+	for _, b := range barrier.All() {
+		fmt.Printf("%-18s %8d %14d\n", b.Name(), b.CheckCost(), b.HeaderExtra())
+	}
+	return nil
+}

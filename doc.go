@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Processes in
+// KaffeOS: Isolation, Resource Management, and Sharing in Java" (Back,
+// Hsieh, Lepreau — Univ. of Utah; OSDI 2000 / TR UUCS-00-010).
+//
+// The public API lives in repro/kaffeos; the paper's subsystems live under
+// repro/internal (see DESIGN.md for the full inventory); the benchmark
+// harness that regenerates every table and figure of the paper's
+// evaluation is in bench_test.go and the cmd/specbench and cmd/servbench
+// tools (see EXPERIMENTS.md for results).
+package repro

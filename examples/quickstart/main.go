@@ -1,0 +1,98 @@
+// Quickstart: create a VM, run two isolated processes, observe per-process
+// accounting, and kill one without harming the other.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/kaffeos"
+)
+
+const program = `
+.class app/Main
+.method main ()V static
+.locals 2
+.stack 3
+	getstatic java/lang/System.out Ljava/io/PrintStream;
+	ldc "hello from an isolated process"
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+# compute 10 factorial iteratively and print it
+	iconst 1
+	istore 0
+	iconst 1
+	istore 1
+L0:	iload 1
+	iconst 10
+	if_icmpgt L1
+	iload 0
+	iload 1
+	imul
+	istore 0
+	iinc 1 1
+	goto L0
+L1:	getstatic java/lang/System.out Ljava/io/PrintStream;
+	iload 0
+	invokevirtual java/io/PrintStream.printlnInt (I)V
+	return
+.end
+.end`
+
+const spinner = `
+.class app/Spin
+.method main ()V static
+.locals 0
+.stack 1
+L0:	goto L0
+.end
+.end`
+
+func main() {
+	vm, err := kaffeos.New(kaffeos.Config{Stdout: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An ordinary process: runs to completion, memory fully reclaimed.
+	worker, err := vm.NewProcess("worker", kaffeos.ProcessConfig{MemLimit: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := worker.LoadSource(program); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := worker.Start("app/Main"); err != nil {
+		log.Fatal(err)
+	}
+
+	// A runaway process: spins forever until we kill it.
+	runaway, err := vm.NewProcess("runaway", kaffeos.ProcessConfig{MemLimit: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := runaway.LoadSource(spinner); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := runaway.Start("app/Spin"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Give both some CPU (simulated cycles), then inspect.
+	if err := vm.RunFor(5_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worker:  alive=%v cpu=%d cycles, mem=%d bytes\n",
+		worker.Alive(), worker.CPUCycles(), worker.MemUse())
+	fmt.Printf("runaway: alive=%v cpu=%d cycles, mem=%d bytes\n",
+		runaway.Alive(), runaway.CPUCycles(), runaway.MemUse())
+
+	// The runaway is uncooperative; kill it. Its heap merges into the
+	// kernel heap and the next kernel GC reclaims everything.
+	runaway.Kill()
+	if err := vm.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after kill: runaway alive=%v, kernel heap=%d bytes\n",
+		runaway.Alive(), vm.KernelHeapBytes())
+}

@@ -1,0 +1,119 @@
+package barrier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/object"
+)
+
+// TestPropNoUserToUserEdges: no sequence of user-mode stores mediated by
+// the write barrier can ever leave a reference from one user heap into
+// another (DESIGN.md invariant 3). The test performs random stores through
+// the barrier — applying only those the barrier accepts, exactly as the
+// interpreter does — then audits every object of every user heap.
+func TestPropNoUserToUserEdges(t *testing.T) {
+	for _, b := range realBarriers() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			f := func(seed int64, ops []uint16) bool {
+				rng := rand.New(rand.NewSource(seed))
+				w := newWorld(t, b)
+				var st Stats
+				heaps := []*heap.Heap{w.userA, w.userB, w.kernel, w.shared}
+				var objs [][]*object.Object
+				for _, h := range heaps {
+					var os []*object.Object
+					for i := 0; i < 6; i++ {
+						o, err := h.Alloc(w.node)
+						if err != nil {
+							return false
+						}
+						os = append(os, o)
+					}
+					objs = append(objs, os)
+				}
+				for _, op := range ops {
+					hi := int(op) % 4
+					ri := rng.Intn(4)
+					holder := objs[hi][rng.Intn(6)]
+					ref := objs[ri][rng.Intn(6)]
+					kernelMode := rng.Intn(4) == 0
+					if err := b.Write(w.reg, holder, ref, kernelMode, &st); err == nil {
+						holder.SetRef(0, ref)
+					}
+				}
+				// Audit: user heaps may reference themselves, the kernel,
+				// or shared heaps — never the other user heap.
+				for ui, h := range []*heap.Heap{w.userA, w.userB} {
+					other := w.userB
+					if ui == 1 {
+						other = w.userA
+					}
+					for _, o := range objs[ui] {
+						for _, ref := range o.Refs {
+							if ref == nil {
+								continue
+							}
+							if ref.Heap == other.ID {
+								return false
+							}
+							_ = h
+						}
+					}
+				}
+				// Shared heap objects never reference user heaps.
+				for _, o := range objs[3] {
+					for _, ref := range o.Refs {
+						if ref != nil && (ref.Heap == w.userA.ID || ref.Heap == w.userB.ID) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropBarrierAgreement: the three real barrier implementations agree
+// on every verdict — they differ only in how they find the heap, never in
+// the answer.
+func TestPropBarrierAgreement(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWorld(t, NoHeapPointer)
+		var st Stats
+		heaps := []*heap.Heap{w.userA, w.userB, w.kernel, w.shared}
+		var all []*object.Object
+		for _, h := range heaps {
+			for i := 0; i < 3; i++ {
+				o, err := h.Alloc(w.node)
+				if err != nil {
+					return false
+				}
+				all = append(all, o)
+			}
+		}
+		for range ops {
+			holder := all[rng.Intn(len(all))]
+			ref := all[rng.Intn(len(all))]
+			kernelMode := rng.Intn(2) == 0
+			e1 := HeapPointer.Write(w.reg, holder, ref, kernelMode, &st)
+			e2 := NoHeapPointer.Write(w.reg, holder, ref, kernelMode, &st)
+			e3 := FakeHeapPointer.Write(w.reg, holder, ref, kernelMode, &st)
+			if (e1 == nil) != (e2 == nil) || (e2 == nil) != (e3 == nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSource = `
+# A tiny class exercising most directives.
+.class spec/Counter extends java/lang/Object
+.field count I
+.field next Lspec/Counter;
+.static total I
+
+.method <init> ()V
+.locals 1
+.stack 2
+    aload 0
+    invokespecial java/lang/Object.<init> ()V
+    return
+.end
+
+.method bump (I)I
+.locals 4
+.stack 6
+    iconst 0
+    istore 2
+L0: iload 2
+    iload 1
+    if_icmpge L1
+    aload 0
+    dup
+    getfield spec/Counter.count I
+    iconst 1
+    iadd
+    putfield spec/Counter.count I
+    iinc 2 1
+    goto L0
+L1: aload 0
+    getfield spec/Counter.count I
+    ireturn
+.end
+
+.method risky ()V
+.locals 2
+.stack 4
+T0: ldc "boom"
+    pop
+    return
+T1: astore 1
+    return
+.catch java/lang/Exception T0 T1 T1
+.end
+.end
+`
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return m
+}
+
+func TestAssembleSample(t *testing.T) {
+	m := mustParse(t, sampleSource)
+	c, ok := m.Class("spec/Counter")
+	if !ok {
+		t.Fatal("class spec/Counter not defined")
+	}
+	if c.Super != "java/lang/Object" {
+		t.Errorf("super = %q", c.Super)
+	}
+	if len(c.Fields) != 3 {
+		t.Fatalf("got %d fields, want 3", len(c.Fields))
+	}
+	if !c.Fields[2].Static {
+		t.Error("field total should be static")
+	}
+	if len(c.Methods) != 3 {
+		t.Fatalf("got %d methods, want 3", len(c.Methods))
+	}
+	bump := c.Methods[1]
+	if bump.Name != "bump" || bump.Sig != "(I)I" || bump.Static {
+		t.Errorf("bump = %+v", bump)
+	}
+	if bump.MaxLocals != 4 || bump.MaxStack != 6 {
+		t.Errorf("bump limits = %d/%d", bump.MaxLocals, bump.MaxStack)
+	}
+	// Branch fixups resolved to instruction indices.
+	for _, in := range bump.Code.Instrs {
+		if in.Op.IsBranch() && (in.A < 0 || int(in.A) > len(bump.Code.Instrs)) {
+			t.Errorf("unresolved branch target %d", in.A)
+		}
+	}
+	risky := c.Methods[2]
+	if len(risky.Code.Handlers) != 1 {
+		t.Fatalf("got %d handlers, want 1", len(risky.Code.Handlers))
+	}
+	h := risky.Code.Handlers[0]
+	if h.Type != "java/lang/Exception" || h.Start >= h.End {
+		t.Errorf("handler = %+v", h)
+	}
+}
+
+func TestAssembleDefaultSuper(t *testing.T) {
+	m := mustParse(t, ".class a/B\n.end")
+	c, _ := m.Class("a/B")
+	if c.Super != "java/lang/Object" {
+		t.Errorf("default super = %q", c.Super)
+	}
+	m2 := mustParse(t, ".class java/lang/Object\n.end")
+	c2, _ := m2.Class("java/lang/Object")
+	if c2.Super != "" {
+		t.Errorf("Object super = %q, want empty", c2.Super)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unknown op", ".class a/B\n.method m ()V\nfrobnicate\n.end\n.end", "unknown opcode"},
+		{"label outside method", "L0:\n", "label outside method"},
+		{"dup label", ".class a/B\n.method m ()V\nL0:\nL0: return\n.end\n.end", "duplicate label"},
+		{"undefined label", ".class a/B\n.method m ()V\ngoto NOPE\nreturn\n.end\n.end", "undefined label"},
+		{"bad descriptor", ".class a/B\n.field f Q\n.end", "bad descriptor"},
+		{"bad sig", ".class a/B\n.method m (Q)V\n.end\n.end", "bad descriptor"},
+		{"instr outside method", "iload 0\n", "instruction outside method"},
+		{"unterminated class", ".class a/B\n", "not terminated"},
+		{"nested class", ".class a/B\n.class a/C\n.end\n.end", "inside class"},
+		{"ldc missing", ".class a/B\n.method m ()V\nldc\nreturn\n.end\n.end", "ldc needs an operand"},
+		{"bad iinc", ".class a/B\n.method m ()V\niinc 1\nreturn\n.end\n.end", "usage: iinc"},
+		{"bad fieldref", ".class a/B\n.method m ()V\ngetfield nodot I\nreturn\n.end\n.end", "missing '.'"},
+		{"end nothing", ".end\n", "nothing open"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestLdcKinds(t *testing.T) {
+	src := `.class a/B
+.method m ()V
+.stack 4
+    ldc 42
+    pop
+    ldc 3.5
+    pop
+    ldc "hi there"
+    pop
+    ldc 0x10
+    pop
+    return
+.end
+.end`
+	m := mustParse(t, src)
+	c, _ := m.Class("a/B")
+	consts := c.Methods[0].Code.Consts
+	if len(consts) != 4 {
+		t.Fatalf("got %d consts: %+v", len(consts), consts)
+	}
+	if consts[0].Kind != KindInt || consts[0].I != 42 {
+		t.Errorf("const 0 = %+v", consts[0])
+	}
+	if consts[1].Kind != KindDouble || consts[1].D != 3.5 {
+		t.Errorf("const 1 = %+v", consts[1])
+	}
+	if consts[2].Kind != KindString || consts[2].S != "hi there" {
+		t.Errorf("const 2 = %+v", consts[2])
+	}
+	if consts[3].Kind != KindInt || consts[3].I != 16 {
+		t.Errorf("const 3 = %+v", consts[3])
+	}
+}
+
+func TestConstPoolDedup(t *testing.T) {
+	var c Code
+	a := c.AddConst(Const{Kind: KindInt, I: 7})
+	b := c.AddConst(Const{Kind: KindInt, I: 7})
+	if a != b {
+		t.Errorf("identical constants got indices %d and %d", a, b)
+	}
+	d := c.AddConst(Const{Kind: KindInt, I: 8})
+	if d == a {
+		t.Error("distinct constants shared an index")
+	}
+}
+
+func TestRoundTripDisassemble(t *testing.T) {
+	m := mustParse(t, sampleSource)
+	c, _ := m.Class("spec/Counter")
+	for _, meth := range c.Methods {
+		text := Disassemble(meth.Code)
+		// Wrap in a class/method shell and reassemble.
+		src := ".class spec/Counter\n.method " + meth.Name + " " + meth.Sig + "\n.locals 16\n.stack 16\n" + text + ".end\n.end"
+		m2, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("reassemble %s: %v\n%s", meth.Name, err, text)
+		}
+		c2, _ := m2.Class("spec/Counter")
+		got := c2.Methods[0].Code
+		if len(got.Instrs) != len(meth.Code.Instrs) {
+			t.Fatalf("%s: instr count %d != %d", meth.Name, len(got.Instrs), len(meth.Code.Instrs))
+		}
+		for i := range got.Instrs {
+			if got.Instrs[i].Op != meth.Code.Instrs[i].Op {
+				t.Fatalf("%s: pc %d op %s != %s", meth.Name, i, got.Instrs[i].Op.Name(), meth.Code.Instrs[i].Op.Name())
+			}
+		}
+		if len(got.Handlers) != len(meth.Code.Handlers) {
+			t.Fatalf("%s: handler count mismatch", meth.Name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := mustParse(t, sampleSource)
+	c, _ := m.Class("spec/Counter")
+	code := c.Methods[1].Code
+	cl := code.Clone()
+	cl.Instrs[0].A = 999
+	cl.Consts = append(cl.Consts, Const{Kind: KindInt, I: 1})
+	if code.Instrs[0].A == 999 {
+		t.Error("clone shares instruction storage")
+	}
+}
+
+func TestMergeModules(t *testing.T) {
+	a := mustParse(t, ".class a/A\n.end")
+	b := mustParse(t, ".class b/B\n.end")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Class("b/B"); !ok {
+		t.Error("merged class missing")
+	}
+	dup := mustParse(t, ".class a/A\n.end")
+	if err := a.Merge(dup); err == nil {
+		t.Error("duplicate merge succeeded")
+	}
+}

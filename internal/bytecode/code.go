@@ -1,0 +1,97 @@
+package bytecode
+
+import "fmt"
+
+// ConstKind discriminates constant pool entries.
+type ConstKind uint8
+
+const (
+	KindInt ConstKind = iota + 1
+	KindDouble
+	KindString
+	KindClass  // symbolic class reference
+	KindField  // symbolic field reference
+	KindMethod // symbolic method reference
+)
+
+func (k ConstKind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindClass:
+		return "class"
+	case KindField:
+		return "field"
+	case KindMethod:
+		return "method"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Const is a constant pool entry. Class, field, and method entries are
+// symbolic; the class loader links them against its namespace, which is how
+// reloaded classes in different processes resolve the same code to
+// different runtime classes.
+type Const struct {
+	Kind  ConstKind
+	I     int64   // KindInt
+	D     float64 // KindDouble
+	S     string  // KindString
+	Class string  // KindClass/KindField/KindMethod: target class name
+	Name  string  // KindField/KindMethod: member name
+	Sig   string  // KindField: type descriptor; KindMethod: signature
+}
+
+// Handler is one exception table entry: if a throwable whose class is (a
+// subclass of) Type escapes an instruction in [Start, End), control
+// transfers to PC with the throwable pushed. Type "" catches everything.
+type Handler struct {
+	Start, End, PC int
+	Type           string // symbolic class name; linked by the loader
+}
+
+// Code is the bytecode body of one method.
+type Code struct {
+	Instrs   []Instr
+	Consts   []Const
+	Handlers []Handler
+}
+
+// AddConst appends c and returns its pool index, reusing an existing
+// identical entry.
+func (c *Code) AddConst(k Const) int {
+	for i, e := range c.Consts {
+		if e == k {
+			return i
+		}
+	}
+	c.Consts = append(c.Consts, k)
+	return len(c.Consts) - 1
+}
+
+// Const returns pool entry i, or an error if out of range.
+func (c *Code) Const(i int32) (*Const, error) {
+	if i < 0 || int(i) >= len(c.Consts) {
+		return nil, fmt.Errorf("bytecode: constant pool index %d out of range [0,%d)", i, len(c.Consts))
+	}
+	return &c.Consts[i], nil
+}
+
+// Clone returns a deep copy of the code. Reloading a class in another
+// process copies its code ("reloaded classes do not share text" — §3.2), so
+// per-copy link state can never leak across namespaces.
+func (c *Code) Clone() *Code {
+	n := &Code{
+		Instrs:   make([]Instr, len(c.Instrs)),
+		Consts:   make([]Const, len(c.Consts)),
+		Handlers: make([]Handler, len(c.Handlers)),
+	}
+	copy(n.Instrs, c.Instrs)
+	copy(n.Consts, c.Consts)
+	copy(n.Handlers, c.Handlers)
+	return n
+}

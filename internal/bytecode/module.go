@@ -1,0 +1,204 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Module is a linkable unit: the output of the assembler and the input to a
+// class loader. It is pure data — no runtime state — so one Module can be
+// defined into any number of namespaces.
+type Module struct {
+	Classes []*ClassDef
+}
+
+// ClassDef describes one class symbolically.
+type ClassDef struct {
+	Name    string
+	Super   string // "" only for the root class java/lang/Object
+	Fields  []FieldDef
+	Methods []*MethodDef
+}
+
+// FieldDef describes one field. Desc is a type descriptor (see ParseDesc).
+type FieldDef struct {
+	Name   string
+	Desc   string
+	Static bool
+}
+
+// MethodDef describes one method body.
+type MethodDef struct {
+	Name      string
+	Sig       string // e.g. "(ILjava/lang/String;)V"
+	Static    bool
+	MaxStack  int
+	MaxLocals int
+	Code      *Code
+}
+
+// Key returns the name+signature key that identifies a method within its
+// class for resolution and overriding.
+func (m *MethodDef) Key() string { return m.Name + m.Sig }
+
+// Class looks up a class definition by name.
+func (m *Module) Class(name string) (*ClassDef, bool) {
+	for _, c := range m.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Merge appends the classes of other into m, rejecting duplicates.
+func (m *Module) Merge(other *Module) error {
+	for _, c := range other.Classes {
+		if _, dup := m.Class(c.Name); dup {
+			return fmt.Errorf("bytecode: duplicate class %q in merge", c.Name)
+		}
+		m.Classes = append(m.Classes, c)
+	}
+	return nil
+}
+
+// Desc kinds. A descriptor is one of:
+//
+//	Z B C S I J F D    primitive kinds (sizes differ for accounting)
+//	Lsome/Class;       reference
+//	[<desc>            array
+type DescKind uint8
+
+const (
+	DescBool DescKind = iota
+	DescByte
+	DescChar
+	DescShort
+	DescInt
+	DescLong
+	DescFloat
+	DescDouble
+	DescRef
+	DescArray
+)
+
+// Desc is a parsed type descriptor.
+type Desc struct {
+	Kind      DescKind
+	ClassName string // DescRef: the class; DescArray: the array class name (with leading '[')
+	Elem      string // DescArray: element descriptor
+}
+
+// Ref reports whether the descriptor denotes a reference (object or array).
+func (d Desc) Ref() bool { return d.Kind == DescRef || d.Kind == DescArray }
+
+// ByteSize reports the memory accounting size of one value of this
+// descriptor, mirroring Java field sizes (references are 8 bytes on our
+// simulated 64-bit layout).
+func (d Desc) ByteSize() int {
+	switch d.Kind {
+	case DescBool, DescByte:
+		return 1
+	case DescChar, DescShort:
+		return 2
+	case DescInt, DescFloat:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ParseDesc parses a single type descriptor.
+func ParseDesc(s string) (Desc, error) {
+	d, rest, err := parseDesc(s)
+	if err != nil {
+		return Desc{}, err
+	}
+	if rest != "" {
+		return Desc{}, fmt.Errorf("bytecode: trailing garbage %q in descriptor %q", rest, s)
+	}
+	return d, nil
+}
+
+func parseDesc(s string) (Desc, string, error) {
+	if s == "" {
+		return Desc{}, "", fmt.Errorf("bytecode: empty descriptor")
+	}
+	switch s[0] {
+	case 'Z':
+		return Desc{Kind: DescBool}, s[1:], nil
+	case 'B':
+		return Desc{Kind: DescByte}, s[1:], nil
+	case 'C':
+		return Desc{Kind: DescChar}, s[1:], nil
+	case 'S':
+		return Desc{Kind: DescShort}, s[1:], nil
+	case 'I':
+		return Desc{Kind: DescInt}, s[1:], nil
+	case 'J':
+		return Desc{Kind: DescLong}, s[1:], nil
+	case 'F':
+		return Desc{Kind: DescFloat}, s[1:], nil
+	case 'D':
+		return Desc{Kind: DescDouble}, s[1:], nil
+	case 'L':
+		i := strings.IndexByte(s, ';')
+		if i < 0 {
+			return Desc{}, "", fmt.Errorf("bytecode: unterminated class descriptor %q", s)
+		}
+		name := s[1:i]
+		if name == "" {
+			return Desc{}, "", fmt.Errorf("bytecode: empty class name in descriptor %q", s)
+		}
+		return Desc{Kind: DescRef, ClassName: name}, s[i+1:], nil
+	case '[':
+		elem, rest, err := parseDesc(s[1:])
+		if err != nil {
+			return Desc{}, "", err
+		}
+		consumed := s[:len(s)-len(rest)]
+		_ = elem
+		return Desc{Kind: DescArray, ClassName: consumed, Elem: consumed[1:]}, rest, nil
+	}
+	return Desc{}, "", fmt.Errorf("bytecode: bad descriptor %q", s)
+}
+
+// Sig is a parsed method signature.
+type Sig struct {
+	Args []Desc
+	Ret  *Desc // nil for void
+}
+
+// Slots reports the number of argument slots (each arg is one slot; we do
+// not split longs/doubles across two slots as the JVM does).
+func (s Sig) Slots() int { return len(s.Args) }
+
+// ParseSig parses a method signature like "(ILjava/lang/String;)V".
+func ParseSig(s string) (Sig, error) {
+	if s == "" || s[0] != '(' {
+		return Sig{}, fmt.Errorf("bytecode: signature %q does not start with '('", s)
+	}
+	rest := s[1:]
+	var sig Sig
+	for rest != "" && rest[0] != ')' {
+		d, r, err := parseDesc(rest)
+		if err != nil {
+			return Sig{}, fmt.Errorf("bytecode: signature %q: %w", s, err)
+		}
+		sig.Args = append(sig.Args, d)
+		rest = r
+	}
+	if rest == "" {
+		return Sig{}, fmt.Errorf("bytecode: signature %q missing ')'", s)
+	}
+	rest = rest[1:]
+	if rest == "V" {
+		return sig, nil
+	}
+	d, err := ParseDesc(rest)
+	if err != nil {
+		return Sig{}, fmt.Errorf("bytecode: signature %q return: %w", s, err)
+	}
+	sig.Ret = &d
+	return sig, nil
+}

@@ -1,0 +1,151 @@
+package bytecode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDesc(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind DescKind
+		cls  string
+		size int
+	}{
+		{"Z", DescBool, "", 1},
+		{"B", DescByte, "", 1},
+		{"C", DescChar, "", 2},
+		{"S", DescShort, "", 2},
+		{"I", DescInt, "", 4},
+		{"J", DescLong, "", 8},
+		{"F", DescFloat, "", 4},
+		{"D", DescDouble, "", 8},
+		{"Ljava/lang/String;", DescRef, "java/lang/String", 8},
+		{"[I", DescArray, "[I", 8},
+		{"[[D", DescArray, "[[D", 8},
+		{"[Ljava/lang/Object;", DescArray, "[Ljava/lang/Object;", 8},
+	}
+	for _, c := range cases {
+		d, err := ParseDesc(c.in)
+		if err != nil {
+			t.Errorf("ParseDesc(%q): %v", c.in, err)
+			continue
+		}
+		if d.Kind != c.kind {
+			t.Errorf("ParseDesc(%q).Kind = %v, want %v", c.in, d.Kind, c.kind)
+		}
+		if c.cls != "" && d.ClassName != c.cls {
+			t.Errorf("ParseDesc(%q).ClassName = %q, want %q", c.in, d.ClassName, c.cls)
+		}
+		if d.ByteSize() != c.size {
+			t.Errorf("ParseDesc(%q).ByteSize = %d, want %d", c.in, d.ByteSize(), c.size)
+		}
+	}
+}
+
+func TestParseDescErrors(t *testing.T) {
+	for _, in := range []string{"", "Q", "L;", "Lfoo", "[", "II", "Lfoo;x"} {
+		if _, err := ParseDesc(in); err == nil {
+			t.Errorf("ParseDesc(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseDescArrayElem(t *testing.T) {
+	d, err := ParseDesc("[[I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Elem != "[I" {
+		t.Errorf("Elem = %q, want [I", d.Elem)
+	}
+	inner, err := ParseDesc(d.Elem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Kind != DescArray || inner.Elem != "I" {
+		t.Errorf("inner = %+v", inner)
+	}
+}
+
+func TestParseSig(t *testing.T) {
+	cases := []struct {
+		in    string
+		args  int
+		isRet bool
+	}{
+		{"()V", 0, false},
+		{"(I)I", 1, true},
+		{"(IJD)V", 3, false},
+		{"(Ljava/lang/String;[I)Ljava/lang/Object;", 2, true},
+		{"([[D)[I", 1, true},
+	}
+	for _, c := range cases {
+		sig, err := ParseSig(c.in)
+		if err != nil {
+			t.Errorf("ParseSig(%q): %v", c.in, err)
+			continue
+		}
+		if len(sig.Args) != c.args {
+			t.Errorf("ParseSig(%q) args = %d, want %d", c.in, len(sig.Args), c.args)
+		}
+		if (sig.Ret != nil) != c.isRet {
+			t.Errorf("ParseSig(%q) ret = %v, want present=%v", c.in, sig.Ret, c.isRet)
+		}
+	}
+}
+
+func TestParseSigErrors(t *testing.T) {
+	for _, in := range []string{"", "I", "(I", "(Q)V", "()", "()VV", "()Q"} {
+		if _, err := ParseSig(in); err == nil {
+			t.Errorf("ParseSig(%q) succeeded", in)
+		}
+	}
+}
+
+// Property: any descriptor we can render is parsed back to an equal value.
+func TestPropDescRoundTrip(t *testing.T) {
+	prims := []string{"Z", "B", "C", "S", "I", "J", "F", "D"}
+	f := func(primIdx uint8, depth uint8, useRef bool, nameSeed uint8) bool {
+		base := prims[int(primIdx)%len(prims)]
+		if useRef {
+			base = "Lpkg/Cls" + string(rune('A'+nameSeed%26)) + ";"
+		}
+		desc := base
+		for i := 0; i < int(depth%4); i++ {
+			desc = "[" + desc
+		}
+		d, err := ParseDesc(desc)
+		if err != nil {
+			return false
+		}
+		if int(depth%4) > 0 {
+			return d.Kind == DescArray && d.ClassName == desc
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpNamesBijective(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		name := op.Name()
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", name, got, ok, op)
+		}
+	}
+	if _, ok := OpByName("no_such_op"); ok {
+		t.Error("OpByName accepted garbage")
+	}
+}
+
+func TestOpCyclesPositive(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.Cycles() <= 0 {
+			t.Errorf("op %s has non-positive cycle cost", op.Name())
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func methodFrom(t *testing.T, body string) *MethodDef {
+	t.Helper()
+	src := ".class t/T\n.method m ()V\n.locals 4\n.stack 4\n" + body + "\n.end\n.end"
+	m := mustParse(t, src)
+	c, _ := m.Class("t/T")
+	return c.Methods[0]
+}
+
+func TestVerifyAcceptsSample(t *testing.T) {
+	m := mustParse(t, sampleSource)
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("VerifyModule: %v", err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct{ name, body, wantSub string }{
+		{"underflow", "pop\nreturn", "pops 1 with stack depth 0"},
+		{"fall off end", "iconst 1\npop", "falls off the end"},
+		{"overflow", "iconst 1\niconst 1\niconst 1\niconst 1\niconst 1\nreturn", "exceeds maxStack"},
+		{"inconsistent depth", "iconst 0\nifeq L0\niconst 1\nL0: pop\nreturn", "inconsistent stack depth"},
+		{"bad local", "iload 99\npop\nreturn", "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			meth := methodFrom(t, c.body)
+			err := Verify(meth)
+			if err == nil {
+				t.Fatalf("Verify accepted %q", c.body)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestVerifyInconsistentMergeDepth(t *testing.T) {
+	// Two paths reach L0 with different stack depths.
+	meth := methodFrom(t, `
+    iconst 0
+    ifeq A
+    iconst 1
+    iconst 2
+    goto L0
+A:  iconst 1
+L0: pop
+    return`)
+	err := Verify(meth)
+	if err == nil || !strings.Contains(err.Error(), "inconsistent stack depth") {
+		t.Fatalf("err = %v, want inconsistent stack depth", err)
+	}
+}
+
+func TestVerifyEmptyCode(t *testing.T) {
+	m := &MethodDef{Name: "m", Sig: "()V", Static: true, Code: &Code{}, MaxStack: 4, MaxLocals: 4}
+	if err := Verify(m); err == nil {
+		t.Fatal("empty method verified")
+	}
+}
+
+func TestVerifyArgSlots(t *testing.T) {
+	// Instance method with 2 args needs 3 local slots.
+	src := ".class t/T\n.method m (II)V\n.locals 2\n.stack 2\nreturn\n.end\n.end"
+	m := mustParse(t, src)
+	c, _ := m.Class("t/T")
+	if err := Verify(c.Methods[0]); err == nil {
+		t.Fatal("verified with too few locals for args")
+	}
+	// Static method with 2 args needs only 2.
+	src2 := ".class t/T\n.method m (II)V static\n.locals 2\n.stack 2\nreturn\n.end\n.end"
+	m2 := mustParse(t, src2)
+	c2, _ := m2.Class("t/T")
+	if err := Verify(c2.Methods[0]); err != nil {
+		t.Fatalf("static verify: %v", err)
+	}
+}
+
+func TestVerifyInvokeStackEffect(t *testing.T) {
+	// invokestatic (II)I pops 2 pushes 1.
+	meth := methodFrom(t, `
+    iconst 1
+    iconst 2
+    invokestatic t/T.add (II)I
+    pop
+    return`)
+	if err := Verify(meth); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// invokevirtual also pops the receiver.
+	meth2 := methodFrom(t, `
+    aconst_null
+    iconst 2
+    invokevirtual t/T.addV (I)I
+    pop
+    return`)
+	if err := Verify(meth2); err != nil {
+		t.Fatalf("Verify virtual: %v", err)
+	}
+	// Missing receiver is caught.
+	meth3 := methodFrom(t, `
+    iconst 2
+    invokevirtual t/T.addV (I)I
+    pop
+    return`)
+	if err := Verify(meth3); err == nil {
+		t.Fatal("virtual call without receiver verified")
+	}
+}
+
+func TestVerifyHandlerDepth(t *testing.T) {
+	meth := methodFrom(t, `
+T0: iconst 1
+    pop
+T1: return
+H:  pop
+    return
+.catch * T0 T1 H`)
+	if err := Verify(meth); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyBadHandlerRange(t *testing.T) {
+	meth := methodFrom(t, "return")
+	meth.Code.Handlers = append(meth.Code.Handlers, Handler{Start: 5, End: 2, PC: 0})
+	if err := Verify(meth); err == nil {
+		t.Fatal("bad handler range verified")
+	}
+}
+
+func TestVerifyBranchTargetRange(t *testing.T) {
+	meth := methodFrom(t, "goto L0\nL0: return")
+	meth.Code.Instrs[0].A = 99
+	if err := Verify(meth); err == nil {
+		t.Fatal("out-of-range branch verified")
+	}
+}
+
+func TestVerifyPoolKindMismatch(t *testing.T) {
+	meth := methodFrom(t, `ldc 7`+"\n"+`pop`+"\n"+`return`)
+	// Corrupt: make LDC point at a class constant.
+	meth.Code.Consts[0] = Const{Kind: KindClass, Class: "x/Y"}
+	if err := Verify(meth); err == nil {
+		t.Fatal("ldc of class constant verified")
+	}
+}

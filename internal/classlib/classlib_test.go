@@ -1,0 +1,521 @@
+// Tests for the class library run programs on a full VM (external test
+// package: core imports classlib, so classlib's own tests use core from
+// the outside).
+package classlib_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/classlib"
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// runInt executes cls.main()I in a fresh process and returns the result.
+func runInt(t *testing.T, src string) int64 {
+	t.Helper()
+	th, _ := runThread(t, src, nil)
+	if th.State != interp.StateFinished {
+		t.Fatalf("state %v err %v uncaught %v", th.State, th.Err, th.Uncaught)
+	}
+	return th.Result.I
+}
+
+func runThread(t *testing.T, src string, out *bytes.Buffer) (*interp.Thread, *core.Process) {
+	t.Helper()
+	vm, err := core.NewVM(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.ProcessOptions{MemLimit: 32 << 20}
+	if out != nil {
+		opts.Out = out
+	}
+	p, err := vm.NewProcess("t", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Load(bytecode.MustAssemble(src)); err != nil {
+		t.Fatal(err)
+	}
+	th, err := p.Spawn("app/T", "main()I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return th, p
+}
+
+func TestStringOperations(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 3
+.stack 3
+	ldc "kaffeos"
+	astore 0
+	aload 0
+	invokevirtual java/lang/String.length ()I
+	istore 1
+	aload 0
+	iconst 0
+	invokevirtual java/lang/String.charAt (I)I
+	iload 1
+	iadd
+	istore 1
+	aload 0
+	ldc "kaf"
+	invokevirtual java/lang/String.startsWith (Ljava/lang/String;)Z
+	iload 1
+	iadd
+	istore 1
+	aload 0
+	iconst 102
+	invokevirtual java/lang/String.indexOf (I)I
+	iload 1
+	iadd
+	ireturn
+.end
+.end`)
+	// length 7 + 'k' 107 + startsWith 1 + indexOf('f') 2 = 117
+	if got != 117 {
+		t.Errorf("got %d, want 117", got)
+	}
+}
+
+func TestStringBuilderAndInteger(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 3
+	new java/lang/StringBuilder
+	dup
+	invokespecial java/lang/StringBuilder.<init> ()V
+	astore 0
+	aload 0
+	ldc "12"
+	invokevirtual java/lang/StringBuilder.append (Ljava/lang/String;)Ljava/lang/StringBuilder;
+	iconst 34
+	invokevirtual java/lang/StringBuilder.appendInt (I)Ljava/lang/StringBuilder;
+	invokevirtual java/lang/StringBuilder.toString ()Ljava/lang/String;
+	invokestatic java/lang/Integer.parseInt (Ljava/lang/String;)I
+	ireturn
+.end
+.end`)
+	if got != 1234 {
+		t.Errorf("got %d, want 1234", got)
+	}
+}
+
+func TestParseIntErrors(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 2
+T0:	ldc "12x4"
+	invokestatic java/lang/Integer.parseInt (Ljava/lang/String;)I
+	ireturn
+T1:	pop
+	iconst -7
+	ireturn
+.catch java/lang/NumberFormatException T0 T1 T1
+.end
+.end`)
+	if got != -7 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestMathNatives(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 0
+.stack 4
+	ldc 144.0
+	invokestatic java/lang/Math.sqrt (D)D
+	d2i
+	iconst -5
+	invokestatic java/lang/Math.abs (I)I
+	iadd
+	iconst 3
+	iconst 9
+	invokestatic java/lang/Math.max (II)I
+	iadd
+	iconst 3
+	iconst 9
+	invokestatic java/lang/Math.min (II)I
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 12+5+9+3 {
+		t.Errorf("got %d, want 29", got)
+	}
+}
+
+func TestVectorAndStack(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 3
+.stack 4
+	new java/util/Stack
+	dup
+	invokespecial java/util/Stack.<init> ()V
+	astore 0
+	iconst 0
+	istore 1
+L0:	iload 1
+	iconst 30
+	if_icmpge POPS
+	aload 0
+	new java/lang/Integer
+	dup
+	iload 1
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/Stack.push (Ljava/lang/Object;)Ljava/lang/Object;
+	pop
+	iinc 1 1
+	goto L0
+POPS:	aload 0
+	invokevirtual java/util/Stack.pop ()Ljava/lang/Object;
+	checkcast java/lang/Integer
+	invokevirtual java/lang/Integer.intValue ()I
+	aload 0
+	invokevirtual java/util/Vector.size ()I
+	iadd
+	ireturn
+.end
+.end`)
+	// last pushed 29 + remaining size 29 = 58
+	if got != 58 {
+		t.Errorf("got %d, want 58", got)
+	}
+}
+
+func TestLinkedList(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 4
+	new java/util/LinkedList
+	dup
+	invokespecial java/util/LinkedList.<init> ()V
+	astore 0
+	aload 0
+	new java/lang/Integer
+	dup
+	iconst 5
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/LinkedList.addLast (Ljava/lang/Object;)V
+	aload 0
+	new java/lang/Integer
+	dup
+	iconst 7
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/LinkedList.addLast (Ljava/lang/Object;)V
+	aload 0
+	invokevirtual java/util/LinkedList.removeFirst ()Ljava/lang/Object;
+	checkcast java/lang/Integer
+	invokevirtual java/lang/Integer.intValue ()I
+	aload 0
+	invokevirtual java/util/LinkedList.size ()I
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 5+1 {
+		t.Errorf("got %d, want 6", got)
+	}
+}
+
+func TestStringTokenizer(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 4
+	new java/util/StringTokenizer
+	dup
+	ldc "a bb  ccc dddd"
+	ldc " "
+	invokespecial java/util/StringTokenizer.<init> (Ljava/lang/String;Ljava/lang/String;)V
+	astore 0
+	iconst 0
+	istore 1
+L0:	aload 0
+	invokevirtual java/util/StringTokenizer.hasMoreTokens ()Z
+	ifeq OUT
+	iload 1
+	aload 0
+	invokevirtual java/util/StringTokenizer.nextToken ()Ljava/lang/String;
+	invokevirtual java/lang/String.length ()I
+	iadd
+	istore 1
+	goto L0
+OUT:	iload 1
+	ireturn
+.end
+.end`)
+	if got != 1+2+3+4 {
+		t.Errorf("got %d, want 10", got)
+	}
+}
+
+func TestArraysNatives(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 4
+	iconst 5
+	newarray [I
+	astore 0
+	aload 0
+	iconst 0
+	iconst 9
+	iastore
+	aload 0
+	iconst 1
+	iconst 3
+	iastore
+	aload 0
+	iconst 2
+	iconst 7
+	iastore
+	aload 0
+	invokestatic java/util/Arrays.sort ([I)V
+	aload 0
+	iconst 4
+	iaload
+	aload 0
+	iconst 3
+	iaload
+	iconst 10
+	imul
+	iadd
+	ireturn
+.end
+.end`)
+	// sorted: [0,0,3,7,9] -> a[4]=9 + 10*a[3]=70 = 79
+	if got != 79 {
+		t.Errorf("got %d, want 79", got)
+	}
+}
+
+func TestSystemArraycopy(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 6
+	iconst 4
+	newarray [I
+	astore 0
+	aload 0
+	iconst 0
+	ldc 11
+	iastore
+	aload 0
+	iconst 1
+	ldc 22
+	iastore
+	iconst 4
+	newarray [I
+	astore 1
+	aload 0
+	iconst 0
+	aload 1
+	iconst 2
+	iconst 2
+	invokestatic java/lang/System.arraycopy (Ljava/lang/Object;ILjava/lang/Object;II)V
+	aload 1
+	iconst 2
+	iaload
+	aload 1
+	iconst 3
+	iaload
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 33 {
+		t.Errorf("got %d, want 33", got)
+	}
+}
+
+func TestArraycopyBoundsThrow(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 6
+	iconst 2
+	newarray [I
+	astore 0
+T0:	aload 0
+	iconst 0
+	aload 0
+	iconst 1
+	iconst 5
+	invokestatic java/lang/System.arraycopy (Ljava/lang/Object;ILjava/lang/Object;II)V
+	iconst 0
+	ireturn
+T1:	pop
+	iconst 1
+	ireturn
+.catch java/lang/ArrayIndexOutOfBoundsException T0 T1 T1
+.end
+.end`)
+	if got != 1 {
+		t.Errorf("bounds not enforced: %d", got)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := runInt(t, randomSrc)
+	b := runInt(t, randomSrc)
+	if a != b {
+		t.Errorf("Random not deterministic: %d vs %d", a, b)
+	}
+}
+
+const randomSrc = `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 4
+	new java/util/Random
+	dup
+	ldc 42
+	invokespecial java/util/Random.<init> (I)V
+	astore 0
+	aload 0
+	ldc 1000
+	invokevirtual java/util/Random.nextInt (I)I
+	aload 0
+	ldc 1000
+	invokevirtual java/util/Random.nextInt (I)I
+	iadd
+	ireturn
+.end
+.end`
+
+func TestThrowableMessages(t *testing.T) {
+	var out bytes.Buffer
+	th, _ := runThread(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 3
+	new java/lang/RuntimeException
+	dup
+	invokespecial java/lang/RuntimeException.<init> ()V
+	astore 0
+	aload 0
+	ldc "custom message"
+	invokevirtual java/lang/Throwable.initMessage (Ljava/lang/String;)V
+	getstatic java/lang/System.out Ljava/io/PrintStream;
+	aload 0
+	invokevirtual java/lang/Object.toString ()Ljava/lang/String;
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	iconst 0
+	ireturn
+.end
+.end`, &out)
+	if th.State != interp.StateFinished {
+		t.Fatalf("err %v", th.Err)
+	}
+	if !strings.Contains(out.String(), "custom message") {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+func TestObjectIdentityAndEquals(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 3
+	new java/lang/Object
+	astore 0
+	new java/lang/Object
+	astore 1
+	aload 0
+	aload 0
+	invokevirtual java/lang/Object.equals (Ljava/lang/Object;)Z
+	aload 0
+	aload 1
+	invokevirtual java/lang/Object.equals (Ljava/lang/Object;)Z
+	iconst 10
+	imul
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 1 {
+		t.Errorf("identity equals broken: %d", got)
+	}
+}
+
+func TestStringEqualsAcrossAllocation(t *testing.T) {
+	// Two separately built strings with the same content: == is false,
+	// equals is true (the paper's §3.3 semantics change).
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 3
+	ldc "ab"
+	ldc "cd"
+	invokevirtual java/lang/String.concat (Ljava/lang/String;)Ljava/lang/String;
+	astore 0
+	ldc "abcd"
+	astore 1
+	aload 0
+	aload 1
+	if_acmpeq SAME
+	aload 0
+	aload 1
+	invokevirtual java/lang/String.equals (Ljava/lang/Object;)Z
+	ireturn
+SAME:	iconst -1
+	ireturn
+.end
+.end`)
+	if got != 1 {
+		t.Errorf("got %d: want pointer-different but equals-true", got)
+	}
+}
+
+func TestCensusNumbers(t *testing.T) {
+	lib := classlib.New()
+	shared, reloaded, pct := lib.Census()
+	t.Logf("census: %d shared, %d reloaded, %.0f%%", shared, reloaded, pct)
+	if shared < 40 {
+		t.Errorf("library too small: %d shared classes", shared)
+	}
+	if reloaded < 4 {
+		t.Errorf("expected at least the paper's reload set, got %d", reloaded)
+	}
+	names := lib.ReloadedClassNames()
+	want := "java/io/FileDescriptor"
+	found := false
+	for _, n := range names {
+		if n == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("%s must be reloaded (the paper's canonical example)", want)
+	}
+}

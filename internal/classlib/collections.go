@@ -1,0 +1,503 @@
+package classlib
+
+import (
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/object"
+)
+
+// buildCollections defines java/util (all shared). Vector, Stack,
+// Hashtable, and LinkedList are implemented in bytecode — they are the
+// workhorses of the SPEC-like workloads, so implementing them in bytecode
+// keeps allocation, pointer stores (write barriers!), and virtual dispatch
+// inside the VM where the paper measures them.
+func buildCollections(b *object.ModuleBuilder) {
+	b.Class("java/util/Vector", "java/lang/Object").
+		Field("elems", "[Ljava/lang/Object;").
+		Field("count", "I").
+		Method("<init>", "()V", false, `
+	.locals 1
+	.stack 3
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	aload 0
+	iconst 8
+	newarray [Ljava/lang/Object;
+	putfield java/util/Vector.elems [Ljava/lang/Object;
+	return`).
+		Method("size", "()I", false, `
+	.locals 1
+	.stack 2
+	aload 0
+	getfield java/util/Vector.count I
+	ireturn`).
+		Method("add", "(Ljava/lang/Object;)V", false, `
+	.locals 4
+	.stack 6
+	aload 0
+	getfield java/util/Vector.count I
+	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	arraylength
+	if_icmplt STORE
+	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	arraylength
+	iconst 2
+	imul
+	newarray [Ljava/lang/Object;
+	astore 2
+	iconst 0
+	istore 3
+COPY:	iload 3
+	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	arraylength
+	if_icmpge GROWN
+	aload 2
+	iload 3
+	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	iload 3
+	aaload
+	aastore
+	iinc 3 1
+	goto COPY
+GROWN:	aload 0
+	aload 2
+	putfield java/util/Vector.elems [Ljava/lang/Object;
+STORE:	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	aload 0
+	getfield java/util/Vector.count I
+	aload 1
+	aastore
+	aload 0
+	dup
+	getfield java/util/Vector.count I
+	iconst 1
+	iadd
+	putfield java/util/Vector.count I
+	return`).
+		Method("get", "(I)Ljava/lang/Object;", false, `
+	.locals 2
+	.stack 3
+	iload 1
+	aload 0
+	getfield java/util/Vector.count I
+	if_icmpge BAD
+	iload 1
+	iflt BAD
+	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	iload 1
+	aaload
+	areturn
+BAD:	new java/lang/IndexOutOfBoundsException
+	dup
+	invokespecial java/lang/IndexOutOfBoundsException.<init> ()V
+	athrow`).
+		Method("set", "(ILjava/lang/Object;)V", false, `
+	.locals 3
+	.stack 3
+	iload 1
+	aload 0
+	getfield java/util/Vector.count I
+	if_icmpge BAD
+	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	iload 1
+	aload 2
+	aastore
+	return
+BAD:	new java/lang/IndexOutOfBoundsException
+	dup
+	invokespecial java/lang/IndexOutOfBoundsException.<init> ()V
+	athrow`).
+		Method("removeAllElements", "()V", false, `
+	.locals 2
+	.stack 3
+	iconst 0
+	istore 1
+LOOP:	iload 1
+	aload 0
+	getfield java/util/Vector.count I
+	if_icmpge DONE
+	aload 0
+	getfield java/util/Vector.elems [Ljava/lang/Object;
+	iload 1
+	aconst_null
+	aastore
+	iinc 1 1
+	goto LOOP
+DONE:	aload 0
+	iconst 0
+	putfield java/util/Vector.count I
+	return`)
+
+	b.Class("java/util/Stack", "java/util/Vector").
+		Method("<init>", "()V", false, `
+	.locals 1
+	.stack 1
+	aload 0
+	invokespecial java/util/Vector.<init> ()V
+	return`).
+		Method("push", "(Ljava/lang/Object;)Ljava/lang/Object;", false, `
+	.locals 2
+	.stack 2
+	aload 0
+	aload 1
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	aload 1
+	areturn`).
+		Method("pop", "()Ljava/lang/Object;", false, `
+	.locals 3
+	.stack 4
+	aload 0
+	getfield java/util/Vector.count I
+	ifle EMPTY
+	aload 0
+	aload 0
+	getfield java/util/Vector.count I
+	iconst 1
+	isub
+	invokevirtual java/util/Vector.get (I)Ljava/lang/Object;
+	astore 1
+	aload 0
+	dup
+	getfield java/util/Vector.count I
+	iconst 1
+	isub
+	putfield java/util/Vector.count I
+	aload 1
+	areturn
+EMPTY:	new java/util/EmptyStackException
+	dup
+	invokespecial java/util/EmptyStackException.<init> ()V
+	athrow`).
+		Method("empty", "()Z", false, `
+	.locals 1
+	.stack 2
+	aload 0
+	getfield java/util/Vector.count I
+	ifne NO
+	iconst 1
+	ireturn
+NO:	iconst 0
+	ireturn`)
+
+	b.Class("java/util/HashtableEntry", "java/lang/Object").
+		Field("key", "Ljava/lang/Object;").
+		Field("value", "Ljava/lang/Object;").
+		Field("next", "Ljava/util/HashtableEntry;").
+		DefaultInit()
+
+	b.Class("java/util/Hashtable", "java/lang/Object").
+		Field("table", "[Ljava/util/HashtableEntry;").
+		Field("count", "I").
+		Method("<init>", "()V", false, `
+	.locals 1
+	.stack 3
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	aload 0
+	iconst 16
+	newarray [Ljava/util/HashtableEntry;
+	putfield java/util/Hashtable.table [Ljava/util/HashtableEntry;
+	return`).
+		Method("size", "()I", false, `
+	.locals 1
+	.stack 2
+	aload 0
+	getfield java/util/Hashtable.count I
+	ireturn`).
+		Method("indexFor", "(Ljava/lang/Object;)I", false, `
+	.locals 2
+	.stack 4
+	aload 1
+	invokevirtual java/lang/Object.hashCode ()I
+	ldc 2147483647
+	iand
+	aload 0
+	getfield java/util/Hashtable.table [Ljava/util/HashtableEntry;
+	arraylength
+	irem
+	ireturn`).
+		Method("put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;", false, `
+	.locals 6
+	.stack 4
+	aload 0
+	aload 1
+	invokevirtual java/util/Hashtable.indexFor (Ljava/lang/Object;)I
+	istore 3
+	aload 0
+	getfield java/util/Hashtable.table [Ljava/util/HashtableEntry;
+	iload 3
+	aaload
+	astore 4
+WALK:	aload 4
+	ifnull INSERT
+	aload 4
+	getfield java/util/HashtableEntry.key Ljava/lang/Object;
+	aload 1
+	invokevirtual java/lang/Object.equals (Ljava/lang/Object;)Z
+	ifeq NEXT
+	aload 4
+	getfield java/util/HashtableEntry.value Ljava/lang/Object;
+	astore 5
+	aload 4
+	aload 2
+	putfield java/util/HashtableEntry.value Ljava/lang/Object;
+	aload 5
+	areturn
+NEXT:	aload 4
+	getfield java/util/HashtableEntry.next Ljava/util/HashtableEntry;
+	astore 4
+	goto WALK
+INSERT:	new java/util/HashtableEntry
+	dup
+	invokespecial java/util/HashtableEntry.<init> ()V
+	astore 4
+	aload 4
+	aload 1
+	putfield java/util/HashtableEntry.key Ljava/lang/Object;
+	aload 4
+	aload 2
+	putfield java/util/HashtableEntry.value Ljava/lang/Object;
+	aload 4
+	aload 0
+	getfield java/util/Hashtable.table [Ljava/util/HashtableEntry;
+	iload 3
+	aaload
+	putfield java/util/HashtableEntry.next Ljava/util/HashtableEntry;
+	aload 0
+	getfield java/util/Hashtable.table [Ljava/util/HashtableEntry;
+	iload 3
+	aload 4
+	aastore
+	aload 0
+	dup
+	getfield java/util/Hashtable.count I
+	iconst 1
+	iadd
+	putfield java/util/Hashtable.count I
+	aconst_null
+	areturn`).
+		Method("get", "(Ljava/lang/Object;)Ljava/lang/Object;", false, `
+	.locals 4
+	.stack 4
+	aload 0
+	getfield java/util/Hashtable.table [Ljava/util/HashtableEntry;
+	aload 0
+	aload 1
+	invokevirtual java/util/Hashtable.indexFor (Ljava/lang/Object;)I
+	aaload
+	astore 2
+WALK:	aload 2
+	ifnull MISS
+	aload 2
+	getfield java/util/HashtableEntry.key Ljava/lang/Object;
+	aload 1
+	invokevirtual java/lang/Object.equals (Ljava/lang/Object;)Z
+	ifeq NEXT
+	aload 2
+	getfield java/util/HashtableEntry.value Ljava/lang/Object;
+	areturn
+NEXT:	aload 2
+	getfield java/util/HashtableEntry.next Ljava/util/HashtableEntry;
+	astore 2
+	goto WALK
+MISS:	aconst_null
+	areturn`).
+		Method("containsKey", "(Ljava/lang/Object;)Z", false, `
+	.locals 2
+	.stack 2
+	aload 0
+	aload 1
+	invokevirtual java/util/Hashtable.get (Ljava/lang/Object;)Ljava/lang/Object;
+	ifnull NO
+	iconst 1
+	ireturn
+NO:	iconst 0
+	ireturn`)
+
+	b.Class("java/util/ListNode", "java/lang/Object").
+		Field("item", "Ljava/lang/Object;").
+		Field("next", "Ljava/util/ListNode;").
+		DefaultInit()
+
+	b.Class("java/util/LinkedList", "java/lang/Object").
+		Field("head", "Ljava/util/ListNode;").
+		Field("tail", "Ljava/util/ListNode;").
+		Field("count", "I").
+		DefaultInit().
+		Method("size", "()I", false, `
+	.locals 1
+	.stack 2
+	aload 0
+	getfield java/util/LinkedList.count I
+	ireturn`).
+		Method("addLast", "(Ljava/lang/Object;)V", false, `
+	.locals 3
+	.stack 3
+	new java/util/ListNode
+	dup
+	invokespecial java/util/ListNode.<init> ()V
+	astore 2
+	aload 2
+	aload 1
+	putfield java/util/ListNode.item Ljava/lang/Object;
+	aload 0
+	getfield java/util/LinkedList.tail Ljava/util/ListNode;
+	ifnull FIRST
+	aload 0
+	getfield java/util/LinkedList.tail Ljava/util/ListNode;
+	aload 2
+	putfield java/util/ListNode.next Ljava/util/ListNode;
+	aload 0
+	aload 2
+	putfield java/util/LinkedList.tail Ljava/util/ListNode;
+	goto BUMP
+FIRST:	aload 0
+	aload 2
+	putfield java/util/LinkedList.head Ljava/util/ListNode;
+	aload 0
+	aload 2
+	putfield java/util/LinkedList.tail Ljava/util/ListNode;
+BUMP:	aload 0
+	dup
+	getfield java/util/LinkedList.count I
+	iconst 1
+	iadd
+	putfield java/util/LinkedList.count I
+	return`).
+		Method("removeFirst", "()Ljava/lang/Object;", false, `
+	.locals 2
+	.stack 3
+	aload 0
+	getfield java/util/LinkedList.head Ljava/util/ListNode;
+	ifnull EMPTY
+	aload 0
+	getfield java/util/LinkedList.head Ljava/util/ListNode;
+	astore 1
+	aload 0
+	aload 1
+	getfield java/util/ListNode.next Ljava/util/ListNode;
+	putfield java/util/LinkedList.head Ljava/util/ListNode;
+	aload 0
+	getfield java/util/LinkedList.head Ljava/util/ListNode;
+	ifnonnull SKIP
+	aload 0
+	aconst_null
+	putfield java/util/LinkedList.tail Ljava/util/ListNode;
+SKIP:	aload 0
+	dup
+	getfield java/util/LinkedList.count I
+	iconst 1
+	isub
+	putfield java/util/LinkedList.count I
+	aload 1
+	getfield java/util/ListNode.item Ljava/lang/Object;
+	areturn
+EMPTY:	new java/util/NoSuchElementException
+	dup
+	invokespecial java/util/NoSuchElementException.<init> ()V
+	athrow`)
+
+	// StringTokenizer: tokenization state in the native payload.
+	type tokState struct {
+		tokens []string
+		idx    int
+	}
+	b.Class("java/util/StringTokenizer", "java/lang/Object").
+		Native("<init>", "(Ljava/lang/String;Ljava/lang/String;)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			s, err := mustStr(t, args[1].R, "tokenizer input")
+			if err != nil {
+				return interp.Slot{}, err
+			}
+			delims, err := mustStr(t, args[2].R, "tokenizer delimiters")
+			if err != nil {
+				return interp.Slot{}, err
+			}
+			toks := strings.FieldsFunc(s, func(r rune) bool {
+				return strings.ContainsRune(delims, r)
+			})
+			args[0].R.Data = &tokState{tokens: toks}
+			return interp.Slot{}, nil
+		})).
+		Native("hasMoreTokens", "()Z", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			st := args[0].R.Data.(*tokState)
+			if st.idx < len(st.tokens) {
+				return interp.IntSlot(1), nil
+			}
+			return interp.IntSlot(0), nil
+		})).
+		Native("nextToken", "()Ljava/lang/String;", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			st := args[0].R.Data.(*tokState)
+			if st.idx >= len(st.tokens) {
+				return interp.Slot{}, t.Env.Throw(t, "java/util/NoSuchElementException", "no more tokens")
+			}
+			tok := st.tokens[st.idx]
+			st.idx++
+			return newString(t, tok)
+		})).
+		Native("countTokens", "()I", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			st := args[0].R.Data.(*tokState)
+			return interp.IntSlot(int64(len(st.tokens) - st.idx)), nil
+		}))
+
+	// java/util/Arrays: primitive array helpers as natives.
+	b.Class("java/util/Arrays", "java/lang/Object").
+		Native("fill", "([II)V", true, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			arr := args[0].R
+			if arr == nil {
+				return interp.Slot{}, t.Env.Throw(t, interp.ClsNullPointer, "fill of null")
+			}
+			v := args[1].I
+			for i := range arr.Prims {
+				arr.Prims[i] = v
+			}
+			return interp.Slot{}, nil
+		})).
+		Native("copyOf", "([II)[I", true, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			arr := args[0].R
+			if arr == nil {
+				return interp.Slot{}, t.Env.Throw(t, interp.ClsNullPointer, "copyOf of null")
+			}
+			n := int(args[1].I)
+			if n < 0 {
+				return interp.Slot{}, t.Env.Throw(t, interp.ClsNegativeArraySize, "copyOf")
+			}
+			out, err := t.Env.AllocArray(t, arr.Class, n)
+			if err != nil {
+				return interp.Slot{}, err
+			}
+			copy(out.Prims, arr.Prims)
+			return interp.RefSlot(out), nil
+		})).
+		Native("sort", "([I)V", true, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			arr := args[0].R
+			if arr == nil {
+				return interp.Slot{}, t.Env.Throw(t, interp.ClsNullPointer, "sort of null")
+			}
+			// Insertion sort: deterministic cycle cost proportional to the
+			// work a bytecode implementation would do.
+			a := arr.Prims
+			cost := int64(0)
+			for i := 1; i < len(a); i++ {
+				v := a[i]
+				j := i - 1
+				for j >= 0 && a[j] > v {
+					a[j+1] = a[j]
+					j--
+					cost += 4
+				}
+				a[j+1] = v
+				cost += 6
+			}
+			t.Fuel -= cost
+			t.Cycles += uint64(cost)
+			return interp.Slot{}, nil
+		}))
+}

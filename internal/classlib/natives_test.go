@@ -1,0 +1,567 @@
+package classlib_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestStringSubstringCompareHash(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 3
+	ldc "kaffeos process"
+	iconst 0
+	iconst 7
+	invokevirtual java/lang/String.substring (II)Ljava/lang/String;
+	astore 0
+	aload 0
+	ldc "kaffeos"
+	invokevirtual java/lang/String.compareTo (Ljava/lang/String;)I
+	istore 1
+	aload 0
+	ldc "kaffeot"
+	invokevirtual java/lang/String.compareTo (Ljava/lang/String;)I
+	iload 1
+	isub
+	ireturn
+.end
+.end`)
+	// equal → 0 (in local 1); "kaffeos" < "kaffeot" → -1 on the stack;
+	// isub computes (-1) - 0 = -1.
+	if got != -1 {
+		t.Errorf("got %d, want -1", got)
+	}
+}
+
+func TestStringSubstringBounds(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 0
+.stack 3
+T0:	ldc "abc"
+	iconst 1
+	iconst 9
+	invokevirtual java/lang/String.substring (II)Ljava/lang/String;
+	pop
+	iconst 0
+	ireturn
+T1:	pop
+	iconst 1
+	ireturn
+.catch java/lang/IndexOutOfBoundsException T0 T1 T1
+.end
+.end`)
+	if got != 1 {
+		t.Errorf("substring bounds not enforced: %d", got)
+	}
+}
+
+func TestStringHashCodeJavaAlgorithm(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 0
+.stack 2
+	ldc "Ab"
+	invokevirtual java/lang/String.hashCode ()I
+	ireturn
+.end
+.end`)
+	// Java: 'A'*31 + 'b' = 65*31 + 98 = 2113
+	if got != 2113 {
+		t.Errorf("hashCode = %d, want 2113", got)
+	}
+}
+
+func TestCharAtBoundsAndConcatNull(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 3
+	iconst 0
+	istore 0
+T0:	ldc "xy"
+	iconst 5
+	invokevirtual java/lang/String.charAt (I)I
+	pop
+	iconst -1
+	ireturn
+T1:	pop
+	iinc 0 1
+T2:	ldc "xy"
+	aconst_null
+	invokevirtual java/lang/String.concat (Ljava/lang/String;)Ljava/lang/String;
+	pop
+	iconst -2
+	ireturn
+T3:	pop
+	iinc 0 1
+	iload 0
+	ireturn
+.catch java/lang/IndexOutOfBoundsException T0 T1 T1
+.catch java/lang/NullPointerException T2 T3 T3
+.end
+.end`)
+	if got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+}
+
+func TestStringBuilderCharAndLen(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 3
+	new java/lang/StringBuilder
+	dup
+	invokespecial java/lang/StringBuilder.<init> ()V
+	astore 0
+	aload 0
+	iconst 104
+	invokevirtual java/lang/StringBuilder.appendChar (I)Ljava/lang/StringBuilder;
+	iconst 105
+	invokevirtual java/lang/StringBuilder.appendChar (I)Ljava/lang/StringBuilder;
+	invokevirtual java/lang/StringBuilder.len ()I
+	ireturn
+.end
+.end`)
+	if got != 2 {
+		t.Errorf("len = %d", got)
+	}
+}
+
+func TestBoxingClasses(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 3
+.stack 4
+	new java/lang/Boolean
+	dup
+	iconst 1
+	invokespecial java/lang/Boolean.<init> (Z)V
+	invokevirtual java/lang/Boolean.booleanValue ()Z
+	istore 0
+	new java/lang/Character
+	dup
+	iconst 65
+	invokespecial java/lang/Character.<init> (C)V
+	invokevirtual java/lang/Character.charValue ()C
+	istore 1
+	new java/lang/Long
+	dup
+	ldc 1000
+	invokespecial java/lang/Long.<init> (J)V
+	invokevirtual java/lang/Long.longValue ()J
+	istore 2
+	iload 0
+	iload 1
+	iadd
+	iload 2
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 1+65+1000 {
+		t.Errorf("got %d, want 1066", got)
+	}
+}
+
+func TestDoubleBoxAndMathTrig(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 4
+	new java/lang/Double
+	dup
+	ldc 2.5
+	invokespecial java/lang/Double.<init> (D)V
+	invokevirtual java/lang/Double.doubleValue ()D
+	ldc 0.0
+	invokestatic java/lang/Math.cos (D)D
+	dadd           # 2.5 + 1.0
+	ldc 0.0
+	invokestatic java/lang/Math.sin (D)D
+	dadd           # + 0.0
+	invokestatic java/lang/Math.floor (D)D
+	d2i
+	ireturn
+.end
+.end`)
+	if got != 3 {
+		t.Errorf("got %d, want 3", got)
+	}
+}
+
+func TestCharacterIsDigit(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 0
+.stack 3
+	iconst 53
+	invokestatic java/lang/Character.isDigit (I)Z
+	iconst 97
+	invokestatic java/lang/Character.isDigit (I)Z
+	iconst 10
+	imul
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 1 {
+		t.Errorf("isDigit wrong: %d", got)
+	}
+}
+
+func TestIntegerToStringRoundTrip(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 0
+.stack 2
+	ldc -7421
+	invokestatic java/lang/Integer.toString (I)Ljava/lang/String;
+	invokestatic java/lang/Integer.parseInt (Ljava/lang/String;)I
+	ireturn
+.end
+.end`)
+	if got != -7421 {
+		t.Errorf("round trip = %d", got)
+	}
+}
+
+func TestVectorSetRemoveAll(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 6
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	astore 0
+	aload 0
+	new java/lang/Object
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	aload 0
+	iconst 0
+	new java/lang/Integer
+	dup
+	iconst 99
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/Vector.set (ILjava/lang/Object;)V
+	aload 0
+	iconst 0
+	invokevirtual java/util/Vector.get (I)Ljava/lang/Object;
+	checkcast java/lang/Integer
+	invokevirtual java/lang/Integer.intValue ()I
+	istore 1
+	aload 0
+	invokevirtual java/util/Vector.removeAllElements ()V
+	aload 0
+	invokevirtual java/util/Vector.size ()I
+	iload 1
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 99 {
+		t.Errorf("got %d, want 99", got)
+	}
+}
+
+func TestVectorGrowthAcross8(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 4
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	astore 0
+	iconst 0
+	istore 1
+L0:	iload 1
+	ldc 100
+	if_icmpge OUT
+	aload 0
+	new java/lang/Integer
+	dup
+	iload 1
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	iinc 1 1
+	goto L0
+OUT:	aload 0
+	ldc 73
+	invokevirtual java/util/Vector.get (I)Ljava/lang/Object;
+	checkcast java/lang/Integer
+	invokevirtual java/lang/Integer.intValue ()I
+	aload 0
+	invokevirtual java/util/Vector.size ()I
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 73+100 {
+		t.Errorf("got %d, want 173", got)
+	}
+}
+
+func TestStackEmptyThrows(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 2
+	new java/util/Stack
+	dup
+	invokespecial java/util/Stack.<init> ()V
+	astore 0
+	aload 0
+	invokevirtual java/util/Stack.empty ()Z
+	ifeq BAD
+T0:	aload 0
+	invokevirtual java/util/Stack.pop ()Ljava/lang/Object;
+	pop
+BAD:	iconst 0
+	ireturn
+T1:	pop
+	iconst 1
+	ireturn
+.catch java/util/EmptyStackException T0 T1 T1
+.end
+.end`)
+	if got != 1 {
+		t.Errorf("empty pop did not throw: %d", got)
+	}
+}
+
+func TestHashtableContainsAndOverwrite(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 5
+	new java/util/Hashtable
+	dup
+	invokespecial java/util/Hashtable.<init> ()V
+	astore 0
+	aload 0
+	ldc "k"
+	new java/lang/Integer
+	dup
+	iconst 1
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/Hashtable.put (Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;
+	pop
+	aload 0
+	ldc "k"
+	new java/lang/Integer
+	dup
+	iconst 2
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/Hashtable.put (Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;
+	checkcast java/lang/Integer
+	invokevirtual java/lang/Integer.intValue ()I
+	aload 0
+	ldc "missing"
+	invokevirtual java/util/Hashtable.containsKey (Ljava/lang/Object;)Z
+	iadd
+	aload 0
+	ldc "k"
+	invokevirtual java/util/Hashtable.containsKey (Ljava/lang/Object;)Z
+	iconst 10
+	imul
+	iadd
+	aload 0
+	invokevirtual java/util/Hashtable.size ()I
+	iconst 100
+	imul
+	iadd
+	ireturn
+.end
+.end`)
+	// old value 1 + contains(missing) 0 + contains(k)*10 + size*100 = 111
+	if got != 111 {
+		t.Errorf("got %d, want 111", got)
+	}
+}
+
+func TestArraysFillCopyOf(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 4
+	iconst 4
+	newarray [I
+	astore 0
+	aload 0
+	iconst 9
+	invokestatic java/util/Arrays.fill ([II)V
+	aload 0
+	iconst 2
+	invokestatic java/util/Arrays.copyOf ([II)[I
+	astore 1
+	aload 1
+	arraylength
+	aload 1
+	iconst 1
+	iaload
+	iadd
+	ireturn
+.end
+.end`)
+	if got != 2+9 {
+		t.Errorf("got %d, want 11", got)
+	}
+}
+
+func TestRandomNextDoubleAndBadBound(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 3
+	new java/util/Random
+	dup
+	iconst 7
+	invokespecial java/util/Random.<init> (I)V
+	astore 0
+	aload 0
+	invokevirtual java/util/Random.nextDouble ()D
+	ldc 1.0
+	dcmp
+	ifge BAD
+T0:	aload 0
+	iconst 0
+	invokevirtual java/util/Random.nextInt (I)I
+	pop
+BAD:	iconst 0
+	ireturn
+T1:	pop
+	iconst 1
+	ireturn
+.catch java/lang/IllegalArgumentException T0 T1 T1
+.end
+.end`)
+	if got != 1 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestSystemCurrentTimeAndSleep(t *testing.T) {
+	got := runInt(t, `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 2
+	invokestatic java/lang/System.currentTimeMillis ()I
+	istore 0
+	iconst 25
+	invokestatic java/lang/Thread.sleep (I)V
+	invokestatic java/lang/System.currentTimeMillis ()I
+	iload 0
+	isub
+	ireturn
+.end
+.end`)
+	if got < 25 {
+		t.Errorf("virtual clock advanced only %d ms across a 25 ms sleep", got)
+	}
+}
+
+func TestPrintVariants(t *testing.T) {
+	var out bytes.Buffer
+	th, _ := runThread(t, `
+.class app/T
+.method main ()I static
+.locals 0
+.stack 2
+	getstatic java/lang/System.out Ljava/io/PrintStream;
+	ldc "a"
+	invokevirtual java/io/PrintStream.print (Ljava/lang/String;)V
+	getstatic java/lang/System.err Ljava/io/PrintStream;
+	ldc "b"
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	getstatic java/lang/System.out Ljava/io/PrintStream;
+	iconst 7
+	invokevirtual java/io/PrintStream.printlnInt (I)V
+	iconst 0
+	ireturn
+.end
+.end`, &out)
+	if th.State != interp.StateFinished {
+		t.Fatalf("%v", th.Err)
+	}
+	if out.String() != "ab\n7\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestToStringDefaultAndGetClassName(t *testing.T) {
+	var out bytes.Buffer
+	th, _ := runThread(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 2
+	new java/lang/Object
+	astore 0
+	getstatic java/lang/System.out Ljava/io/PrintStream;
+	aload 0
+	invokevirtual java/lang/Object.getClassName ()Ljava/lang/String;
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	getstatic java/lang/System.out Ljava/io/PrintStream;
+	aload 0
+	invokevirtual java/lang/Object.toString ()Ljava/lang/String;
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	aload 0
+	invokevirtual java/lang/Object.hashCode ()I
+	ireturn
+.end
+.end`, &out)
+	if th.State != interp.StateFinished {
+		t.Fatalf("%v", th.Err)
+	}
+	lines := strings.Split(out.String(), "\n")
+	if lines[0] != "java/lang/Object" {
+		t.Errorf("getClassName = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "java/lang/Object@") {
+		t.Errorf("toString = %q", lines[1])
+	}
+}
+
+func TestSystemGCRunsCollection(t *testing.T) {
+	_, p := runThread(t, `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 2
+	ldc 4096
+	newarray [I
+	astore 0
+	aconst_null
+	astore 0
+	invokestatic java/lang/System.gc ()V
+	iconst 0
+	ireturn
+.end
+.end`, nil)
+	if p.Heap.Stats().GCs == 0 {
+		t.Error("System.gc did not collect")
+	}
+}

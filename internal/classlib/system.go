@@ -1,0 +1,233 @@
+package classlib
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/object"
+)
+
+// buildThread defines java/lang/Thread (shared). A Thread object's green
+// thread is wired up by the VM layer through Env.Spawn.
+func buildThread(b *object.ModuleBuilder) {
+	b.Class("java/lang/Thread", "java/lang/Object").
+		Field("name", "Ljava/lang/String;").
+		Field("priority", "I").
+		Field("daemon", "Z").
+		Method("<init>", "()V", false, `
+	.locals 1
+	.stack 2
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	aload 0
+	iconst 5
+	putfield java/lang/Thread.priority I
+	return`).
+		Method("run", "()V", false, `
+	.locals 1
+	.stack 1
+	return`).
+		Native("start", "()V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			if t.Env.Spawn == nil {
+				return interp.Slot{}, t.Env.Throw(t, "java/lang/UnsupportedOperationException", "no scheduler")
+			}
+			if err := t.Env.Spawn(t, args[0].R); err != nil {
+				return interp.Slot{}, err
+			}
+			return interp.Slot{}, nil
+		})).
+		Native("sleep", "(I)V", true, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			if t.Env.SleepMillis != nil {
+				t.Env.SleepMillis(t, args[0].I)
+			}
+			return interp.Slot{}, nil
+		})).
+		Native("yield", "()V", true, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			if t.Env.YieldThread != nil {
+				t.Env.YieldThread(t)
+			}
+			return interp.Slot{}, nil
+		})).
+		Native("join", "()V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			if t.Env.JoinThread == nil {
+				return interp.Slot{}, t.Env.Throw(t, "java/lang/UnsupportedOperationException", "no scheduler")
+			}
+			t.Env.JoinThread(t, args[0].R)
+			return interp.Slot{}, nil
+		})).
+		Native("isAlive", "()Z", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			if t.Env.ThreadAlive != nil && t.Env.ThreadAlive(t, args[0].R) {
+				return interp.IntSlot(1), nil
+			}
+			return interp.IntSlot(0), nil
+		}))
+}
+
+// buildReloaded defines the per-process classes. These are exactly the
+// classes the paper's §3.2 forces to reload: classes exporting mutable
+// statics as part of their public interface (java/io/FileDescriptor's in/
+// out/err, java/lang/System's streams) and classes whose state must not
+// leak across processes (java/util/Random's default source).
+func buildReloaded(b *object.ModuleBuilder) {
+	// java/io/FileDescriptor — the paper's canonical reload example.
+	b.Class("java/io/FileDescriptor", "java/lang/Object").
+		StaticField("in", "Ljava/io/FileDescriptor;").
+		StaticField("out", "Ljava/io/FileDescriptor;").
+		StaticField("err", "Ljava/io/FileDescriptor;").
+		Field("fd", "I").
+		DefaultInit().
+		Method("<clinit>", "()V", true, `
+	.locals 0
+	.stack 3
+	new java/io/FileDescriptor
+	dup
+	invokespecial java/io/FileDescriptor.<init> ()V
+	putstatic java/io/FileDescriptor.in Ljava/io/FileDescriptor;
+	new java/io/FileDescriptor
+	dup
+	invokespecial java/io/FileDescriptor.<init> ()V
+	putstatic java/io/FileDescriptor.out Ljava/io/FileDescriptor;
+	new java/io/FileDescriptor
+	dup
+	invokespecial java/io/FileDescriptor.<init> ()V
+	putstatic java/io/FileDescriptor.err Ljava/io/FileDescriptor;
+	return`)
+
+	// java/io/PrintStream: println and friends write to the per-process
+	// output sink.
+	ps := b.Class("java/io/PrintStream", "java/lang/Object")
+	ps.DefaultInit()
+	ps.Native("println", "(Ljava/lang/String;)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		writeOut(t, GoString(args[1].R)+"\n")
+		return interp.Slot{}, nil
+	}))
+	ps.Native("print", "(Ljava/lang/String;)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		writeOut(t, GoString(args[1].R))
+		return interp.Slot{}, nil
+	}))
+	ps.Native("printlnInt", "(I)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		writeOut(t, fmt.Sprintf("%d\n", args[1].I))
+		return interp.Slot{}, nil
+	}))
+
+	// java/lang/System: reloaded because out/err are per-process state.
+	sys := b.Class("java/lang/System", "java/lang/Object")
+	sys.StaticField("out", "Ljava/io/PrintStream;").
+		StaticField("err", "Ljava/io/PrintStream;").
+		Method("<clinit>", "()V", true, `
+	.locals 0
+	.stack 3
+	new java/io/PrintStream
+	dup
+	invokespecial java/io/PrintStream.<init> ()V
+	putstatic java/lang/System.out Ljava/io/PrintStream;
+	new java/io/PrintStream
+	dup
+	invokespecial java/io/PrintStream.<init> ()V
+	putstatic java/lang/System.err Ljava/io/PrintStream;
+	return`)
+	sys.Native("currentTimeMillis", "()I", true, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		if t.Env.NowMillis == nil {
+			return interp.IntSlot(0), nil
+		}
+		return interp.IntSlot(t.Env.NowMillis()), nil
+	}))
+	sys.Native("arraycopy", "(Ljava/lang/Object;ILjava/lang/Object;II)V", true, nat(arraycopy))
+	sys.Native("gc", "()V", true, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		if t.Env.CollectHeap != nil {
+			t.Env.CollectHeap(t, t.AllocHeap())
+		}
+		return interp.Slot{}, nil
+	}))
+
+	// java/util/Random: deterministic per-instance PRNG; the default
+	// source (seeded from process identity) is per-process state.
+	rnd := b.Class("java/util/Random", "java/lang/Object")
+	rnd.Native("<init>", "(I)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		args[0].R.Data = rand.New(rand.NewSource(args[1].I))
+		return interp.Slot{}, nil
+	}))
+	rnd.Native("nextInt", "(I)I", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		r, _ := args[0].R.Data.(*rand.Rand)
+		if r == nil && t.Env.RandFor != nil {
+			r = t.Env.RandFor(t)
+		}
+		if r == nil {
+			r = rand.New(rand.NewSource(1))
+			args[0].R.Data = r
+		}
+		n := args[1].I
+		if n <= 0 {
+			return interp.Slot{}, t.Env.Throw(t, "java/lang/IllegalArgumentException", "bound must be positive")
+		}
+		return interp.IntSlot(int64(r.Intn(int(n)))), nil
+	}))
+	rnd.Native("nextDouble", "()D", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+		r, _ := args[0].R.Data.(*rand.Rand)
+		if r == nil {
+			r = rand.New(rand.NewSource(1))
+			args[0].R.Data = r
+		}
+		return fToSlot(r.Float64()), nil
+	}))
+}
+
+func writeOut(t *interp.Thread, s string) {
+	if t.Env.Stdout == nil {
+		return
+	}
+	if w := t.Env.Stdout(t); w != nil {
+		_, _ = w.Write([]byte(s))
+	}
+}
+
+// arraycopy implements System.arraycopy with bounds checks, overlap
+// handling, element-type checks for reference arrays, and — critically for
+// the paper — a write-barrier check per reference element copied.
+func arraycopy(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+	src, dst := args[0].R, args[2].R
+	srcPos, dstPos, n := args[1].I, args[3].I, args[4].I
+	if src == nil || dst == nil {
+		return interp.Slot{}, t.Env.Throw(t, interp.ClsNullPointer, "arraycopy")
+	}
+	if !src.IsArray() || !dst.IsArray() {
+		return interp.Slot{}, t.Env.Throw(t, interp.ClsArrayStore, "arraycopy of non-arrays")
+	}
+	if srcPos < 0 || dstPos < 0 || n < 0 ||
+		srcPos+n > int64(src.ArrayLen()) || dstPos+n > int64(dst.ArrayLen()) {
+		return interp.Slot{}, t.Env.Throw(t, interp.ClsArrayIndex, "arraycopy bounds")
+	}
+	srcRef := src.Class.ElemDesc.Ref()
+	dstRef := dst.Class.ElemDesc.Ref()
+	if srcRef != dstRef {
+		return interp.Slot{}, t.Env.Throw(t, interp.ClsArrayStore, "arraycopy element kind mismatch")
+	}
+	if !srcRef {
+		copy(dst.Prims[dstPos:dstPos+n], src.Prims[srcPos:srcPos+n])
+		cost := n / 2
+		t.Fuel -= cost
+		t.Cycles += uint64(cost)
+		return interp.Slot{}, nil
+	}
+	// Reference copy: run the write barrier per element.
+	bar := t.Env.Barrier
+	tmp := make([]*object.Object, n)
+	copy(tmp, src.Refs[srcPos:srcPos+n])
+	for i := int64(0); i < n; i++ {
+		v := tmp[i]
+		if v != nil && dst.Class.ElemClass != nil && !dst.Class.ElemClass.AssignableFrom(v.Class) {
+			return interp.Slot{}, t.Env.Throw(t, interp.ClsArrayStore, v.Class.Name)
+		}
+		if bar.Enabled() {
+			cost := int64(bar.CheckCost())
+			t.Fuel -= cost
+			t.Cycles += uint64(cost)
+			if err := bar.Write(t.Env.Reg, dst, v, t.InKernel(), t.Env.BarrierStats); err != nil {
+				return interp.Slot{}, t.Env.Throw(t, interp.ClsSegViolation, err.Error())
+			}
+		}
+		dst.Refs[dstPos+i] = v
+	}
+	return interp.Slot{}, nil
+}

@@ -1,0 +1,82 @@
+package classlib
+
+import (
+	"repro/internal/interp"
+	"repro/internal/object"
+)
+
+// buildThrowables defines the throwable hierarchy (all shared). Throwable's
+// message lives in the native payload so the VM can construct throwables
+// without running bytecode.
+func buildThrowables(b *object.ModuleBuilder) {
+	b.Class("java/lang/Throwable", "java/lang/Object").
+		Method("<init>", "()V", false, `
+	.locals 1
+	.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return`).
+		Native("initMessage", "(Ljava/lang/String;)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			args[0].R.Data = GoString(args[1].R)
+			return interp.Slot{}, nil
+		})).
+		Native("getMessage", "()Ljava/lang/String;", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			msg, _ := args[0].R.Data.(string)
+			if msg == "" {
+				return interp.Slot{}, nil
+			}
+			return newString(t, msg)
+		})).
+		Native("toString", "()Ljava/lang/String;", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
+			o := args[0].R
+			msg, _ := o.Data.(string)
+			s := o.Class.Name
+			if msg != "" {
+				s += ": " + msg
+			}
+			return newString(t, s)
+		}))
+
+	// The hierarchy. Each gets the canonical no-arg constructor; message-
+	// bearing construction goes through initMessage.
+	sub := func(name, super string) {
+		b.Class(name, super).Method("<init>", "()V", false, `
+	.locals 1
+	.stack 1
+	aload 0
+	invokespecial `+super+`.<init> ()V
+	return`)
+	}
+	sub("java/lang/Exception", "java/lang/Throwable")
+	sub("java/lang/RuntimeException", "java/lang/Exception")
+	sub("java/lang/Error", "java/lang/Throwable")
+	sub("java/lang/VirtualMachineError", "java/lang/Error")
+
+	sub("java/lang/NullPointerException", "java/lang/RuntimeException")
+	sub("java/lang/ArithmeticException", "java/lang/RuntimeException")
+	sub("java/lang/IndexOutOfBoundsException", "java/lang/RuntimeException")
+	sub("java/lang/ArrayIndexOutOfBoundsException", "java/lang/IndexOutOfBoundsException")
+	sub("java/lang/StringIndexOutOfBoundsException", "java/lang/IndexOutOfBoundsException")
+	sub("java/lang/ArrayStoreException", "java/lang/RuntimeException")
+	sub("java/lang/ClassCastException", "java/lang/RuntimeException")
+	sub("java/lang/NegativeArraySizeException", "java/lang/RuntimeException")
+	sub("java/lang/IllegalArgumentException", "java/lang/RuntimeException")
+	sub("java/lang/NumberFormatException", "java/lang/IllegalArgumentException")
+	sub("java/lang/IllegalStateException", "java/lang/RuntimeException")
+	sub("java/lang/IllegalMonitorStateException", "java/lang/RuntimeException")
+	sub("java/lang/UnsupportedOperationException", "java/lang/RuntimeException")
+	sub("java/lang/InterruptedException", "java/lang/Exception")
+	sub("java/util/NoSuchElementException", "java/lang/RuntimeException")
+	sub("java/util/EmptyStackException", "java/lang/RuntimeException")
+
+	sub("java/lang/OutOfMemoryError", "java/lang/VirtualMachineError")
+	sub("java/lang/StackOverflowError", "java/lang/VirtualMachineError")
+	sub("java/lang/InternalError", "java/lang/VirtualMachineError")
+	sub("java/lang/ThreadDeath", "java/lang/Error")
+
+	// KaffeOS-specific: the paper's "segmentation violation", raised by
+	// the write barrier on illegal cross-heap stores, and the error a
+	// process sees when its kill is delivered.
+	sub("kaffeos/SegmentationViolationError", "java/lang/Error")
+	sub("kaffeos/ProcessKilledError", "java/lang/ThreadDeath")
+}

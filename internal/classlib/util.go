@@ -1,0 +1,15 @@
+package classlib
+
+import (
+	"math"
+
+	"repro/internal/interp"
+)
+
+func slotToF(s interp.Slot) float64 { return math.Float64frombits(uint64(s.I)) }
+func fToSlot(v float64) interp.Slot { return interp.IntSlot(int64(math.Float64bits(v))) }
+
+func sqrtGo(x float64) float64  { return math.Sqrt(x) }
+func sinGo(x float64) float64   { return math.Sin(x) }
+func cosGo(x float64) float64   { return math.Cos(x) }
+func floorGo(x float64) float64 { return math.Floor(x) }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const chattySrc = `
+.class app/Chatty
+.method main ()V static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+L0:	getstatic java/lang/System.out Ljava/io/PrintStream;
+	ldc "another line of output spam from a chatty process"
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	iinc 0 1
+	iload 0
+	ldc 100000
+	if_icmplt L0
+	return
+.end
+.end`
+
+func TestIOAccounting(t *testing.T) {
+	vm := newTestVM(t)
+	var out bytes.Buffer
+	p := mustProc(t, vm, "io", ProcessOptions{Out: &out})
+	load(t, p, `
+.class app/P
+.method main ()V static
+.locals 0
+.stack 2
+	getstatic java/lang/System.out Ljava/io/PrintStream;
+	ldc "12345"
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	return
+.end
+.end`)
+	spawn(t, p, "app/P", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.IOBytes() != 6 { // "12345\n"
+		t.Errorf("IOBytes = %d, want 6", p.IOBytes())
+	}
+	if out.String() != "12345\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestIOLimitKillsSpammer(t *testing.T) {
+	vm := newTestVM(t)
+	var out bytes.Buffer
+	p := mustProc(t, vm, "spam", ProcessOptions{Out: &out, IOLimit: 4096})
+	load(t, p, chattySrc)
+	spawn(t, p, "app/Chatty", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != ProcReclaimed {
+		t.Fatalf("state = %v", p.State())
+	}
+	if !errors.Is(p.ExitError(), ErrIOLimit) {
+		t.Errorf("exit err = %v, want ErrIOLimit", p.ExitError())
+	}
+	// Output stops near the limit (one line of slack for the crossing
+	// write, which is dropped).
+	if out.Len() > 4096 {
+		t.Errorf("wrote %d bytes past a 4096-byte limit", out.Len())
+	}
+	if strings.Count(out.String(), "\n") == 0 {
+		t.Error("no output before the kill")
+	}
+}
+
+func TestIOLimitUnlimitedByDefault(t *testing.T) {
+	vm := newTestVM(t)
+	p := mustProc(t, vm, "free", ProcessOptions{})
+	load(t, p, `
+.class app/P
+.method main ()V static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+L0:	getstatic java/lang/System.out Ljava/io/PrintStream;
+	ldc "x"
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	iinc 0 1
+	iload 0
+	iconst 100
+	if_icmplt L0
+	return
+.end
+.end`)
+	spawn(t, p, "app/P", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitError() != nil {
+		t.Errorf("unlimited process killed: %v", p.ExitError())
+	}
+	if p.IOBytes() != 200 {
+		t.Errorf("IOBytes = %d, want 200", p.IOBytes())
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bytecode"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/loader"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+)
+
+// ProcState is a process' lifecycle state.
+type ProcState uint8
+
+const (
+	ProcRunning ProcState = iota + 1
+	ProcExited            // all threads returned normally
+	ProcKilled            // terminated by Kill or a fatal error
+	ProcReclaimed
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcRunning:
+		return "running"
+	case ProcExited:
+		return "exited"
+	case ProcKilled:
+		return "killed"
+	case ProcReclaimed:
+		return "reclaimed"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// ProcessOptions configure process creation.
+type ProcessOptions struct {
+	// MemLimit caps the process' memory (objects, statics, interned
+	// strings, entry/exit items, shared-heap charges). Default 16 MiB.
+	MemLimit uint64
+	// HardLimit reserves the memory up front instead of sharing the root
+	// pool (a hard memlimit, §2 "Hierarchical memory management").
+	HardLimit bool
+	// CPULimit, when nonzero, kills the process once it has consumed this
+	// many simulated cycles (including GC of its heap) — the OS-style
+	// "CPU limits can be placed on the process" from the paper's §1.
+	CPULimit uint64
+	// IOLimit, when nonzero, caps the bytes the process may write to its
+	// output stream. The paper leaves bandwidth control as future work
+	// ("we plan to address other resources such as network bandwidth");
+	// this is the accounting skeleton for it.
+	IOLimit uint64
+	// Out receives the process' System.out (default: the VM's Stdout).
+	Out io.Writer
+	// Seed seeds the per-process deterministic random source.
+	Seed int64
+}
+
+// ErrCPULimit is the exit reason of a process that exceeded its CPU limit.
+var ErrCPULimit = errors.New("core: CPU limit exceeded")
+
+// Process is one KaffeOS process.
+type Process struct {
+	ID   Pid
+	Name string
+	VM   *VM
+
+	Limit  *memlimit.Limit
+	Heap   *heap.Heap
+	Loader *loader.Loader
+	Out    io.Writer
+
+	state     ProcState
+	exitErr   error
+	uncaught  *object.Object
+	threads   map[*interp.Thread]struct{}
+	threadFor map[*object.Object]*interp.Thread // java/lang/Thread objects
+	intern    map[string]*object.Object
+	rng       *rand.Rand
+	cpuCycles uint64
+	cpuLimit  uint64
+	ioBytes   uint64
+	ioLimit   uint64
+	// handles other processes hold on this one do not keep its heap
+	// alive; the process table entry is the only kernel-side state.
+}
+
+// NewProcess creates a process: its own memlimit, heap, namespace (with
+// the reloaded library classes defined and initialized), and interning
+// table. No threads run yet; use Spawn to start one.
+func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
+	if opts.MemLimit == 0 {
+		opts.MemLimit = 16 << 20
+	}
+	lim, err := vm.RootLimit.NewChild("proc:"+name, opts.MemLimit, opts.HardLimit)
+	if err != nil {
+		return nil, fmt.Errorf("core: memlimit for %q: %w", name, err)
+	}
+	vm.mu.Lock()
+	vm.nextPid++
+	pid := vm.nextPid
+	vm.mu.Unlock()
+
+	p := &Process{
+		ID:        pid,
+		Name:      name,
+		VM:        vm,
+		Limit:     lim,
+		Out:       opts.Out,
+		state:     ProcRunning,
+		threads:   make(map[*interp.Thread]struct{}),
+		threadFor: make(map[*object.Object]*interp.Thread),
+		intern:    make(map[string]*object.Object),
+		rng:       rand.New(rand.NewSource(opts.Seed + int64(pid))),
+		cpuLimit:  opts.CPULimit,
+		ioLimit:   opts.IOLimit,
+	}
+	// The process object itself is large and lives on the *new* heap; the
+	// kernel keeps only the small process-table entry (§2, "Precise memory
+	// and CPU accounting").
+	p.Heap = vm.Reg.NewHeap(heap.KindUser, fmt.Sprintf("proc:%s#%d", name, pid), lim)
+	p.Heap.Owner = p
+	p.Loader = loader.NewProcess(fmt.Sprintf("%s#%d", name, pid), p.Heap, vm.Shared)
+	p.Loader.RegisterNatives(vm.Lib.Natives, vm.Lib.Kernel)
+
+	if err := p.Loader.DefineModule(vm.Lib.ReloadedModule); err != nil {
+		p.releaseEarly()
+		return nil, fmt.Errorf("core: reloaded library for %q: %w", name, err)
+	}
+	if err := vm.runClinits(p, p.Loader.PendingClinits()); err != nil {
+		p.releaseEarly()
+		return nil, fmt.Errorf("core: library clinit for %q: %w", name, err)
+	}
+
+	vm.mu.Lock()
+	vm.procs[pid] = p
+	vm.mu.Unlock()
+	return p, nil
+}
+
+// releaseEarly tears down a half-built process (creation failure).
+func (p *Process) releaseEarly() {
+	_ = p.Heap.MergeInto(p.VM.KernelHeap)
+	p.Limit.Release()
+	p.state = ProcReclaimed
+}
+
+// State reports the lifecycle state.
+func (p *Process) State() ProcState { return p.state }
+
+// ExitError reports why the process died (nil for a normal exit).
+func (p *Process) ExitError() error { return p.exitErr }
+
+// Uncaught reports the throwable that killed the process, if any.
+func (p *Process) Uncaught() *object.Object { return p.uncaught }
+
+// CPUCycles reports the simulated cycles charged to this process,
+// including GC of its heap.
+func (p *Process) CPUCycles() uint64 { return p.cpuCycles }
+
+// IOBytes reports the bytes the process has written to its output stream.
+func (p *Process) IOBytes() uint64 { return p.ioBytes }
+
+// accountedWriter wraps a process' output: every byte is accounted, and
+// an IOLimit overrun kills the writer at its next safepoint.
+type accountedWriter struct {
+	p     *Process
+	inner io.Writer
+}
+
+func (w *accountedWriter) Write(b []byte) (int, error) {
+	w.p.ioBytes += uint64(len(b))
+	if w.p.ioLimit > 0 && w.p.ioBytes > w.p.ioLimit && w.p.state == ProcRunning {
+		w.p.Kill(ErrIOLimit)
+		return len(b), nil // the write that crossed the line is dropped downstream
+	}
+	if w.inner == nil {
+		return len(b), nil
+	}
+	return w.inner.Write(b)
+}
+
+// ErrIOLimit is the exit reason of a process that exceeded its I/O limit.
+var ErrIOLimit = errors.New("core: I/O limit exceeded")
+
+// HeapBytes reports the process heap's live bytes.
+func (p *Process) HeapBytes() uint64 { return p.Heap.Bytes() }
+
+// MemUse reports the process' total accounted memory (heap + charges).
+func (p *Process) MemUse() uint64 { return p.Limit.Use() }
+
+// Threads reports the number of live threads.
+func (p *Process) Threads() int { return len(p.threads) }
+
+// Load defines a program module into the process namespace and runs its
+// class initializers.
+func (p *Process) Load(m *bytecode.Module) error {
+	if p.state != ProcRunning {
+		return fmt.Errorf("core: load into %s process", p.state)
+	}
+	if err := p.Loader.DefineModule(m); err != nil {
+		return err
+	}
+	return p.VM.runClinits(p, p.Loader.PendingClinits())
+}
+
+// LoadProgram loads a program registered with the VM.
+func (p *Process) LoadProgram(name string) error {
+	m, ok := p.VM.Program(name)
+	if !ok {
+		return fmt.Errorf("core: no program %q", name)
+	}
+	return p.Load(m)
+}
+
+// Spawn starts a thread executing cls.method (a static method taking no
+// arguments or a single int).
+func (p *Process) Spawn(cls, methodKey string, args ...interp.Slot) (*interp.Thread, error) {
+	if p.state != ProcRunning {
+		return nil, fmt.Errorf("core: spawn in %s process", p.state)
+	}
+	c, err := p.Loader.Class(cls)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := c.MethodByKey(methodKey)
+	if !ok {
+		return nil, fmt.Errorf("core: no method %s.%s", cls, methodKey)
+	}
+	t := p.VM.newThread(p)
+	if err := t.PushFrame(m, args); err != nil {
+		return nil, err
+	}
+	p.threads[t] = struct{}{}
+	p.VM.Sched.Add(t)
+	return t, nil
+}
+
+// spawnThreadObject implements java/lang/Thread.start: run the object's
+// run()V on a new green thread of the same process.
+func (p *Process) spawnThreadObject(threadObj *object.Object) error {
+	m, ok := threadObj.Class.MethodByKey("run()V")
+	if !ok {
+		return fmt.Errorf("core: %s has no run()V", threadObj.Class.Name)
+	}
+	t := p.VM.newThread(p)
+	if err := t.PushFrame(m, []interp.Slot{interp.RefSlot(threadObj)}); err != nil {
+		return err
+	}
+	if df, ok := threadObj.Class.FieldByName("daemon"); ok && !df.Ref {
+		t.Daemon = threadObj.Prims[df.Slot] != 0
+	}
+	p.threads[t] = struct{}{}
+	p.threadFor[threadObj] = t
+	p.VM.Sched.Add(t)
+	return nil
+}
+
+// Kill requests termination of every thread. User-mode code dies at its
+// next safepoint; kernel-mode sections finish first (§2, "Safe termination
+// of processes"). Reclamation happens when the last thread exits.
+func (p *Process) Kill(reason error) {
+	if p.state != ProcRunning {
+		return
+	}
+	p.state = ProcKilled
+	if p.exitErr == nil {
+		p.exitErr = reason
+	}
+	for t := range p.threads {
+		t.Kill()
+	}
+}
+
+// threadExited is called by the scheduler's exit hook.
+func (p *Process) threadExited(t *interp.Thread, res interp.StepResult) {
+	delete(p.threads, t)
+	for obj, th := range p.threadFor {
+		if th == t {
+			delete(p.threadFor, obj)
+		}
+	}
+	if res == interp.StepKilled && p.state == ProcRunning {
+		// An uncaught throwable (or VM fault) in any thread kills the
+		// whole process, like an uncaught signal.
+		p.state = ProcKilled
+		p.exitErr = t.Err
+		p.uncaught = t.Uncaught
+		for other := range p.threads {
+			other.Kill()
+		}
+	}
+	if len(p.threads) == 0 {
+		if p.state == ProcRunning {
+			p.state = ProcExited
+		}
+		p.reclaim()
+	}
+}
+
+// reclaim implements full reclamation of memory (§2): merge the process
+// heap into the kernel heap, destroy exit items, unload the namespace,
+// release shared-heap charges, and let the kernel collector take it all.
+func (p *Process) reclaim() {
+	if p.state == ProcReclaimed {
+		return
+	}
+	vm := p.VM
+	vm.SharedMgr.DetachAll(p)
+	vm.SharedMgr.UnfrozenOwnedBy(p.Limit, vm.KernelHeap)
+	p.intern = make(map[string]*object.Object)
+	p.Loader.Unload()
+	if err := p.Heap.MergeInto(vm.KernelHeap); err != nil {
+		// Merging can only fail if the kernel cannot absorb the bytes;
+		// collect the kernel heap and retry once.
+		vm.CollectKernel()
+		_ = p.Heap.MergeInto(vm.KernelHeap)
+	}
+	finalState := p.state
+	p.state = ProcReclaimed
+	_ = finalState
+
+	vm.mu.Lock()
+	delete(vm.procs, p.ID)
+	vm.mu.Unlock()
+
+	// The kernel collection reclaims everything the process left behind,
+	// including user/kernel garbage cycles.
+	vm.CollectKernel()
+	if p.Limit.Use() == 0 {
+		p.Limit.Release()
+	}
+}
+
+// gcRoots enumerates the process heap's roots: thread stacks, statics of
+// its namespace, interned strings, and the kernel-side process handle.
+func (p *Process) gcRoots() heap.RootFunc {
+	return func(visit func(*object.Object)) {
+		p.stackAndStaticRoots(visit)
+		for _, o := range p.intern {
+			visit(o)
+		}
+	}
+}
+
+func (p *Process) stackAndStaticRoots(visit func(*object.Object)) {
+	for t := range p.threads {
+		t.Roots(visit)
+	}
+	p.Loader.StaticsRoots(visit)
+}
+
+// Collect runs a GC of this process' heap, charging no thread (external
+// callers: tests, the kernel's periodic sweep).
+func (p *Process) Collect() heap.GCResult {
+	return p.Heap.Collect(p.gcRoots())
+}
+
+// errorsAs adapts errors.As for the vm.go helper.
+func errorsAs(err error, target any) bool {
+	switch t := target.(type) {
+	case **memlimit.ErrExceeded:
+		return errors.As(err, t)
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+// TestSoakRandomLifecycles runs many rounds of creating, running, and
+// killing processes with varied behaviours (compute, churn, hog, spin,
+// share), then checks the global invariants: every process limit released,
+// the kernel heap clean, exactly one live heap (the kernel's) in the
+// registry, and no leaked shared heaps.
+func TestSoakRandomLifecycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	vm := newTestVM(t)
+	rng := rand.New(rand.NewSource(7))
+
+	programs := map[string]string{
+		"compute": `
+.class app/Compute
+.method main ()V static
+.locals 2
+.stack 3
+	iconst 0
+	istore 0
+L0:	iload 0
+	ldc 20000
+	if_icmpge OUT
+	iinc 0 1
+	goto L0
+OUT:	return
+.end
+.end`,
+		"churn": `
+.class app/Churn
+.method main ()V static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+L0:	iload 0
+	ldc 300
+	if_icmpge OUT
+	ldc 256
+	newarray [I
+	pop
+	iinc 0 1
+	goto L0
+OUT:	return
+.end
+.end`,
+		"hog": `
+.class app/Hog
+.static keep Ljava/util/Vector;
+.method main ()V static
+.locals 0
+.stack 4
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	putstatic app/Hog.keep Ljava/util/Vector;
+L0:	getstatic app/Hog.keep Ljava/util/Vector;
+	ldc 1024
+	newarray [I
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	goto L0
+.end
+.end`,
+		"spin": `
+.class app/Spin
+.method main ()V static
+.locals 0
+.stack 1
+L0:	goto L0
+.end
+.end`,
+		"thrower": `
+.class app/Thrower
+.method main ()V static
+.locals 0
+.stack 2
+	new java/lang/RuntimeException
+	athrow
+.end
+.end`,
+	}
+	mains := map[string]string{
+		"compute": "app/Compute", "churn": "app/Churn", "hog": "app/Hog",
+		"spin": "app/Spin", "thrower": "app/Thrower",
+	}
+	mods := map[string]*bytecode.Module{}
+	for name, src := range programs {
+		mods[name] = bytecode.MustAssemble(src)
+	}
+	names := []string{"compute", "churn", "hog", "spin", "thrower"}
+
+	var live []*Process
+	for round := 0; round < 200; round++ {
+		// Maybe create a process.
+		if len(live) < 8 {
+			kind := names[rng.Intn(len(names))]
+			p, err := vm.NewProcess(fmt.Sprintf("%s-%d", kind, round), ProcessOptions{
+				MemLimit: uint64(rng.Intn(1<<20) + 256<<10),
+				CPULimit: uint64(rng.Intn(3)) * 2_000_000, // 0 = unlimited
+			})
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if err := p.Load(mods[kind]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Spawn(mains[kind], "main()V"); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		}
+		// Run a slice.
+		if err := vm.Run(500_000); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Maybe kill a random live process.
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			live[i].Kill(nil)
+		}
+		// Compact the live list.
+		keep := live[:0]
+		for _, p := range live {
+			if p.State() == ProcRunning {
+				keep = append(keep, p)
+			}
+		}
+		live = keep
+	}
+
+	// Teardown: kill everything and drain.
+	for _, p := range vm.Processes() {
+		p.Kill(nil)
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	vm.CollectKernel()
+
+	if got := len(vm.Processes()); got != 0 {
+		t.Fatalf("%d processes survived teardown", got)
+	}
+	if heaps := vm.Reg.Heaps(); len(heaps) != 1 {
+		for _, h := range heaps {
+			t.Logf("surviving heap: %s (%s, %d bytes)", h.Name, h.Kind, h.Bytes())
+		}
+		t.Fatalf("%d heaps survive, want only the kernel heap", len(heaps))
+	}
+	if got := vm.KernelHeap.Bytes(); got > 64<<10 {
+		t.Errorf("kernel heap retains %d bytes", got)
+	}
+	// Root accounting: only the kernel reservation and whatever the kernel
+	// heap itself holds remain charged.
+	rootUse := vm.RootLimit.Use()
+	if rootUse != vm.Cfg.KernelMemory {
+		t.Errorf("root use = %d, want only the kernel reservation %d", rootUse, vm.Cfg.KernelMemory)
+	}
+	if got := len(vm.SharedMgr.Heaps()); got != 0 {
+		t.Errorf("%d shared heaps leaked", got)
+	}
+}

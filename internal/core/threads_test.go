@@ -1,0 +1,333 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// TestWaitNotify exercises the full producer/consumer handshake through
+// Object.wait/notify on a shared (intra-process) lock object.
+func TestWaitNotify(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/Box
+.static lock Ljava/lang/Object;
+.static value I
+.static ready I
+.end
+
+.class app/Waiter extends java/lang/Thread
+.static result I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Thread.<init> ()V
+	return
+.end
+.method run ()V
+.locals 1
+.stack 2
+	getstatic app/Box.lock Ljava/lang/Object;
+	astore 0
+	aload 0
+	monitorenter
+WAITLOOP:	getstatic app/Box.ready I
+	ifne GOT
+	aload 0
+	invokevirtual java/lang/Object.wait ()V
+	goto WAITLOOP
+GOT:	getstatic app/Box.value I
+	putstatic app/Waiter.result I
+	aload 0
+	monitorexit
+	return
+.end
+.end
+
+.class app/Main
+.method main ()I static
+.locals 2
+.stack 3
+	new java/lang/Object
+	putstatic app/Box.lock Ljava/lang/Object;
+	new app/Waiter
+	dup
+	invokespecial app/Waiter.<init> ()V
+	astore 0
+	aload 0
+	invokevirtual java/lang/Thread.start ()V
+# give the waiter a chance to park
+	iconst 5
+	invokestatic java/lang/Thread.sleep (I)V
+# publish the value under the lock and notify
+	getstatic app/Box.lock Ljava/lang/Object;
+	astore 1
+	aload 1
+	monitorenter
+	ldc 424
+	putstatic app/Box.value I
+	iconst 1
+	putstatic app/Box.ready I
+	aload 1
+	invokevirtual java/lang/Object.notifyAll ()V
+	aload 1
+	monitorexit
+# join the waiter and read its result
+	aload 0
+	invokevirtual java/lang/Thread.join ()V
+	getstatic app/Waiter.result I
+	ireturn
+.end
+.end`
+	p := mustProc(t, vm, "wn", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/Main", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.State != interp.StateFinished {
+		t.Fatalf("state %v err %v uncaught %v", th.State, th.Err, th.Uncaught)
+	}
+	if th.Result.I != 424 {
+		t.Errorf("result = %d, want 424", th.Result.I)
+	}
+}
+
+func TestWaitWithoutMonitorThrows(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/T
+.method main ()I static
+.locals 1
+.stack 2
+	new java/lang/Object
+	astore 0
+T0:	aload 0
+	invokevirtual java/lang/Object.wait ()V
+	iconst 0
+	ireturn
+T1:	pop
+	iconst 1
+	ireturn
+.catch java/lang/IllegalMonitorStateException T0 T1 T1
+.end
+.end`
+	p := mustProc(t, vm, "w", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/T", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.I != 1 {
+		t.Errorf("wait without monitor did not throw (got %d, err %v)", th.Result.I, th.Err)
+	}
+}
+
+func TestJoinWaitsForCompletion(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/Work extends java/lang/Thread
+.static sum I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Thread.<init> ()V
+	return
+.end
+.method run ()V
+.locals 1
+.stack 3
+	iconst 0
+	istore 0
+L0:	iload 0
+	ldc 50000
+	if_icmpge L1
+	iinc 0 1
+	goto L0
+L1:	getstatic app/Work.sum I
+	iload 0
+	iadd
+	putstatic app/Work.sum I
+	return
+.end
+.end
+.class app/Main
+.method main ()I static
+.locals 1
+.stack 3
+	new app/Work
+	dup
+	invokespecial app/Work.<init> ()V
+	astore 0
+	aload 0
+	invokevirtual java/lang/Thread.start ()V
+	aload 0
+	invokevirtual java/lang/Thread.join ()V
+# after join, the worker's writes are visible and complete
+	getstatic app/Work.sum I
+	ireturn
+.end
+.end`
+	p := mustProc(t, vm, "j", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/Main", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.I != 50000 {
+		t.Errorf("join returned before completion: sum = %d", th.Result.I)
+	}
+}
+
+func TestJoinFinishedThreadReturnsImmediately(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/Quick extends java/lang/Thread
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Thread.<init> ()V
+	return
+.end
+.method run ()V
+.locals 1
+.stack 1
+	return
+.end
+.end
+.class app/Main
+.method main ()I static
+.locals 1
+.stack 2
+	new app/Quick
+	dup
+	invokespecial app/Quick.<init> ()V
+	astore 0
+	aload 0
+	invokevirtual java/lang/Thread.start ()V
+	iconst 10
+	invokestatic java/lang/Thread.sleep (I)V
+	aload 0
+	invokevirtual java/lang/Thread.join ()V
+	aload 0
+	invokevirtual java/lang/Thread.isAlive ()Z
+	ireturn
+.end
+.end`
+	p := mustProc(t, vm, "jf", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/Main", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.State != interp.StateFinished || th.Result.I != 0 {
+		t.Errorf("state %v result %d err %v", th.State, th.Result.I, th.Err)
+	}
+}
+
+func TestKillWaitingProcess(t *testing.T) {
+	// A process whose only thread is parked in Object.wait must still be
+	// killable and fully reclaimed.
+	vm := newTestVM(t)
+	src := `
+.class app/W
+.method main ()V static
+.locals 1
+.stack 2
+	new java/lang/Object
+	astore 0
+	aload 0
+	monitorenter
+	aload 0
+	invokevirtual java/lang/Object.wait ()V
+	aload 0
+	monitorexit
+	return
+.end
+.end`
+	p := mustProc(t, vm, "kw", ProcessOptions{})
+	load(t, p, src)
+	spawn(t, p, "app/W", "main()V")
+	// The lone waiter deadlocks the scheduler (nobody can notify).
+	err := vm.Run(0)
+	if err == nil {
+		t.Fatal("expected deadlock report for lone waiter")
+	}
+	p.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != ProcReclaimed {
+		t.Errorf("state = %v", p.State())
+	}
+	if p.Limit.Use() != 0 {
+		t.Errorf("residual charge %d", p.Limit.Use())
+	}
+}
+
+func TestCPULimitKillsProcess(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/Spin
+.method main ()V static
+.locals 0
+.stack 1
+L0:	goto L0
+.end
+.end`
+	p := mustProc(t, vm, "cpu", ProcessOptions{CPULimit: 500_000})
+	load(t, p, src)
+	spawn(t, p, "app/Spin", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != ProcReclaimed {
+		t.Fatalf("state = %v", p.State())
+	}
+	if !errors.Is(p.ExitError(), ErrCPULimit) {
+		t.Errorf("exit err = %v, want ErrCPULimit", p.ExitError())
+	}
+	// The overshoot is at most one quantum.
+	if p.CPUCycles() > 500_000+uint64(vm.Sched.Quantum)+200_000 {
+		t.Errorf("cpu overshoot: %d cycles", p.CPUCycles())
+	}
+}
+
+func TestCPULimitDoesNotAffectOthers(t *testing.T) {
+	vm := newTestVM(t)
+	spin := `
+.class app/Spin
+.method main (I)I static
+.locals 2
+.stack 2
+	iconst 0
+	istore 1
+L0:	iinc 1 1
+	iload 1
+	iload 0
+	if_icmplt L0
+	iload 1
+	ireturn
+.end
+.end`
+	capped := mustProc(t, vm, "capped", ProcessOptions{CPULimit: 200_000})
+	free := mustProc(t, vm, "free", ProcessOptions{})
+	load(t, capped, spin)
+	load(t, free, spin)
+	spawn(t, capped, "app/Spin", "main(I)I", interp.IntSlot(100_000_000))
+	ft := spawn(t, free, "app/Spin", "main(I)I", interp.IntSlot(300_000))
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if capped.State() != ProcReclaimed || !errors.Is(capped.ExitError(), ErrCPULimit) {
+		t.Errorf("capped: %v / %v", capped.State(), capped.ExitError())
+	}
+	if ft.State != interp.StateFinished || ft.Result.I != 300_000 {
+		t.Errorf("free process disturbed: %v %d", ft.State, ft.Result.I)
+	}
+}

@@ -1,0 +1,523 @@
+// Package core implements the KaffeOS virtual machine and its process
+// abstraction — the paper's primary contribution.
+//
+// A VM hosts many processes. Each process is the unit of resource
+// ownership and control: it has its own garbage-collected heap, its own
+// memlimit, its own class namespace (reloaded library classes included),
+// its own interned strings, and its own green threads, whose CPU cycles
+// are charged to it — including cycles the collector spends on its heap.
+// Killing a process cannot damage the system: termination is deferred in
+// kernel mode, monitors release during unwinding, and the process' heap
+// merges into the kernel heap where the next kernel collection reclaims
+// every byte.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/barrier"
+	"repro/internal/bytecode"
+	"repro/internal/classlib"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/loader"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+	"repro/internal/sched"
+	"repro/internal/shared"
+	"repro/internal/vmaddr"
+)
+
+// EngineKind selects the execution engine, reproducing the platform spread
+// of the paper's Figure 3.
+type EngineKind string
+
+const (
+	// EngineInterp is the baseline switch interpreter.
+	EngineInterp EngineKind = "interp"
+	// EngineInterpSpill is the interpreter with the Kaffe-1.0b4-style
+	// naive-codegen simulation: redundant per-instruction decode and
+	// register spill/reload traffic (the Kaffe99 class of engine).
+	EngineInterpSpill EngineKind = "interp-spill"
+	// EngineJIT is the closure compiler (Kaffe00-class).
+	EngineJIT EngineKind = "jit"
+	// EngineJITOpt adds superop fusion and inline caches (IBM-class).
+	EngineJITOpt EngineKind = "jit-opt"
+)
+
+// Config parameterizes a VM.
+type Config struct {
+	// Barrier selects the write-barrier implementation (§4.1). Defaults to
+	// NoHeapPointer, the configuration KaffeOS shipped with.
+	Barrier barrier.Barrier
+	// Engine selects the execution engine. Defaults to EngineInterp,
+	// matching KaffeOS's Kaffe 1.0b4 base.
+	Engine EngineKind
+	// FastExceptions enables table-based exception dispatch (the Kaffe00
+	// improvement KaffeOS integrated). Defaults true.
+	FastExceptions *bool
+	// ThinLocks enables header-word locking (Kaffe00's lightweight
+	// locking). Defaults false, matching Kaffe 1.0b4.
+	ThinLocks bool
+	// TotalMemory is the root memlimit (default 256 MiB — the paper's
+	// testbed RAM).
+	TotalMemory uint64
+	// KernelMemory is the hard reservation for the kernel heap (default
+	// 32 MiB).
+	KernelMemory uint64
+	// Quantum is the scheduling quantum in cycles.
+	Quantum int64
+	// Stdout is where process output goes unless a process overrides it.
+	Stdout io.Writer
+}
+
+func (c *Config) fill() {
+	if c.Barrier == nil {
+		c.Barrier = barrier.NoHeapPointer
+	}
+	if c.Engine == "" {
+		c.Engine = EngineInterp
+	}
+	if c.FastExceptions == nil {
+		v := true
+		c.FastExceptions = &v
+	}
+	if c.TotalMemory == 0 {
+		c.TotalMemory = 256 << 20
+	}
+	if c.KernelMemory == 0 {
+		c.KernelMemory = 32 << 20
+	}
+	if c.Stdout == nil {
+		c.Stdout = io.Discard
+	}
+}
+
+// Pid identifies a process within a VM.
+type Pid int32
+
+// VM is one KaffeOS virtual machine.
+type VM struct {
+	Cfg Config
+
+	Space      *vmaddr.Space
+	Reg        *heap.Registry
+	RootLimit  *memlimit.Limit
+	KernelHeap *heap.Heap
+	Shared     *loader.Loader
+	SharedMgr  *shared.Manager
+	Sched      *sched.Scheduler
+	Lib        *classlib.Library
+	Env        *interp.Env
+	Stats      *barrier.Stats
+
+	engine interp.Engine
+
+	mu       sync.Mutex
+	procs    map[Pid]*Process
+	nextPid  Pid
+	nextTid  int32
+	programs map[string]*bytecode.Module
+	kernelGC uint64 // kernel collections performed
+}
+
+// NewVM builds a VM: address space, kernel heap, shared system loader with
+// the class library, and the scheduler.
+func NewVM(cfg Config) (*VM, error) {
+	cfg.fill()
+	vm := &VM{
+		Cfg:      cfg,
+		Space:    vmaddr.NewSpace(),
+		Stats:    &barrier.Stats{},
+		procs:    make(map[Pid]*Process),
+		programs: make(map[string]*bytecode.Module),
+	}
+	vm.Reg = heap.NewRegistry(vm.Space, heap.Config{HeaderExtra: cfg.Barrier.HeaderExtra()})
+	vm.RootLimit = memlimit.NewRoot("vm", cfg.TotalMemory)
+	kernelLimit, err := vm.RootLimit.NewChild("kernel", cfg.KernelMemory, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: kernel reservation: %w", err)
+	}
+	vm.KernelHeap = vm.Reg.NewHeap(heap.KindKernel, "kernel", kernelLimit)
+	sharedBase, err := vm.RootLimit.NewChild("shared-heaps", memlimit.Unlimited, false)
+	if err != nil {
+		return nil, err
+	}
+	vm.SharedMgr = shared.NewManager(vm.Reg, sharedBase)
+
+	switch cfg.Engine {
+	case EngineInterp, EngineInterpSpill:
+		vm.engine = interp.Interpreter{}
+	case EngineJIT:
+		vm.engine = &interp.JIT{}
+	case EngineJITOpt:
+		vm.engine = &interp.JIT{Fused: true, InlineCache: true}
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q", cfg.Engine)
+	}
+
+	vm.Lib = classlib.New()
+	vm.Shared = loader.NewShared(vm.KernelHeap)
+	vm.Shared.RegisterNatives(vm.Lib.Natives, vm.Lib.Kernel)
+	vm.Shared.RegisterNatives(vm.kernelNatives())
+	if err := vm.Shared.DefineModule(vm.Lib.SharedModule); err != nil {
+		return nil, fmt.Errorf("core: defining shared library: %w", err)
+	}
+	if err := vm.Shared.DefineModule(kernelModule()); err != nil {
+		return nil, fmt.Errorf("core: defining kernel classes: %w", err)
+	}
+
+	vm.Sched = sched.New(vm.engine)
+	vm.Sched.Quantum = cfg.Quantum
+	vm.Sched.OnExit = vm.onThreadExit
+	vm.Sched.Charge = func(t *interp.Thread, cycles uint64) {
+		if p, ok := t.Owner.(*Process); ok {
+			p.cpuCycles += cycles
+			if p.cpuLimit > 0 && p.cpuCycles > p.cpuLimit && p.state == ProcRunning {
+				p.Kill(ErrCPULimit)
+			}
+		}
+	}
+
+	vm.Env = vm.buildEnv()
+
+	// Shared-library <clinit>s run on a bootstrap kernel thread.
+	if err := vm.runClinits(nil, vm.Shared.PendingClinits()); err != nil {
+		return nil, fmt.Errorf("core: shared clinit: %w", err)
+	}
+	return vm, nil
+}
+
+// buildEnv wires the interp environment to VM services. Thread ownership
+// (t.Owner) identifies the process for all per-process behaviour.
+func (vm *VM) buildEnv() *interp.Env {
+	fe := *vm.Cfg.FastExceptions
+	env := &interp.Env{
+		Reg:            vm.Reg,
+		Barrier:        vm.Cfg.Barrier,
+		BarrierStats:   vm.Stats,
+		FastExceptions: fe,
+		ThinLocks:      vm.Cfg.ThinLocks,
+		SpillSim:       vm.Cfg.Engine == EngineInterpSpill,
+	}
+	env.Throwable = func(t *interp.Thread, className, msg string) (*object.Object, error) {
+		return vm.newThrowable(t, className, msg)
+	}
+	env.Intern = func(t *interp.Thread, s string) (*object.Object, error) {
+		return vm.intern(t, s)
+	}
+	env.NewString = func(t *interp.Thread, s string) (*object.Object, error) {
+		return vm.newString(t, s)
+	}
+	env.CollectHeap = func(t *interp.Thread, h *heap.Heap) {
+		vm.collectHeapFor(t, h)
+	}
+	env.Spawn = func(t *interp.Thread, threadObj *object.Object) error {
+		p, ok := t.Owner.(*Process)
+		if !ok {
+			return fmt.Errorf("core: spawn from ownerless thread")
+		}
+		return p.spawnThreadObject(threadObj)
+	}
+	env.SleepMillis = func(t *interp.Thread, ms int64) {
+		if ms < 0 {
+			ms = 0
+		}
+		vm.Sched.Sleep(t, uint64(ms)*sched.CyclesPerMs)
+	}
+	env.YieldThread = func(t *interp.Thread) { vm.Sched.Yield(t) }
+	env.JoinThread = func(t *interp.Thread, threadObj *object.Object) {
+		p, ok := t.Owner.(*Process)
+		if !ok || threadObj == nil {
+			return
+		}
+		target, started := p.threadFor[threadObj]
+		if !started || !target.Alive() {
+			return
+		}
+		interp.ParkUntil(t, func() bool { return !target.Alive() })
+	}
+	env.ThreadAlive = func(t *interp.Thread, threadObj *object.Object) bool {
+		p, ok := t.Owner.(*Process)
+		if !ok || threadObj == nil {
+			return false
+		}
+		target, started := p.threadFor[threadObj]
+		return started && target.Alive()
+	}
+	env.Stdout = func(t *interp.Thread) io.Writer {
+		if p, ok := t.Owner.(*Process); ok {
+			inner := p.Out
+			if inner == nil {
+				inner = vm.Cfg.Stdout
+			}
+			return &accountedWriter{p: p, inner: inner}
+		}
+		return vm.Cfg.Stdout
+	}
+	env.NowMillis = func() int64 { return int64(vm.Sched.NowMillis()) }
+	env.NowCycles = func() uint64 { return vm.Sched.Now() }
+	env.RandFor = func(t *interp.Thread) *rand.Rand {
+		if p, ok := t.Owner.(*Process); ok {
+			return p.rng
+		}
+		return nil
+	}
+	return env
+}
+
+// newThrowable builds a throwable in the thread's namespace. The object is
+// allocated on the thread's allocation heap when possible; when that fails
+// (the very OOM we are reporting), it falls back to the kernel heap so the
+// error can still be delivered.
+func (vm *VM) newThrowable(t *interp.Thread, className, msg string) (*object.Object, error) {
+	var cls *object.Class
+	var err error
+	if p, ok := t.Owner.(*Process); ok {
+		cls, err = p.Loader.Class(className)
+	} else {
+		cls, err = vm.Shared.Class(className)
+	}
+	if err != nil {
+		return nil, err
+	}
+	o, aerr := t.AllocHeap().Alloc(cls)
+	if aerr != nil {
+		o, aerr = vm.KernelHeap.Alloc(cls)
+		if aerr != nil {
+			return nil, aerr
+		}
+	}
+	o.Data = msg
+	return o, nil
+}
+
+// intern returns the per-process interned string for s (§3.3: interning is
+// per process so user code cannot exhaust a global kernel table).
+func (vm *VM) intern(t *interp.Thread, s string) (*object.Object, error) {
+	p, ok := t.Owner.(*Process)
+	if !ok {
+		return vm.newString(t, s)
+	}
+	if o, hit := p.intern[s]; hit {
+		return o, nil
+	}
+	o, err := vm.newString(t, s)
+	if err != nil {
+		return nil, err
+	}
+	p.intern[s] = o
+	return o, nil
+}
+
+// newString allocates a string object charged with its character storage.
+func (vm *VM) newString(t *interp.Thread, s string) (*object.Object, error) {
+	var cls *object.Class
+	var err error
+	if p, ok := t.Owner.(*Process); ok {
+		cls, err = p.Loader.Class("java/lang/String")
+	} else {
+		cls, err = vm.Shared.Class("java/lang/String")
+	}
+	if err != nil {
+		return nil, err
+	}
+	h := t.AllocHeap()
+	o, err := h.AllocExtra(cls, uint64(len(s)))
+	if err != nil {
+		if !isMemExceeded(err) {
+			return nil, err
+		}
+		vm.collectHeapFor(t, h)
+		o, err = h.AllocExtra(cls, uint64(len(s)))
+		if err != nil {
+			obj, terr := vm.newThrowable(t, interp.ClsOutOfMemory, err.Error())
+			if terr != nil {
+				return nil, terr
+			}
+			return nil, &interp.Thrown{Obj: obj}
+		}
+	}
+	o.Data = s
+	return o, nil
+}
+
+// collectHeapFor runs a collection of h, charging the GC cycles to the
+// triggering thread (and hence its process): precise CPU accounting covers
+// time spent garbage collecting a process' heap.
+func (vm *VM) collectHeapFor(t *interp.Thread, h *heap.Heap) {
+	res := vm.CollectHeap(h)
+	if t != nil {
+		t.Fuel -= int64(res.Cycles)
+		t.Cycles += res.Cycles
+	}
+}
+
+// CollectHeap collects any heap with the correct root set.
+func (vm *VM) CollectHeap(h *heap.Heap) heap.GCResult {
+	if h == vm.KernelHeap {
+		return vm.CollectKernel()
+	}
+	if owner, ok := h.Owner.(*Process); ok {
+		res := h.Collect(owner.gcRoots())
+		vm.reconcileShared(owner)
+		return res
+	}
+	return h.Collect(vm.allStackRoots())
+}
+
+// CollectKernel merges orphaned shared heaps, then collects the kernel
+// heap. Kernel roots: shared-library statics, the process table, and every
+// live thread's stack (stacks can hold kernel references directly).
+func (vm *VM) CollectKernel() heap.GCResult {
+	vm.SharedMgr.ReclaimOrphans(vm.KernelHeap)
+	vm.mu.Lock()
+	vm.kernelGC++
+	vm.mu.Unlock()
+	return vm.KernelHeap.Collect(func(visit func(*object.Object)) {
+		vm.Shared.StaticsRoots(visit)
+		vm.allStackRoots()(visit)
+	})
+}
+
+// allStackRoots visits roots of every thread of every process.
+func (vm *VM) allStackRoots() heap.RootFunc {
+	return func(visit func(*object.Object)) {
+		vm.mu.Lock()
+		procs := make([]*Process, 0, len(vm.procs))
+		for _, p := range vm.procs {
+			procs = append(procs, p)
+		}
+		vm.mu.Unlock()
+		for _, p := range procs {
+			p.stackAndStaticRoots(visit)
+		}
+	}
+}
+
+// KernelGCs reports the number of kernel collections (test/metric hook).
+func (vm *VM) KernelGCs() uint64 {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.kernelGC
+}
+
+// RegisterProgram makes a module spawnable by name via the Kernel.spawn
+// syscall and Process creation.
+func (vm *VM) RegisterProgram(name string, m *bytecode.Module) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.programs[name] = m
+}
+
+// Program looks up a registered program module.
+func (vm *VM) Program(name string) (*bytecode.Module, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	m, ok := vm.programs[name]
+	return m, ok
+}
+
+// Processes lists live processes sorted by pid.
+func (vm *VM) Processes() []*Process {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]*Process, 0, len(vm.procs))
+	for _, p := range vm.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Process resolves a pid.
+func (vm *VM) Process(pid Pid) (*Process, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	p, ok := vm.procs[pid]
+	return p, ok
+}
+
+// Run drives the scheduler until no non-daemon threads remain or maxCycles
+// elapse (0 = unbounded).
+func (vm *VM) Run(maxCycles uint64) error {
+	return vm.Sched.Run(maxCycles)
+}
+
+// RunUntil drives the scheduler until cond holds.
+func (vm *VM) RunUntil(cond func() bool) error {
+	return vm.Sched.RunUntil(cond)
+}
+
+// runClinits executes class initializers on a fresh bootstrap thread owned
+// by p (nil = kernel bootstrap, kernel heap allocations).
+func (vm *VM) runClinits(p *Process, clinits []*object.Method) error {
+	if len(clinits) == 0 {
+		return nil
+	}
+	t := vm.newThread(p)
+	if p == nil {
+		t.Heap = vm.KernelHeap
+		t.EnterKernel()
+		defer t.ExitKernel()
+	}
+	for _, m := range clinits {
+		if err := t.PushFrame(m, nil); err != nil {
+			return err
+		}
+		for t.Alive() {
+			t.Fuel = 1 << 20
+			res := vm.engine.Step(t)
+			if res == interp.StepFinished {
+				break
+			}
+			if res == interp.StepKilled {
+				return fmt.Errorf("core: <clinit> of %s died: %v", m.Class.Name, t.Err)
+			}
+			if res == interp.StepBlocked {
+				return fmt.Errorf("core: <clinit> of %s blocked", m.Class.Name)
+			}
+		}
+		t.State = interp.StateRunnable // reuse for the next clinit
+	}
+	return nil
+}
+
+// newThread builds a thread owned by p (or the kernel when p is nil).
+func (vm *VM) newThread(p *Process) *interp.Thread {
+	vm.mu.Lock()
+	vm.nextTid++
+	id := vm.nextTid
+	vm.mu.Unlock()
+	t := &interp.Thread{
+		ID:    id,
+		Env:   vm.Env,
+		State: interp.StateRunnable,
+	}
+	if p != nil {
+		t.Owner = p
+		t.Heap = p.Heap
+	} else {
+		t.Heap = vm.KernelHeap
+	}
+	return t
+}
+
+// onThreadExit is the scheduler's exit hook: it removes the thread from
+// its process and reclaims the process when the last thread dies.
+func (vm *VM) onThreadExit(t *interp.Thread, res interp.StepResult) {
+	p, ok := t.Owner.(*Process)
+	if !ok {
+		return
+	}
+	p.threadExited(t, res)
+}
+
+func isMemExceeded(err error) bool {
+	var ex *memlimit.ErrExceeded
+	return errorsAs(err, &ex)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+)
+
+func TestTimedWaitExpires(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/T
+.method main ()I static
+.locals 2
+.stack 3
+	new java/lang/Object
+	astore 0
+	invokestatic java/lang/System.currentTimeMillis ()I
+	istore 1
+	aload 0
+	monitorenter
+	aload 0
+	iconst 20
+	invokevirtual java/lang/Object.wait (I)V
+	aload 0
+	monitorexit
+	invokestatic java/lang/System.currentTimeMillis ()I
+	iload 1
+	isub
+	ireturn
+.end
+.end`
+	p := mustProc(t, vm, "tw", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/T", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.State != interp.StateFinished {
+		t.Fatalf("state %v err %v uncaught %v", th.State, th.Err, th.Uncaught)
+	}
+	if th.Result.I < 20 {
+		t.Errorf("timed wait returned after %d ms, want >= 20", th.Result.I)
+	}
+}
+
+func TestTimedWaitNotifiedEarly(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/Box
+.static lock Ljava/lang/Object;
+.end
+.class app/Poker extends java/lang/Thread
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Thread.<init> ()V
+	return
+.end
+.method run ()V
+.locals 1
+.stack 2
+	iconst 2
+	invokestatic java/lang/Thread.sleep (I)V
+	getstatic app/Box.lock Ljava/lang/Object;
+	astore 0
+	aload 0
+	monitorenter
+	aload 0
+	invokevirtual java/lang/Object.notifyAll ()V
+	aload 0
+	monitorexit
+	return
+.end
+.end
+.class app/Main
+.method main ()I static
+.locals 2
+.stack 3
+	new java/lang/Object
+	putstatic app/Box.lock Ljava/lang/Object;
+	new app/Poker
+	dup
+	invokespecial app/Poker.<init> ()V
+	invokevirtual java/lang/Thread.start ()V
+	invokestatic java/lang/System.currentTimeMillis ()I
+	istore 0
+	getstatic app/Box.lock Ljava/lang/Object;
+	astore 1
+	aload 1
+	monitorenter
+	aload 1
+	ldc 10000
+	invokevirtual java/lang/Object.wait (I)V
+	aload 1
+	monitorexit
+	invokestatic java/lang/System.currentTimeMillis ()I
+	iload 0
+	isub
+	ireturn
+.end
+.end`
+	p := mustProc(t, vm, "te", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/Main", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.State != interp.StateFinished {
+		t.Fatalf("state %v err %v uncaught %v", th.State, th.Err, th.Uncaught)
+	}
+	// Woken by the notify near 2 ms, far before the 10 s timeout.
+	if th.Result.I > 1000 {
+		t.Errorf("notify did not cut the timed wait short: %d ms", th.Result.I)
+	}
+}
+
+func TestWaitForSyscall(t *testing.T) {
+	vm := newTestVM(t)
+	vm.RegisterProgram("child", mustModule(t, `
+.class app/Child
+.method main ()V static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+L0:	iinc 0 1
+	iload 0
+	ldc 200000
+	if_icmplt L0
+	return
+.end
+.end`))
+	src := `
+.class app/Parent
+.method main ()I static
+.locals 1
+.stack 4
+	ldc "child"
+	ldc "app/Child"
+	ldc 2048
+	invokestatic kaffeos/Kernel.spawn (Ljava/lang/String;Ljava/lang/String;I)I
+	istore 0
+	iload 0
+	invokestatic kaffeos/Kernel.waitFor (I)V
+# after waitFor the child must be gone
+	iload 0
+	invokestatic kaffeos/Kernel.alive (I)Z
+	ireturn
+.end
+.end`
+	p := mustProc(t, vm, "parent", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/Parent", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.State != interp.StateFinished {
+		t.Fatalf("state %v err %v", th.State, th.Err)
+	}
+	if th.Result.I != 0 {
+		t.Errorf("child alive after waitFor")
+	}
+}
+
+func TestWaitForDeadPidReturnsImmediately(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/P
+.method main ()I static
+.locals 0
+.stack 2
+	ldc 9999
+	invokestatic kaffeos/Kernel.waitFor (I)V
+	iconst 1
+	ireturn
+.end
+.end`
+	p := mustProc(t, vm, "p", ProcessOptions{})
+	load(t, p, src)
+	th := spawn(t, p, "app/P", "main()I")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.I != 1 {
+		t.Errorf("waitFor on dead pid hung")
+	}
+}
+
+func mustModule(t *testing.T, src string) *bytecode.Module {
+	t.Helper()
+	return bytecode.MustAssemble(src)
+}

@@ -1,0 +1,584 @@
+// Package heap implements KaffeOS heaps: separately collected object pools
+// with full memory accounting.
+//
+// Each process has its own heap, collected independently of all others;
+// there is one kernel heap, and any number of frozen shared heaps used for
+// inter-process communication. Cross-heap references are tracked with entry
+// and exit items, a technique borrowed from distributed garbage collection
+// (paper §2, "Full reclamation of memory"): an entry item in the target
+// heap records that some other heap references an object, and a reference-
+// counted exit item in the source heap remembers the entry item. Entry
+// items act as GC roots for their heap, so each heap can be collected
+// without scanning any other heap; when a heap's collector finds an exit
+// item unreachable, it decrements the entry item's count, eventually
+// letting the target heap reclaim the object.
+//
+// When a process terminates, its heap is merged into the kernel heap; the
+// kernel collector then reclaims everything, including user/kernel cycles.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/memlimit"
+	"repro/internal/object"
+	"repro/internal/vmaddr"
+)
+
+// Kind classifies a heap.
+type Kind uint8
+
+const (
+	KindKernel Kind = iota + 1
+	KindUser
+	KindShared
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindKernel:
+		return "kernel"
+	case KindUser:
+		return "user"
+	case KindShared:
+		return "shared"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Accounted sizes of GC bookkeeping structures. Entry and exit items are
+// real memory in the paper's implementation and are charged to the heap
+// that holds them.
+const (
+	entryItemBytes = 24
+	exitItemBytes  = 24
+)
+
+// Simulated cycle costs of GC work, used to charge collection time to the
+// owning process (paper §2: "Precise memory and CPU accounting" covers GC).
+const (
+	cyclesPerScan  = 12
+	cyclesPerSweep = 20
+)
+
+var (
+	// ErrHeapDead reports allocation on a merged (terminated) heap.
+	ErrHeapDead = errors.New("heap: heap has been merged")
+	// ErrFrozen reports allocation on a frozen shared heap.
+	ErrFrozen = errors.New("heap: shared heap is frozen")
+)
+
+// Config carries allocation parameters that depend on the write-barrier
+// implementation.
+type Config struct {
+	// HeaderExtra is added to every object's accounted size. The "Heap
+	// Pointer" barrier needs 4 bytes in the header for the heap ID; the
+	// "Fake Heap Pointer" configuration pads by 4 bytes without using them
+	// (paper §4.1).
+	HeaderExtra int
+	// PagesPerChunk is how many pages a heap leases at a time from the
+	// address space (default 16).
+	PagesPerChunk int
+}
+
+func (c Config) pagesPerChunk() int {
+	if c.PagesPerChunk <= 0 {
+		return 16
+	}
+	return c.PagesPerChunk
+}
+
+// Registry tracks every live heap of one VM and owns the cross-heap
+// structures' lock.
+type Registry struct {
+	Space *vmaddr.Space
+	Cfg   Config
+
+	mu    sync.RWMutex
+	heaps map[vmaddr.HeapID]*Heap
+
+	// crossMu serializes all entry/exit item manipulation across heaps,
+	// avoiding lock-order cycles between pairs of heaps.
+	crossMu sync.Mutex
+}
+
+// NewRegistry creates a registry over an address space.
+func NewRegistry(space *vmaddr.Space, cfg Config) *Registry {
+	return &Registry{
+		Space: space,
+		Cfg:   cfg,
+		heaps: make(map[vmaddr.HeapID]*Heap),
+	}
+}
+
+// Lookup resolves a heap ID.
+func (r *Registry) Lookup(id vmaddr.HeapID) (*Heap, bool) {
+	r.mu.RLock()
+	h, ok := r.heaps[id]
+	r.mu.RUnlock()
+	return h, ok
+}
+
+// HeapOfObject resolves the heap owning o via its header heap ID.
+func (r *Registry) HeapOfObject(o *object.Object) (*Heap, bool) {
+	return r.Lookup(o.Heap)
+}
+
+// Heaps returns a snapshot of all live heaps.
+func (r *Registry) Heaps() []*Heap {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Heap, 0, len(r.heaps))
+	for _, h := range r.heaps {
+		out = append(out, h)
+	}
+	return out
+}
+
+// EntryItem records that objects in other heaps reference Target, which
+// lives in the heap holding the item. A positive RefCount pins Target as a
+// GC root of its heap.
+type EntryItem struct {
+	Target   *object.Object
+	RefCount int
+}
+
+// ExitItem lives in the source heap and remembers the entry item its heap's
+// references point at.
+type ExitItem struct {
+	Target *object.Object
+	Entry  *EntryItem
+}
+
+// Stats accumulates per-heap counters.
+type Stats struct {
+	Allocs     uint64
+	AllocBytes uint64
+	GCs        uint64
+	Scanned    uint64
+	Swept      uint64
+	FreedBytes uint64
+	GCCycles   uint64
+}
+
+// GCResult reports one collection.
+type GCResult struct {
+	Scanned    int
+	Swept      int
+	FreedBytes uint64
+	// Cycles is the simulated CPU cost, to be charged to the heap's owner.
+	Cycles uint64
+}
+
+// Heap is one independently collected object pool.
+type Heap struct {
+	ID   vmaddr.HeapID
+	Kind Kind
+	Name string
+
+	reg   *Registry
+	limit *memlimit.Limit
+
+	mu      sync.Mutex
+	objects map[*object.Object]struct{}
+	chunks  []chunk
+	cur     int // index of chunk being bump-allocated
+	bytes   uint64
+
+	// entries: target object in THIS heap <- referenced from other heaps.
+	// exits: target object in ANOTHER heap referenced from this heap.
+	// Both are guarded by reg.crossMu, not h.mu.
+	entries map[*object.Object]*EntryItem
+	exits   map[*object.Object]*ExitItem
+
+	frozen bool
+	dead   bool
+
+	stats Stats
+
+	// Owner is an opaque back-pointer to the owning process (or nil for
+	// the kernel heap); the VM layer uses it for accounting.
+	Owner any
+}
+
+type chunk struct {
+	base  uint64
+	pages int
+	off   uint64
+}
+
+// NewHeap creates a heap whose allocations are debited from limit.
+func (r *Registry) NewHeap(kind Kind, name string, limit *memlimit.Limit) *Heap {
+	h := &Heap{
+		ID:      r.Space.NewHeapID(),
+		Kind:    kind,
+		Name:    name,
+		reg:     r,
+		limit:   limit,
+		objects: make(map[*object.Object]struct{}),
+		entries: make(map[*object.Object]*EntryItem),
+		exits:   make(map[*object.Object]*ExitItem),
+	}
+	r.mu.Lock()
+	r.heaps[h.ID] = h
+	r.mu.Unlock()
+	return h
+}
+
+// Limit returns the heap's memlimit.
+func (h *Heap) Limit() *memlimit.Limit { return h.limit }
+
+// Bytes reports live accounted bytes.
+func (h *Heap) Bytes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytes
+}
+
+// Objects reports the number of live objects.
+func (h *Heap) Objects() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.objects)
+}
+
+// Stats returns a copy of the heap's counters.
+func (h *Heap) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Frozen reports whether the heap has been frozen (shared heaps only).
+func (h *Heap) Frozen() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.frozen
+}
+
+// Dead reports whether the heap has been merged away.
+func (h *Heap) Dead() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dead
+}
+
+// Alloc allocates an instance of class c on h.
+func (h *Heap) Alloc(c *object.Class) (*object.Object, error) {
+	return h.AllocExtra(c, 0)
+}
+
+// AllocExtra allocates an instance of c charged with extra additional
+// bytes, for objects carrying native payloads (string characters, buffers).
+func (h *Heap) AllocExtra(c *object.Class, extra uint64) (*object.Object, error) {
+	size := c.InstanceBytes + extra + uint64(h.reg.Cfg.HeaderExtra)
+	o := object.New(c)
+	o.SizeExtra = uint32(extra)
+	if err := h.adopt(o, size); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// AllocArray allocates an n-element array of array class c on h.
+func (h *Heap) AllocArray(c *object.Class, n int) (*object.Object, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("heap: negative array size %d", n)
+	}
+	size := c.ArraySizeBytes(n) + uint64(h.reg.Cfg.HeaderExtra)
+	o := object.NewArray(c, n)
+	if err := h.adopt(o, size); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// adopt charges, addresses, and registers a freshly built object.
+func (h *Heap) adopt(o *object.Object, size uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead {
+		return ErrHeapDead
+	}
+	if h.frozen {
+		return ErrFrozen
+	}
+	if err := h.limit.Debit(size); err != nil {
+		return err
+	}
+	addr, err := h.bump(size)
+	if err != nil {
+		h.limit.Credit(size)
+		return err
+	}
+	o.Addr = addr
+	o.Heap = h.ID
+	o.Hash = int32(addr>>3) ^ int32(addr>>19)
+	h.objects[o] = struct{}{}
+	h.bytes += size
+	h.stats.Allocs++
+	h.stats.AllocBytes += size
+	return nil
+}
+
+// bump assigns an address, leasing new pages as needed. Caller holds h.mu.
+func (h *Heap) bump(size uint64) (uint64, error) {
+	// An object never spans chunks; oversized objects get a dedicated
+	// multi-page chunk.
+	for h.cur < len(h.chunks) {
+		c := &h.chunks[h.cur]
+		capacity := uint64(c.pages) << vmaddr.PageShift
+		if c.off+size <= capacity {
+			addr := c.base + c.off
+			c.off += size
+			return addr, nil
+		}
+		h.cur++
+	}
+	pages := h.reg.Cfg.pagesPerChunk()
+	if need := vmaddr.PagesFor(size); need > pages {
+		pages = need
+	}
+	base, err := h.reg.Space.Reserve(h.ID, pages)
+	if err != nil {
+		return 0, err
+	}
+	h.chunks = append(h.chunks, chunk{base: base, pages: pages, off: size})
+	h.cur = len(h.chunks) - 1
+	return base, nil
+}
+
+// Contains reports whether o is registered in h.
+func (h *Heap) Contains(o *object.Object) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.objects[o]
+	return ok
+}
+
+// RecordCrossRef notes that an object in h now references target, which
+// lives in another heap. The write barrier calls this for every legal
+// cross-heap pointer store. The exit item is charged to h and the entry
+// item to the target's heap.
+func (h *Heap) RecordCrossRef(target *object.Object) error {
+	th, ok := h.reg.Lookup(target.Heap)
+	if !ok {
+		return fmt.Errorf("heap: cross ref to object in unknown heap %d", target.Heap)
+	}
+	if th == h {
+		return nil
+	}
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	if _, ok := h.exits[target]; ok {
+		return nil // this heap already references target
+	}
+	entry, ok := th.entries[target]
+	if !ok {
+		if err := th.limit.Debit(entryItemBytes); err != nil {
+			return err
+		}
+		entry = &EntryItem{Target: target}
+		th.entries[target] = entry
+	}
+	if err := h.limit.Debit(exitItemBytes); err != nil {
+		if entry.RefCount == 0 {
+			delete(th.entries, target)
+			th.limit.Credit(entryItemBytes)
+		}
+		return err
+	}
+	entry.RefCount++
+	h.exits[target] = &ExitItem{Target: target, Entry: entry}
+	return nil
+}
+
+// EntryCount reports the number of entry items (for tests/stats).
+func (h *Heap) EntryCount() int {
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	return len(h.entries)
+}
+
+// ExitCount reports the number of exit items (for tests/stats).
+func (h *Heap) ExitCount() int {
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	return len(h.exits)
+}
+
+// RootFunc enumerates external GC roots of a heap (thread stacks, statics,
+// VM handles). It must call visit for every root reference; visit ignores
+// nils and objects outside the heap being collected, so providers may
+// over-approximate.
+type RootFunc func(visit func(*object.Object))
+
+// Collect runs a full mark-and-sweep over h. roots supplies the external
+// roots; entry items with positive counts are roots implicitly. References
+// that leave the heap are not followed (that is the point of the design);
+// instead the set of still-referenced exit targets is recomputed, and exit
+// items that became unreachable release their entry items.
+func (h *Heap) Collect(roots RootFunc) GCResult {
+	// Lock order everywhere: reg.crossMu before any heap mutex. Holding
+	// crossMu for the whole collection serializes GCs across heaps, which
+	// matches the VM's stop-the-world collector.
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead {
+		return GCResult{}
+	}
+
+	var res GCResult
+	var stack []*object.Object
+	externalLive := make(map[*object.Object]bool)
+
+	pushRoot := func(o *object.Object) {
+		if o == nil || o.Marked() {
+			return
+		}
+		if o.Heap != h.ID {
+			return
+		}
+		if _, mine := h.objects[o]; !mine {
+			return
+		}
+		o.SetMark(true)
+		stack = append(stack, o)
+	}
+	if roots != nil {
+		roots(pushRoot)
+	}
+	for _, e := range h.entries {
+		if e.RefCount > 0 {
+			pushRoot(e.Target)
+		}
+	}
+
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Scanned++
+		for _, ref := range o.Refs {
+			if ref == nil {
+				continue
+			}
+			if ref.Heap == h.ID {
+				if !ref.Marked() {
+					ref.SetMark(true)
+					stack = append(stack, ref)
+				}
+			} else {
+				externalLive[ref] = true
+			}
+		}
+	}
+
+	// Sweep.
+	for o := range h.objects {
+		if o.Marked() {
+			o.SetMark(false)
+			continue
+		}
+		size := h.sizeOf(o)
+		delete(h.objects, o)
+		h.bytes -= size
+		h.limit.Credit(size)
+		res.Swept++
+		res.FreedBytes += size
+		o.Sever()
+	}
+
+	// Exit items whose targets are no longer referenced from this heap
+	// release their entry items; entry items that drop to zero disappear
+	// and their targets become collectable in their own heaps.
+	for target, exit := range h.exits {
+		if externalLive[target] {
+			continue
+		}
+		delete(h.exits, target)
+		h.limit.Credit(exitItemBytes)
+		h.releaseEntryLocked(exit.Entry)
+	}
+
+	res.Cycles = uint64(res.Scanned)*cyclesPerScan + uint64(res.Swept)*cyclesPerSweep
+	h.stats.GCs++
+	h.stats.Scanned += uint64(res.Scanned)
+	h.stats.Swept += uint64(res.Swept)
+	h.stats.FreedBytes += res.FreedBytes
+	h.stats.GCCycles += res.Cycles
+	return res
+}
+
+// releaseEntryLocked decrements an entry item; at zero the item is removed
+// from its heap. Caller holds reg.crossMu.
+func (h *Heap) releaseEntryLocked(e *EntryItem) {
+	e.RefCount--
+	if e.RefCount > 0 {
+		return
+	}
+	th, ok := h.reg.Lookup(e.Target.Heap)
+	if !ok {
+		return
+	}
+	if cur, present := th.entries[e.Target]; present && cur == e {
+		delete(th.entries, e.Target)
+		th.limit.Credit(entryItemBytes)
+	}
+}
+
+// sizeOf recomputes the accounted size of o. Caller holds h.mu.
+func (h *Heap) sizeOf(o *object.Object) uint64 {
+	if o.IsArray() {
+		return o.Class.ArraySizeBytes(o.ArrayLen()) + uint64(h.reg.Cfg.HeaderExtra)
+	}
+	return o.Class.InstanceBytes + uint64(o.SizeExtra) + uint64(h.reg.Cfg.HeaderExtra)
+}
+
+// RetargetLimit moves the heap's accounted use to a new memlimit and makes
+// future credits/debits flow there. Used when a populated shared heap is
+// frozen: its storage stops being the creator's and becomes system-wide,
+// while sharers are charged through their own memlimits.
+func (h *Heap) RetargetLimit(newLimit *memlimit.Limit) error {
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Item bytes are charged to h.limit as well; move everything.
+	var itemBytes uint64
+	itemBytes += uint64(len(h.entries)) * entryItemBytes
+	itemBytes += uint64(len(h.exits)) * exitItemBytes
+	if err := h.limit.Transfer(h.bytes+itemBytes, newLimit); err != nil {
+		return err
+	}
+	h.limit = newLimit
+	return nil
+}
+
+// HasExitsTo reports whether this heap holds any exit item targeting an
+// object in heap id — i.e. whether objects in h still reference that heap.
+func (h *Heap) HasExitsTo(id vmaddr.HeapID) bool {
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	for target := range h.exits {
+		if target.Heap == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Freeze marks a shared heap read-only for reference fields and closed for
+// allocation (paper §2: after a shared heap is populated, "it is frozen and
+// its size remains fixed for its lifetime").
+func (h *Heap) Freeze() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.frozen = true
+	for o := range h.objects {
+		o.Flags |= object.FlagFrozen
+	}
+}

@@ -1,0 +1,123 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/vmaddr"
+)
+
+// MergeInto merges h into dst, implementing the reclamation step of
+// process termination (paper §2): "A process' memory is reclaimed upon
+// termination by merging its heap with the kernel heap. All exit items are
+// destroyed at this point and the corresponding entry items are updated.
+// The kernel heap's collector can then collect all of the memory."
+//
+// After the merge h is dead: its pages belong to dst, its objects are
+// registered with dst (and their header heap IDs updated), its accounted
+// bytes move from h's memlimit to dst's, and entry/exit items between the
+// two heaps dissolve. The caller runs dst's collector afterwards to free
+// whatever was only reachable from the dead process.
+func (h *Heap) MergeInto(dst *Heap) error {
+	if h == dst {
+		return fmt.Errorf("heap: merge of %q into itself", h.Name)
+	}
+	if h.reg != dst.reg {
+		return fmt.Errorf("heap: merge across registries")
+	}
+
+	// Lock order: registry cross lock, then both heaps by ID.
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	first, second := h, dst
+	if first.ID > second.ID {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
+	if h.dead {
+		return ErrHeapDead
+	}
+
+	// Move accounted bytes. Item bytes move with their maps below.
+	if err := h.limit.Transfer(h.bytes, dst.limit); err != nil {
+		return err
+	}
+	dst.bytes += h.bytes
+	h.bytes = 0
+
+	// Transfer pages and objects.
+	for _, c := range h.chunks {
+		h.reg.Space.Reassign(c.base, c.pages, dst.ID)
+		// Merged chunks are full from dst's perspective: dst never bump-
+		// allocates into them.
+		dst.chunks = append(dst.chunks, chunk{base: c.base, pages: c.pages, off: uint64(c.pages) << vmaddr.PageShift})
+	}
+	h.chunks = nil
+	for o := range h.objects {
+		o.Heap = dst.ID
+		dst.objects[o] = struct{}{}
+	}
+	h.objects = make(map[*object.Object]struct{})
+
+	// Destroy h's exit items: each releases its entry item. Exits that
+	// targeted dst objects dissolve into intra-heap references.
+	for target, exit := range h.exits {
+		delete(h.exits, target)
+		h.limit.Credit(exitItemBytes)
+		h.releaseEntryLocked(exit.Entry)
+	}
+
+	// dst's exit items whose targets just moved into dst are now
+	// intra-heap: dissolve them too.
+	for target, exit := range dst.exits {
+		if target.Heap != dst.ID {
+			continue
+		}
+		delete(dst.exits, target)
+		dst.limit.Credit(exitItemBytes)
+		dst.releaseEntryLocked(exit.Entry)
+	}
+
+	// Remaining entry items of h describe references from third-party
+	// heaps into objects that now live in dst; move them (and their
+	// accounting) across.
+	for target, entry := range h.entries {
+		delete(h.entries, target)
+		h.limit.Credit(entryItemBytes)
+		if entry.RefCount <= 0 {
+			continue
+		}
+		if err := dst.limit.Debit(entryItemBytes); err != nil {
+			return err
+		}
+		dst.entries[target] = entry
+	}
+
+	h.dead = true
+	h.reg.mu.Lock()
+	delete(h.reg.heaps, h.ID)
+	h.reg.mu.Unlock()
+	return nil
+}
+
+// Orphaned reports whether a shared heap has no remaining sharers: no entry
+// items with positive counts reference any of its objects. The kernel
+// collector checks for orphaned shared heaps at the beginning of each GC
+// cycle and merges them into the kernel heap.
+func (h *Heap) Orphaned() bool {
+	if h.Kind != KindShared {
+		return false
+	}
+	h.reg.crossMu.Lock()
+	defer h.reg.crossMu.Unlock()
+	for _, e := range h.entries {
+		if e.RefCount > 0 {
+			return false
+		}
+	}
+	return true
+}

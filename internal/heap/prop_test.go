@@ -1,0 +1,230 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memlimit"
+	"repro/internal/object"
+)
+
+// TestPropGCReachability: for random object graphs and random root sets,
+// collection keeps exactly the reachable objects, and accounting matches
+// the survivors (DESIGN.md invariant 2).
+func TestPropGCReachability(t *testing.T) {
+	f := func(seed int64, nObjs uint8, nEdges uint8, nRoots uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWorld(t, Config{})
+		h := w.userHeap(t, "p", memlimit.Unlimited)
+
+		n := int(nObjs%40) + 2
+		objs := make([]*object.Object, n)
+		for i := range objs {
+			o, err := h.Alloc(w.node)
+			if err != nil {
+				return false
+			}
+			objs[i] = o
+		}
+		for e := 0; e < int(nEdges); e++ {
+			from := objs[rng.Intn(n)]
+			to := objs[rng.Intn(n)]
+			from.SetRef(rng.Intn(2), to)
+		}
+		rootSet := make(map[*object.Object]bool)
+		for r := 0; r < int(nRoots%5); r++ {
+			rootSet[objs[rng.Intn(n)]] = true
+		}
+
+		// Model: compute reachability independently.
+		expected := make(map[*object.Object]bool)
+		var stack []*object.Object
+		for o := range rootSet {
+			if !expected[o] {
+				expected[o] = true
+				stack = append(stack, o)
+			}
+		}
+		for len(stack) > 0 {
+			o := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ref := range o.Refs {
+				if ref != nil && !expected[ref] {
+					expected[ref] = true
+					stack = append(stack, ref)
+				}
+			}
+		}
+
+		h.Collect(func(visit func(*object.Object)) {
+			for o := range rootSet {
+				visit(o)
+			}
+		})
+
+		var liveBytes uint64
+		for _, o := range objs {
+			if expected[o] == o.Dead() {
+				return false // survivor mismatch
+			}
+			if !o.Dead() {
+				liveBytes += w.node.InstanceBytes
+			}
+		}
+		if h.Bytes() != liveBytes || h.Limit().Use() != liveBytes {
+			return false
+		}
+		if h.Objects() != len(expected) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropEntryExitConsistency: after arbitrary sequences of legal
+// cross-heap reference creation and collection, every entry item's
+// refcount equals the number of heaps holding a live exit item for its
+// target (DESIGN.md invariant 4).
+func TestPropEntryExitConsistency(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWorld(t, Config{})
+		// Kernel + two user heaps; kernel->user and user->kernel edges.
+		h1 := w.userHeap(t, "p1", memlimit.Unlimited)
+		h2 := w.userHeap(t, "p2", memlimit.Unlimited)
+		heaps := []*Heap{w.kernel, h1, h2}
+
+		// Each heap keeps a root object whose two slots we rewrite.
+		roots := make([]*object.Object, 3)
+		for i, h := range heaps {
+			o, err := h.Alloc(w.node)
+			if err != nil {
+				return false
+			}
+			roots[i] = o
+		}
+		targets := make([][]*object.Object, 3)
+		for i, h := range heaps {
+			for k := 0; k < 4; k++ {
+				o, err := h.Alloc(w.node)
+				if err != nil {
+					return false
+				}
+				targets[i] = append(targets[i], o)
+			}
+		}
+
+		for _, op := range ops {
+			kind := int(op) % 4
+			switch kind {
+			case 0: // kernel root references a user object
+				ui := 1 + rng.Intn(2)
+				tgt := targets[ui][rng.Intn(4)]
+				roots[0].SetRef(rng.Intn(2), tgt)
+				if err := w.kernel.RecordCrossRef(tgt); err != nil {
+					return false
+				}
+			case 1: // user root references a kernel object
+				ui := 1 + rng.Intn(2)
+				tgt := targets[0][rng.Intn(4)]
+				roots[ui].SetRef(rng.Intn(2), tgt)
+				if err := heaps[ui].RecordCrossRef(tgt); err != nil {
+					return false
+				}
+			case 2: // clear a random slot
+				roots[rng.Intn(3)].SetRef(rng.Intn(2), nil)
+			case 3: // collect a random heap with its root pinned
+				i := rng.Intn(3)
+				h := heaps[i]
+				keep := append([]*object.Object{roots[i]}, targets[i]...)
+				h.Collect(func(visit func(*object.Object)) {
+					for _, o := range keep {
+						visit(o)
+					}
+				})
+			}
+		}
+
+		// Invariant: every entry item's refcount equals the number of
+		// heaps whose exits map names its target.
+		w.reg.crossMu.Lock()
+		defer w.reg.crossMu.Unlock()
+		for _, h := range heaps {
+			for tgt, entry := range h.entries {
+				count := 0
+				for _, src := range heaps {
+					if _, ok := src.exits[tgt]; ok {
+						count++
+					}
+				}
+				if entry.RefCount != count {
+					return false
+				}
+			}
+			// And every exit has a matching entry with positive count.
+			for tgt, exit := range h.exits {
+				th, ok := w.reg.Lookup(tgt.Heap)
+				if !ok {
+					return false
+				}
+				cur, ok := th.entries[tgt]
+				if !ok || cur != exit.Entry || cur.RefCount <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMergeConservation: merging random heaps into the kernel never
+// loses or invents accounted bytes, and after a kernel collection with no
+// roots everything is reclaimed (DESIGN.md invariant 5).
+func TestPropMergeConservation(t *testing.T) {
+	f := func(seed int64, sizes []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWorld(t, Config{})
+		if len(sizes) > 6 {
+			sizes = sizes[:6]
+		}
+		var heaps []*Heap
+		var total uint64
+		for i, s := range sizes {
+			h := w.userHeap(t, string(rune('a'+i)), memlimit.Unlimited)
+			n := int(s%20) + 1
+			var prev *object.Object
+			for k := 0; k < n; k++ {
+				o, err := h.Alloc(w.node)
+				if err != nil {
+					return false
+				}
+				if prev != nil && rng.Intn(2) == 0 {
+					o.SetRef(0, prev)
+				}
+				prev = o
+			}
+			total += h.Bytes()
+			heaps = append(heaps, h)
+		}
+		for _, h := range heaps {
+			if err := h.MergeInto(w.kernel); err != nil {
+				return false
+			}
+		}
+		if w.kernel.Bytes() != total {
+			return false
+		}
+		w.kernel.Collect(nil)
+		return w.kernel.Bytes() == 0 && w.kernel.Limit().Use() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,958 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/heap"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+)
+
+func TestArithmetic(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method calc (II)I static
+.locals 2
+.stack 4
+	iload 0
+	iload 1
+	iadd        # a+b
+	iload 0
+	iload 1
+	imul        # a*b
+	isub        # (a+b)-(a*b)
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "calc(II)I", IntSlot(7), IntSlot(3))
+	fx.mustInt(th, (7+3)-(7*3))
+}
+
+func TestLoopAndLocals(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method sum (I)I static
+.locals 3
+.stack 4
+	iconst 0
+	istore 1
+	iconst 0
+	istore 2
+L0:	iload 2
+	iload 0
+	if_icmpge L1
+	iload 1
+	iload 2
+	iadd
+	istore 1
+	iinc 2 1
+	goto L0
+L1:	iload 1
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "sum(I)I", IntSlot(100))
+	fx.mustInt(th, 4950)
+}
+
+func TestDoubleOps(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method hypot2 ()I static
+.locals 1
+.stack 4
+	ldc 3.0
+	ldc 3.0
+	dmul
+	ldc 4.0
+	ldc 4.0
+	dmul
+	dadd
+	d2i
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "hypot2()I")
+	fx.mustInt(th, 25)
+}
+
+func TestDivideByZeroThrows(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method div (II)I static
+.locals 2
+.stack 2
+	iload 0
+	iload 1
+	idiv
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "div(II)I", IntSlot(10), IntSlot(0))
+	fx.mustUncaught(th, "java/lang/ArithmeticException")
+}
+
+func TestCatchException(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method safeDiv (II)I static
+.locals 3
+.stack 2
+T0:	iload 0
+	iload 1
+	idiv
+	ireturn
+T1:	astore 2
+	iconst -1
+	ireturn
+.catch java/lang/ArithmeticException T0 T1 T1
+.end
+.end`)
+	th := fx.run("t/Main", "safeDiv(II)I", IntSlot(10), IntSlot(0))
+	fx.mustInt(th, -1)
+	th2 := fx.run("t/Main", "safeDiv(II)I", IntSlot(10), IntSlot(2))
+	fx.mustInt(th2, 5)
+}
+
+func TestCatchSuperclassMatches(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 2
+T0:	iconst 1
+	iconst 0
+	idiv
+	ireturn
+T1:	pop
+	iconst 42
+	ireturn
+.catch java/lang/Exception T0 T1 T1
+.end
+.end`)
+	th := fx.run("t/Main", "go()I")
+	fx.mustInt(th, 42)
+}
+
+func TestThrowAcrossFrames(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method thrower ()V static
+.locals 0
+.stack 2
+	new java/lang/RuntimeException
+	athrow
+.end
+.method catcher ()I static
+.locals 1
+.stack 1
+T0:	invokestatic t/Main.thrower ()V
+	iconst 0
+	ireturn
+T1:	pop
+	iconst 7
+	ireturn
+.catch java/lang/RuntimeException T0 T1 T1
+.end
+.end`)
+	th := fx.run("t/Main", "catcher()I")
+	fx.mustInt(th, 7)
+}
+
+func TestSlowAndFastExceptionsAgree(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+		fx.env.FastExceptions = fast
+		fx.define(`
+.class t/Main
+.method go (I)I static
+.locals 2
+.stack 2
+T0:	iload 0
+	iconst 0
+	idiv
+	ireturn
+T1:	pop
+	iconst 9
+	ireturn
+.catch java/lang/ArithmeticException T0 T1 T1
+.end
+.end`)
+		th := fx.run("t/Main", "go(I)I", IntSlot(5))
+		fx.mustInt(th, 9)
+	}
+}
+
+func TestSlowExceptionsCostMore(t *testing.T) {
+	src := `
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+T0:	iconst 1
+	iconst 0
+	idiv
+	pop
+	iconst 0
+	ireturn
+T1:	pop
+	iinc 0 1
+	iload 0
+	iconst 50
+	if_icmplt T0
+	iload 0
+	ireturn
+.catch java/lang/ArithmeticException T0 T1 T1
+.end
+.end`
+	var cycles [2]uint64
+	for i, fast := range []bool{true, false} {
+		fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+		fx.env.FastExceptions = fast
+		fx.define(src)
+		th := fx.run("t/Main", "go()I")
+		fx.mustInt(th, 50)
+		cycles[i] = th.Cycles
+	}
+	if cycles[1] <= cycles[0] {
+		t.Errorf("slow dispatch (%d cycles) not more expensive than fast (%d)", cycles[1], cycles[0])
+	}
+}
+
+func TestObjectsAndFields(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Point
+.field x I
+.field y I
+.method <init> (II)V
+.locals 3
+.stack 3
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	aload 0
+	iload 1
+	putfield t/Point.x I
+	aload 0
+	iload 2
+	putfield t/Point.y I
+	return
+.end
+.method manhattan ()I
+.locals 1
+.stack 3
+	aload 0
+	getfield t/Point.x I
+	aload 0
+	getfield t/Point.y I
+	iadd
+	ireturn
+.end
+.end
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 4
+	new t/Point
+	dup
+	iconst 3
+	iconst 4
+	invokespecial t/Point.<init> (II)V
+	astore 0
+	aload 0
+	invokevirtual t/Point.manhattan ()I
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go()I")
+	fx.mustInt(th, 7)
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/A
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.method f ()I
+.locals 1
+.stack 1
+	iconst 1
+	ireturn
+.end
+.end
+.class t/B extends t/A
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial t/A.<init> ()V
+	return
+.end
+.method f ()I
+.locals 1
+.stack 1
+	iconst 2
+	ireturn
+.end
+.end
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 3
+	new t/B
+	dup
+	invokespecial t/B.<init> ()V
+	astore 0
+	aload 0
+	invokevirtual t/A.f ()I    # static type A, dynamic type B
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go()I")
+	fx.mustInt(th, 2)
+}
+
+func TestStatics(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/C
+.static counter I
+.method bump ()I static
+.locals 0
+.stack 3
+	getstatic t/C.counter I
+	iconst 1
+	iadd
+	putstatic t/C.counter I
+	getstatic t/C.counter I
+	ireturn
+.end
+.end`)
+	fx.run("t/C", "bump()I")
+	th := fx.run("t/C", "bump()I")
+	fx.mustInt(th, 2)
+}
+
+func TestArrays(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method go (I)I static
+.locals 3
+.stack 4
+	iload 0
+	newarray [I
+	astore 1
+	iconst 0
+	istore 2
+L0:	iload 2
+	iload 0
+	if_icmpge L1
+	aload 1
+	iload 2
+	iload 2
+	iload 2
+	imul
+	iastore
+	iinc 2 1
+	goto L0
+L1:	aload 1
+	iload 0
+	iconst 1
+	isub
+	iaload
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go(I)I", IntSlot(10))
+	fx.mustInt(th, 81)
+}
+
+func TestArrayBounds(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 3
+	iconst 3
+	newarray [I
+	astore 0
+	aload 0
+	iconst 5
+	iaload
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go()I")
+	fx.mustUncaught(th, "java/lang/ArrayIndexOutOfBoundsException")
+}
+
+func TestNegativeArraySize(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method go ()I static
+.locals 0
+.stack 2
+	iconst -1
+	newarray [I
+	arraylength
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go()I")
+	fx.mustUncaught(th, "java/lang/NegativeArraySizeException")
+}
+
+func TestNullPointerFault(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/P
+.field v I
+.end
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 2
+	aconst_null
+	astore 0
+	aload 0
+	getfield t/P.v I
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go()I")
+	fx.mustUncaught(th, "java/lang/NullPointerException")
+}
+
+func TestCheckcastAndInstanceof(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/A
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+.class t/B extends t/A
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial t/A.<init> ()V
+	return
+.end
+.end
+.class t/Main
+.method isA ()I static
+.locals 1
+.stack 3
+	new t/B
+	dup
+	invokespecial t/B.<init> ()V
+	instanceof t/A
+	ireturn
+.end
+.method badCast ()I static
+.locals 1
+.stack 3
+	new t/A
+	dup
+	invokespecial t/A.<init> ()V
+	checkcast t/B
+	pop
+	iconst 0
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "isA()I")
+	fx.mustInt(th, 1)
+	th2 := fx.run("t/Main", "badCast()I")
+	fx.mustUncaught(th2, "java/lang/ClassCastException")
+}
+
+func TestRecursionAndStackOverflow(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method fib (I)I static
+.locals 1
+.stack 4
+	iload 0
+	iconst 2
+	if_icmpge L0
+	iload 0
+	ireturn
+L0:	iload 0
+	iconst 1
+	isub
+	invokestatic t/Main.fib (I)I
+	iload 0
+	iconst 2
+	isub
+	invokestatic t/Main.fib (I)I
+	iadd
+	ireturn
+.end
+.method forever ()V static
+.locals 0
+.stack 1
+	invokestatic t/Main.forever ()V
+	return
+.end
+.end`)
+	th := fx.run("t/Main", "fib(I)I", IntSlot(15))
+	fx.mustInt(th, 610)
+	th2 := fx.run("t/Main", "forever()V")
+	fx.mustUncaught(th2, "java/lang/StackOverflowError")
+}
+
+func TestStringLiteralsIntern(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method same ()I static
+.locals 0
+.stack 2
+	ldc "hello"
+	ldc "hello"
+	if_acmpeq L0
+	iconst 0
+	ireturn
+L0:	iconst 1
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "same()I")
+	fx.mustInt(th, 1)
+}
+
+func TestQuantumPreemption(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method spin ()I static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+L0:	iinc 0 1
+	iload 0
+	ldc 1000000
+	if_icmplt L0
+	iload 0
+	ireturn
+.end
+.end`)
+	th := fx.newThread()
+	if err := th.PushFrame(fx.method("t/Main", "spin()I"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var eng Interpreter
+	th.Fuel = 1000
+	if res := eng.Step(th); res != StepYielded {
+		t.Fatalf("first step = %v, want yield", res)
+	}
+	if th.Fuel > 0 {
+		t.Error("yielded with fuel remaining")
+	}
+	steps := 1
+	for th.State == StateRunnable {
+		th.Fuel = 100000
+		if eng.Step(th) == StepFinished {
+			break
+		}
+		steps++
+		if steps > 100000 {
+			t.Fatal("never finished")
+		}
+	}
+	fx.mustInt(th, 1000000)
+	if steps < 2 {
+		t.Error("expected multiple quanta")
+	}
+}
+
+func TestKillAtSafepoint(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method spin ()V static
+.locals 0
+.stack 1
+L0:	goto L0
+.end
+.end`)
+	th := fx.newThread()
+	if err := th.PushFrame(fx.method("t/Main", "spin()V"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var eng Interpreter
+	th.Fuel = 1000
+	eng.Step(th)
+	th.Kill()
+	th.Fuel = 1000
+	if res := eng.Step(th); res != StepKilled {
+		t.Fatalf("step after kill = %v", res)
+	}
+	if th.State != StateKilled {
+		t.Errorf("state = %v", th.State)
+	}
+	if len(th.Frames) != 0 {
+		t.Error("frames not unwound")
+	}
+}
+
+func TestKillDeferredInKernelMode(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method spin (I)I static
+.locals 1
+.stack 2
+L0:	iinc 0 -1
+	iload 0
+	ifgt L0
+	iconst 77
+	ireturn
+.end
+.end`)
+	th := fx.newThread()
+	if err := th.PushFrame(fx.method("t/Main", "spin(I)I"), []Slot{IntSlot(50)}); err != nil {
+		t.Fatal(err)
+	}
+	th.EnterKernel()
+	th.Kill()
+	var eng Interpreter
+	th.Fuel = 100000
+	if res := eng.Step(th); res != StepFinished {
+		t.Fatalf("kernel-mode step = %v, want finish despite kill", res)
+	}
+	fx.mustInt(th, 77)
+	th.ExitKernel()
+}
+
+func TestMonitorsReentrant(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 2
+	new java/lang/Object
+	astore 0
+	aload 0
+	monitorenter
+	aload 0
+	monitorenter
+	aload 0
+	monitorexit
+	aload 0
+	monitorexit
+	iconst 5
+	ireturn
+.end
+.end`)
+	for _, thin := range []bool{true, false} {
+		fx.env.ThinLocks = thin
+		th := fx.run("t/Main", "go()I")
+		fx.mustInt(th, 5)
+	}
+}
+
+func TestMonitorExitWithoutOwner(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method go ()V static
+.locals 0
+.stack 2
+	new java/lang/Object
+	monitorexit
+	return
+.end
+.end`)
+	th := fx.run("t/Main", "go()V")
+	fx.mustUncaught(th, "java/lang/IllegalMonitorStateException")
+}
+
+func TestMonitorBlocksOtherThread(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.static lock Ljava/lang/Object;
+.method setup ()V static
+.locals 0
+.stack 2
+	new java/lang/Object
+	putstatic t/Main.lock Ljava/lang/Object;
+	return
+.end
+.method grab ()I static
+.locals 0
+.stack 2
+	getstatic t/Main.lock Ljava/lang/Object;
+	monitorenter
+	getstatic t/Main.lock Ljava/lang/Object;
+	monitorexit
+	iconst 1
+	ireturn
+.end
+.end`)
+	fx.run("t/Main", "setup()V")
+
+	holder := fx.newThread()
+	c, _ := fx.proc.Class("t/Main")
+	lockField, _ := c.StaticByName("lock")
+	lockObj := c.Statics.Refs[lockField.Slot]
+	if lockObj == nil {
+		t.Fatal("setup did not store lock")
+	}
+	// The holder thread owns the monitor out-of-band.
+	if !tryLock(holder, lockObj) {
+		t.Fatal("holder could not lock")
+	}
+
+	waiter := fx.newThread()
+	if err := waiter.PushFrame(fx.method("t/Main", "grab()I"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var eng Interpreter
+	waiter.Fuel = 10000
+	if res := eng.Step(waiter); res != StepBlocked {
+		t.Fatalf("step = %v, want blocked", res)
+	}
+	if waiter.BlockedOn != lockObj {
+		t.Error("BlockedOn wrong object")
+	}
+	// Holder releases; waiter can proceed.
+	releaseMonitor(holder, lockObj)
+	if !MonitorFree(waiter, lockObj) {
+		t.Fatal("monitor still busy after release")
+	}
+	waiter.State = StateRunnable
+	waiter.BlockedOn = nil
+	waiter.Fuel = 10000
+	if res := eng.Step(waiter); res != StepFinished {
+		t.Fatalf("resumed step = %v, err %v", res, waiter.Err)
+	}
+	fx.mustInt(waiter, 1)
+}
+
+func TestWriteBarrierViolationRaisesSegv(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Holder
+.field ref Ljava/lang/Object;
+.end
+.class t/Main
+.method store (Lt/Holder;Ljava/lang/Object;)I static
+.locals 2
+.stack 2
+T0:	aload 0
+	aload 1
+	putfield t/Holder.ref Ljava/lang/Object;
+	iconst 0
+	ireturn
+T1:	pop
+	iconst 1
+	ireturn
+.catch kaffeos/SegmentationViolationError T0 T1 T1
+.end
+.end`)
+	// Build a holder on this process' heap and a foreign object on another
+	// user heap; the store must raise a segmentation violation, caught by
+	// the program.
+	holderC, _ := fx.proc.Class("t/Holder")
+	holder, err := fx.user.Alloc(holderC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := fx.reg.NewHeap(heap.KindUser, "user2", fx.root.MustChild("user2", memlimit.Unlimited, false))
+	objC, _ := fx.shared.Class("java/lang/Object")
+	foreign, err := other.Alloc(objC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := fx.run("t/Main", "store(Lt/Holder;Ljava/lang/Object;)I", RefSlot(holder), RefSlot(foreign))
+	fx.mustInt(th, 1)
+
+	// Same-heap store is fine.
+	mine, _ := fx.user.Alloc(objC)
+	th2 := fx.run("t/Main", "store(Lt/Holder;Ljava/lang/Object;)I", RefSlot(holder), RefSlot(mine))
+	fx.mustInt(th2, 0)
+	if holder.Refs[0] != mine {
+		t.Error("legal store did not happen")
+	}
+}
+
+func TestBarrierCountsStores(t *testing.T) {
+	fx := newFixture(t, barrier.HeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Node
+.field next Lt/Node;
+.field v I
+.end
+.class t/Main
+.method go (I)I static
+.locals 2
+.stack 3
+	aconst_null
+	astore 1
+L0:	iload 0
+	ifle L1
+	new t/Node
+	dup
+	aload 1
+	putfield t/Node.next Lt/Node;
+	astore 1
+	aload 1
+	iconst 1
+	putfield t/Node.v I
+	iinc 0 -1
+	goto L0
+L1:	iconst 0
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go(I)I", IntSlot(10))
+	fx.mustInt(th, 0)
+	// Exactly one ref store per iteration; primitive stores don't count.
+	if got := fx.env.BarrierStats.Executed.Load(); got != 10 {
+		t.Errorf("barrier count = %d, want 10", got)
+	}
+}
+
+func TestOOMTriggersGCAndRecovers(t *testing.T) {
+	// Heap sized to hold only a few nodes: the allocate-drop loop survives
+	// because allocation failure triggers GC.
+	fx := newFixture(t, barrier.NoHeapPointer, 4096)
+	fx.define(`
+.class t/Node
+.field payload [I
+.end
+.class t/Main
+.method churn (I)I static
+.locals 2
+.stack 3
+L0:	iload 0
+	ifle L1
+	new t/Node
+	astore 1
+	aload 1
+	ldc 64
+	newarray [I
+	putfield t/Node.payload [I
+	iinc 0 -1
+	goto L0
+L1:	iconst 1
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "churn(I)I", IntSlot(100))
+	fx.mustInt(th, 1)
+	if fx.user.Stats().GCs == 0 {
+		t.Error("no GC ran despite memory pressure")
+	}
+}
+
+func TestOOMWhenTrulyExhausted(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, 4096)
+	fx.define(`
+.class t/Main
+.static keep [I
+.method hog ()V static
+.locals 0
+.stack 2
+	ldc 100000
+	newarray [I
+	putstatic t/Main.keep [I
+	return
+.end
+.end`)
+	th := fx.run("t/Main", "hog()V")
+	fx.mustUncaught(th, "java/lang/OutOfMemoryError")
+}
+
+func TestCyclesAccounted(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method go ()I static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+L0:	iinc 0 1
+	iload 0
+	iconst 100
+	if_icmplt L0
+	iload 0
+	ireturn
+.end
+.end`)
+	th := fx.run("t/Main", "go()I")
+	fx.mustInt(th, 100)
+	if th.Cycles == 0 {
+		t.Fatal("no cycles charged")
+	}
+	// Roughly 4 ops/iteration, each 1 cycle: at least 400.
+	if th.Cycles < 400 {
+		t.Errorf("cycles = %d, implausibly low", th.Cycles)
+	}
+}
+
+func TestThreadRootsCoverStack(t *testing.T) {
+	fx := newFixture(t, barrier.NoHeapPointer, memlimit.Unlimited)
+	fx.define(`
+.class t/Main
+.method park (Ljava/lang/Object;)V static
+.locals 1
+.stack 1
+L0:	goto L0
+.end
+.end`)
+	objC, _ := fx.shared.Class("java/lang/Object")
+	o, _ := fx.user.Alloc(objC)
+	th := fx.newThread()
+	if err := th.PushFrame(fx.method("t/Main", "park(Ljava/lang/Object;)V"), []Slot{RefSlot(o)}); err != nil {
+		t.Fatal(err)
+	}
+	var eng Interpreter
+	th.Fuel = 100
+	eng.Step(th)
+	found := false
+	th.Roots(func(r *object.Object) {
+		if r == o {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("local not visited by Roots")
+	}
+	// GC with the thread's roots must keep o alive.
+	fx.user.Collect(th.Roots)
+	if o.Dead() {
+		t.Error("rooted object collected")
+	}
+}

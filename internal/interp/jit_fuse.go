@@ -1,0 +1,171 @@
+package interp
+
+// Superoperator fusion: the optimized engine recognizes common bytecode
+// sequences and compiles each into a single closure, the closure-compiler
+// analogue of the peephole/combining optimizations a commercial JIT
+// performs. Fusion never crosses a branch target or handler entry, so
+// every jump lands on the head of a (possibly fused) unit.
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/object"
+)
+
+// fuse tries to fuse a run starting at pc. It returns (nil, 0) when no
+// pattern applies.
+func (j *JIT) fuse(m *object.Method, pc int, target []bool) (closure, int) {
+	code := m.Code
+	ins := code.Instrs
+	n := len(ins)
+
+	// run(k) reports whether pcs pc+1..pc+k-1 exist and are not targets.
+	run := func(k int) bool {
+		if pc+k > n {
+			return false
+		}
+		for i := pc + 1; i < pc+k; i++ {
+			if target[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Pattern: ILOAD a; ILOAD b; (IADD|ISUB|IMUL); ISTORE c
+	if run(4) && ins[pc].Op == bytecode.ILOAD && ins[pc+1].Op == bytecode.ILOAD &&
+		isArith(ins[pc+2].Op) && ins[pc+3].Op == bytecode.ISTORE {
+		a, b, c := ins[pc].A, ins[pc+1].A, ins[pc+3].A
+		op := ins[pc+2].Op
+		next := pc + 4
+		return func(t *Thread, f *Frame) control {
+			x, y := f.Locals[a].I, f.Locals[b].I
+			switch op {
+			case bytecode.IADD:
+				x += y
+			case bytecode.ISUB:
+				x -= y
+			default:
+				x *= y
+			}
+			f.Locals[c] = IntSlot(x)
+			f.PC = next
+			return ctlBranch
+		}, 4
+	}
+
+	// Pattern: ILOAD a; (ICONST k | LDC intk); IF_ICMPxx T — the dominant
+	// loop-latch shape.
+	if run(3) && ins[pc].Op == bytecode.ILOAD && isIcmp(ins[pc+2].Op) {
+		var k int64
+		ok := false
+		switch ins[pc+1].Op {
+		case bytecode.ICONST:
+			k, ok = int64(ins[pc+1].A), true
+		case bytecode.LDC:
+			if c := code.Consts[ins[pc+1].A]; c.Kind == bytecode.KindInt {
+				k, ok = c.I, true
+			}
+		}
+		if ok {
+			a := ins[pc].A
+			op, tgt, next := ins[pc+2].Op, int(ins[pc+2].A), pc+3
+			return func(t *Thread, f *Frame) control {
+				if cmpInts(op, f.Locals[a].I, k) {
+					f.PC = tgt
+				} else {
+					f.PC = next
+				}
+				return ctlBranch
+			}, 3
+		}
+	}
+
+	// Pattern: ILOAD a; ILOAD b; IF_ICMPxx T
+	if run(3) && ins[pc].Op == bytecode.ILOAD && ins[pc+1].Op == bytecode.ILOAD && isIcmp(ins[pc+2].Op) {
+		a, b := ins[pc].A, ins[pc+1].A
+		op, tgt, next := ins[pc+2].Op, int(ins[pc+2].A), pc+3
+		return func(t *Thread, f *Frame) control {
+			if cmpInts(op, f.Locals[a].I, f.Locals[b].I) {
+				f.PC = tgt
+			} else {
+				f.PC = next
+			}
+			return ctlBranch
+		}, 3
+	}
+
+	// Pattern: IINC; GOTO T (loop latch)
+	if run(2) && ins[pc].Op == bytecode.IINC && ins[pc+1].Op == bytecode.GOTO {
+		a, d, tgt := ins[pc].A, int64(ins[pc].B), int(ins[pc+1].A)
+		return func(t *Thread, f *Frame) control {
+			f.Locals[a].I += d
+			f.PC = tgt
+			return ctlBranch
+		}, 2
+	}
+
+	// Pattern: ALOAD a; GETFIELD f (accessor inlining)
+	if run(2) && ins[pc].Op == bytecode.ALOAD && ins[pc+1].Op == bytecode.GETFIELD {
+		a := ins[pc].A
+		fl := m.Links[ins[pc+1].A].Field
+		slot, ref, name := fl.Slot, fl.Ref, fl.Name
+		next := pc + 2
+		return func(t *Thread, f *Frame) control {
+			o := f.Locals[a].R
+			if o == nil {
+				return jitThrow(t, ClsNullPointer, "getfield "+name)
+			}
+			if ref {
+				f.push(RefSlot(o.Refs[slot]))
+			} else {
+				f.push(IntSlot(o.Prims[slot]))
+			}
+			f.PC = next
+			return ctlBranch
+		}, 2
+	}
+
+	// Pattern: ICONST k; ISTORE a
+	if run(2) && ins[pc].Op == bytecode.ICONST && ins[pc+1].Op == bytecode.ISTORE {
+		k, a := int64(ins[pc].A), ins[pc+1].A
+		next := pc + 2
+		return func(t *Thread, f *Frame) control {
+			f.Locals[a] = IntSlot(k)
+			f.PC = next
+			return ctlBranch
+		}, 2
+	}
+
+	// Pattern: ALOAD a; ILOAD i; IALOAD (array read from locals)
+	if run(3) && ins[pc].Op == bytecode.ALOAD && ins[pc+1].Op == bytecode.ILOAD && ins[pc+2].Op == bytecode.IALOAD {
+		a, i := ins[pc].A, ins[pc+1].A
+		next := pc + 3
+		return func(t *Thread, f *Frame) control {
+			arr := f.Locals[a].R
+			idx := f.Locals[i].I
+			if ctl, ok := jitCheckArray(t, arr, idx); !ok {
+				return ctl
+			}
+			f.push(IntSlot(arr.Prims[idx]))
+			f.PC = next
+			return ctlBranch
+		}, 3
+	}
+
+	return nil, 0
+}
+
+func isArith(op bytecode.Op) bool {
+	return op == bytecode.IADD || op == bytecode.ISUB || op == bytecode.IMUL
+}
+
+func isIcmp(op bytecode.Op) bool {
+	switch op {
+	case bytecode.IF_ICMPEQ, bytecode.IF_ICMPNE, bytecode.IF_ICMPLT,
+		bytecode.IF_ICMPGE, bytecode.IF_ICMPGT, bytecode.IF_ICMPLE:
+		return true
+	}
+	return false
+}
+
+// ensure object import is used even if patterns change
+var _ *object.Method

@@ -1,0 +1,40 @@
+package interp
+
+import "repro/internal/bytecode"
+
+// naiveDecode is the per-instruction re-decode table the spill-simulating
+// interpreter consults, the way a naive template translator re-resolves
+// each opcode's handler metadata instead of caching it across
+// instructions.
+type naiveDecodeEntry struct {
+	name   string
+	cycles int
+	branch bool
+}
+
+var naiveDecode = func() [128]naiveDecodeEntry {
+	var t [128]naiveDecodeEntry
+	for i := 0; i < bytecode.NumOps() && i < len(t); i++ {
+		op := bytecode.Op(i)
+		t[i] = naiveDecodeEntry{name: op.Name(), cycles: op.Cycles(), branch: op.IsBranch()}
+	}
+	return t
+}()
+
+//go:noinline
+func naiveSpill(t *Thread, f *Frame, op bytecode.Op) {
+	// Redundant decode: a naive translator re-derives handler metadata
+	// for every instruction.
+	e := &naiveDecode[op&127]
+	if e.cycles < 0 {
+		return
+	}
+	// Register spill/reload traffic: Kaffe 1.0b4 kept almost nothing live
+	// across instruction boundaries, so locals bounce through memory.
+	n := len(f.Locals)
+	if n > 4 {
+		n = 4
+	}
+	t.scratch = append(t.scratch[:0], f.Locals[:n]...)
+	copy(f.Locals[:n], t.scratch)
+}

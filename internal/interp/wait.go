@@ -1,0 +1,160 @@
+package interp
+
+// Object.wait/notify and Thread.join support.
+//
+// A waiting thread releases its monitor completely (remembering the
+// recursion count), parks in StateWaiting on the object's wait set, and
+// becomes eligible to run again only after a notify AND re-acquisition of
+// the monitor. The scheduler polls ReacquireReady/TryReacquire from its
+// wake pass, which keeps all policy in one place and the state machine on
+// the thread itself. Join is the degenerate case: parking on a predicate
+// (target thread no longer alive) with no monitor involved.
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+)
+
+// Wait implements Object.wait(): the calling thread must own o's monitor.
+// On success the thread is parked (StateWaiting) and the monitor released;
+// the engine returns to the scheduler at the end of the current native
+// call.
+func Wait(t *Thread, o *object.Object) error {
+	if !ownsMonitor(t, o) {
+		return t.Env.Throw(t, ClsIllegalMonitor, "wait without owning the monitor")
+	}
+	rec := inflate(o)
+	// Remember recursion depth; release fully.
+	t.SavedLockCount = rec.count
+	rec.owner = 0
+	rec.count = 0
+	if t.Env.ThinLocks {
+		o.LockOwner = 0
+		o.LockCount = 0
+	}
+	rec.waiters = append(rec.waiters, t)
+	t.WaitingOn = o
+	t.Notified = false
+	t.WakeAt = 0
+	t.State = StateWaiting
+	return nil
+}
+
+// WaitTimed is Wait with a deadline in absolute virtual cycles: the
+// scheduler self-notifies the thread when the clock passes it
+// (Object.wait(millis)).
+func WaitTimed(t *Thread, o *object.Object, deadline uint64) error {
+	if err := Wait(t, o); err != nil {
+		return err
+	}
+	t.WakeAt = deadline
+	return nil
+}
+
+// Notify implements Object.notify()/notifyAll(): marks one (or all)
+// waiters as notified; they re-acquire the monitor when the scheduler
+// sees it free.
+func Notify(t *Thread, o *object.Object, all bool) error {
+	if !ownsMonitor(t, o) {
+		return t.Env.Throw(t, ClsIllegalMonitor, "notify without owning the monitor")
+	}
+	rec := inflate(o)
+	for i, w := range rec.waiters {
+		w.Notified = true
+		if !all && i == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// ownsMonitor reports whether t currently holds o's monitor.
+func ownsMonitor(t *Thread, o *object.Object) bool {
+	if rec, ok := o.Heavy.(*monitorRecord); ok {
+		return rec.owner == t.ID
+	}
+	if t.Env.ThinLocks {
+		return o.LockOwner == t.ID
+	}
+	return false
+}
+
+// ReacquireReady reports whether a waiting thread can resume: it was
+// notified (or its park predicate holds) and, for monitor waits, the
+// monitor is free.
+func ReacquireReady(t *Thread) bool {
+	if t.WaitCond != nil {
+		return t.WaitCond()
+	}
+	if t.WaitingOn == nil {
+		return true // spurious state; let it run
+	}
+	if !t.Notified {
+		return false
+	}
+	rec := inflate(t.WaitingOn)
+	return rec.owner == 0 || rec.owner == t.ID
+}
+
+// Resume finalizes the wake-up of a waiting thread: re-acquires the
+// monitor at the saved recursion depth and clears the wait state. The
+// scheduler calls it only after ReacquireReady reported true.
+func Resume(t *Thread) error {
+	if t.WaitCond != nil {
+		t.WaitCond = nil
+		t.State = StateRunnable
+		return nil
+	}
+	o := t.WaitingOn
+	if o == nil {
+		t.State = StateRunnable
+		return nil
+	}
+	rec := inflate(o)
+	if rec.owner != 0 && rec.owner != t.ID {
+		return fmt.Errorf("interp: resume with monitor held by %d", rec.owner)
+	}
+	rec.owner = t.ID
+	rec.count = t.SavedLockCount
+	if t.Env.ThinLocks {
+		o.LockOwner = t.ID
+		o.LockCount = t.SavedLockCount
+	}
+	// Drop t from the wait set.
+	for i, w := range rec.waiters {
+		if w == t {
+			rec.waiters = append(rec.waiters[:i], rec.waiters[i+1:]...)
+			break
+		}
+	}
+	t.WaitingOn = nil
+	t.Notified = false
+	t.SavedLockCount = 0
+	t.State = StateRunnable
+	return nil
+}
+
+// ParkUntil parks the thread until cond reports true (Thread.join and
+// similar). The scheduler polls the predicate.
+func ParkUntil(t *Thread, cond func() bool) {
+	t.WaitCond = cond
+	t.State = StateWaiting
+}
+
+// CancelWait force-removes a killed thread from any wait set.
+func CancelWait(t *Thread) {
+	if o := t.WaitingOn; o != nil {
+		if rec, ok := o.Heavy.(*monitorRecord); ok {
+			for i, w := range rec.waiters {
+				if w == t {
+					rec.waiters = append(rec.waiters[:i], rec.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	t.WaitingOn = nil
+	t.WaitCond = nil
+	t.Notified = false
+}

@@ -1,0 +1,223 @@
+package jserv
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+)
+
+// servletSource is the well-behaved servlet: it loops forever handling
+// requests — each request does a fixed amount of computation, allocates a
+// short-lived response buffer, and bumps the handled counter.
+const servletSource = `
+.class jserv/Servlet
+.static handled I
+.method main ()V static
+.locals 3
+.stack 4
+LOOP:
+# one request: compute
+	iconst 0
+	istore 0
+	iconst 0
+	istore 1
+WORK:	iload 1
+	ldc 400
+	if_icmpge RESP
+	iload 0
+	iload 1
+	imul
+	iload 1
+	iadd
+	ldc 16777215
+	iand
+	istore 0
+	iinc 1 1
+	goto WORK
+# build a response and retire it
+RESP:	ldc 64
+	newarray [I
+	astore 2
+	aload 2
+	iconst 0
+	iload 0
+	iastore
+	getstatic jserv/Servlet.handled I
+	iconst 1
+	iadd
+	putstatic jserv/Servlet.handled I
+	goto LOOP
+.end
+.end`
+
+// memHogSource is the paper's MemHog: "sits in a loop, repeatedly
+// allocates memory, and keeps it from being garbage-collected."
+const memHogSource = `
+.class jserv/MemHog
+.static keep Ljava/util/Vector;
+.method main ()V static
+.locals 0
+.stack 4
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	putstatic jserv/MemHog.keep Ljava/util/Vector;
+LOOP:	getstatic jserv/MemHog.keep Ljava/util/Vector;
+	ldc 4096
+	newarray [I
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	goto LOOP
+.end
+.end`
+
+// ServletModule returns the servlet program module.
+func ServletModule() *bytecode.Module { return bytecode.MustAssemble(servletSource) }
+
+// MemHogModule returns the MemHog program module.
+func MemHogModule() *bytecode.Module { return bytecode.MustAssemble(memHogSource) }
+
+// Servlet is one supervised servlet zone (one KaffeOS process).
+type Servlet struct {
+	Name  string
+	MemKB int
+	Hog   bool
+
+	proc *core.Process
+	// handled accumulates across restarts; lastSeen is the counter value
+	// at the previous poll (counters die with the process heap).
+	handled  uint64
+	lastSeen uint64
+	restarts int
+}
+
+// Handled reports total requests answered across restarts.
+func (s *Servlet) Handled() uint64 { return s.handled }
+
+// Restarts reports how many times the supervisor restarted the servlet.
+func (s *Servlet) Restarts() int { return s.restarts }
+
+// Engine runs supervised servlets on a real KaffeOS VM — the paper's
+// administrator loop: "we restarted the JVM(s) and the KaffeOS process,
+// respectively, whenever it crashed because of the effects caused by
+// MemHog."
+type Engine struct {
+	VM       *core.VM
+	servlets []*Servlet
+}
+
+// NewEngine wraps a VM.
+func NewEngine(vm *core.VM) *Engine {
+	return &Engine{VM: vm}
+}
+
+// AddServlet registers a well-behaved servlet zone.
+func (e *Engine) AddServlet(name string, memKB int) (*Servlet, error) {
+	return e.add(name, memKB, false)
+}
+
+// AddMemHog registers a denial-of-service servlet zone.
+func (e *Engine) AddMemHog(name string, memKB int) (*Servlet, error) {
+	return e.add(name, memKB, true)
+}
+
+func (e *Engine) add(name string, memKB int, hog bool) (*Servlet, error) {
+	s := &Servlet{Name: name, MemKB: memKB, Hog: hog}
+	if err := e.start(s); err != nil {
+		return nil, err
+	}
+	e.servlets = append(e.servlets, s)
+	return s, nil
+}
+
+// start (re)creates the servlet's process.
+func (e *Engine) start(s *Servlet) error {
+	p, err := e.VM.NewProcess(s.Name, core.ProcessOptions{MemLimit: uint64(s.MemKB) << 10})
+	if err != nil {
+		return fmt.Errorf("jserv: start %s: %w", s.Name, err)
+	}
+	var module = ServletModule()
+	main := "jserv/Servlet"
+	if s.Hog {
+		module = MemHogModule()
+		main = "jserv/MemHog"
+	}
+	if err := p.Load(module); err != nil {
+		return err
+	}
+	if _, err := p.Spawn(main, "main()V"); err != nil {
+		return err
+	}
+	s.proc = p
+	s.lastSeen = 0
+	return nil
+}
+
+// poll accumulates counters and restarts dead servlets.
+func (e *Engine) poll() error {
+	for _, s := range e.servlets {
+		if s.proc.State() == core.ProcRunning {
+			if !s.Hog {
+				if v, ok := e.counter(s); ok {
+					if v >= s.lastSeen {
+						s.handled += v - s.lastSeen
+					}
+					s.lastSeen = v
+				}
+			}
+			continue
+		}
+		// Dead (the hog OOM-ing, typically): restart, like the paper's
+		// administrator concerned with availability.
+		s.restarts++
+		if err := e.start(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// counter reads the servlet's handled static.
+func (e *Engine) counter(s *Servlet) (uint64, bool) {
+	c, err := s.proc.Loader.Class("jserv/Servlet")
+	if err != nil {
+		return 0, false
+	}
+	f, ok := c.StaticByName("handled")
+	if !ok || c.Statics == nil {
+		return 0, false
+	}
+	return uint64(c.Statics.Prims[f.Slot]), true
+}
+
+// ServeUntil runs the VM until every well-behaved servlet has answered
+// requests requests (or the virtual-time budget in milliseconds expires).
+// It returns the elapsed virtual milliseconds.
+func (e *Engine) ServeUntil(requests uint64, maxMillis uint64) (uint64, error) {
+	start := e.VM.Sched.NowMillis()
+	var pollErr error
+	deadline := func() bool {
+		if pollErr = e.poll(); pollErr != nil {
+			return true
+		}
+		if maxMillis > 0 && e.VM.Sched.NowMillis()-start > maxMillis {
+			return true
+		}
+		for _, s := range e.servlets {
+			if !s.Hog && s.handled < requests {
+				return false
+			}
+		}
+		return true
+	}
+	if err := e.VM.RunUntil(deadline); err != nil {
+		return 0, err
+	}
+	if pollErr != nil {
+		return 0, pollErr
+	}
+	return e.VM.Sched.NowMillis() - start, nil
+}
+
+// Servlets lists the zones.
+func (e *Engine) Servlets() []*Servlet { return e.servlets }

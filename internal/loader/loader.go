@@ -1,0 +1,350 @@
+// Package loader implements kvm class loaders and namespaces.
+//
+// Separate namespaces are provided through class loaders, exactly as in
+// Java (paper §3.1): a class loader is a name server for classes. Each
+// KaffeOS process has its own loader; loaders delegate the loading of
+// shared classes to a single shared system loader, so all shared objects
+// have well-understood types for all user processes.
+//
+// Classes from identical definitions loaded by different process loaders
+// are *different* runtime classes ("reloaded classes", §3.2), each with its
+// own statics and its own copy of the code — reloaded classes do not share
+// text. Shared classes exist once; their statics live on the kernel heap
+// and their text is shared by every process.
+package loader
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bytecode"
+	"repro/internal/heap"
+	"repro/internal/object"
+)
+
+// Loader is one namespace.
+type Loader struct {
+	Tag string
+	// Delegate is consulted first for every lookup (the shared system
+	// loader); nil for the shared loader itself.
+	Delegate *Loader
+	// Heap receives statics objects and other class metadata allocations.
+	Heap *Heap
+
+	classes map[string]*object.Class
+	natives map[string]any
+	kernel  map[string]bool
+
+	// clinits are <clinit> methods awaiting execution by the VM layer
+	// (the loader cannot run bytecode itself).
+	clinits []*object.Method
+}
+
+// Heap aliases heap.Heap to keep the public field name short.
+type Heap = heap.Heap
+
+// NewShared creates the shared system loader, whose metadata lives on the
+// kernel heap.
+func NewShared(kernelHeap *heap.Heap) *Loader {
+	return &Loader{
+		Tag:     "shared",
+		Heap:    kernelHeap,
+		classes: make(map[string]*object.Class),
+		natives: make(map[string]any),
+		kernel:  make(map[string]bool),
+	}
+}
+
+// NewProcess creates a process loader delegating to shared. Statics of
+// reloaded classes are charged to the process heap h.
+func NewProcess(tag string, h *heap.Heap, shared *Loader) *Loader {
+	return &Loader{
+		Tag:      tag,
+		Delegate: shared,
+		Heap:     h,
+		classes:  make(map[string]*object.Class),
+		natives:  make(map[string]any),
+		kernel:   make(map[string]bool),
+	}
+}
+
+// RegisterNatives makes native implementations available to classes defined
+// later. kernelKeys marks natives that run in kernel mode.
+func (l *Loader) RegisterNatives(impls map[string]any, kernelKeys map[string]bool) {
+	for k, v := range impls {
+		l.natives[k] = v
+	}
+	for k, v := range kernelKeys {
+		if v {
+			l.kernel[k] = true
+		}
+	}
+}
+
+// Class resolves a class by name, delegating to the shared loader first
+// (so a process cannot shadow a shared class), then checking this
+// namespace, then synthesizing array classes on demand.
+func (l *Loader) Class(name string) (*object.Class, error) {
+	if l.Delegate != nil {
+		if c, err := l.Delegate.Class(name); err == nil {
+			return c, nil
+		}
+	}
+	if c, ok := l.classes[name]; ok {
+		return c, nil
+	}
+	if len(name) > 0 && name[0] == '[' {
+		return l.arrayClass(name)
+	}
+	return nil, fmt.Errorf("loader %s: class %q not found", l.Tag, name)
+}
+
+// Defined reports whether name is defined in this namespace directly.
+func (l *Loader) Defined(name string) bool {
+	_, ok := l.classes[name]
+	return ok
+}
+
+// Classes returns this namespace's directly defined classes, sorted by name.
+func (l *Loader) Classes() []*object.Class {
+	out := make([]*object.Class, 0, len(l.classes))
+	for _, c := range l.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (l *Loader) arrayClass(name string) (*object.Class, error) {
+	desc, err := bytecode.ParseDesc(name)
+	if err != nil || desc.Kind != bytecode.DescArray {
+		return nil, fmt.Errorf("loader %s: bad array class %q", l.Tag, name)
+	}
+	elem, err := bytecode.ParseDesc(desc.Elem)
+	if err != nil {
+		return nil, err
+	}
+	var elemClass *object.Class
+	switch elem.Kind {
+	case bytecode.DescRef:
+		elemClass, err = l.Class(elem.ClassName)
+	case bytecode.DescArray:
+		elemClass, err = l.Class(desc.Elem)
+	}
+	if err != nil {
+		return nil, err
+	}
+	root, err := l.Class("java/lang/Object")
+	if err != nil {
+		return nil, fmt.Errorf("loader %s: array class before java/lang/Object: %w", l.Tag, err)
+	}
+	elemDesc, _ := bytecode.ParseDesc(desc.Elem)
+	c := object.NewArrayClass(name, elemDesc, elemClass, root, l.Tag)
+	l.classes[name] = c
+	return c, nil
+}
+
+// DefineModule verifies and defines every class in m into this namespace,
+// linking constant pools and building vtables. Process loaders clone
+// method code (reloaded classes do not share text).
+func (l *Loader) DefineModule(m *bytecode.Module) error {
+	if err := bytecode.VerifyModule(m); err != nil {
+		return fmt.Errorf("loader %s: %w", l.Tag, err)
+	}
+	defs, err := l.topoOrder(m)
+	if err != nil {
+		return err
+	}
+	shared := l.Delegate == nil
+	var created []*object.Class
+	for _, def := range defs {
+		if _, dup := l.classes[def.Name]; dup {
+			return fmt.Errorf("loader %s: class %q already defined", l.Tag, def.Name)
+		}
+		if l.Delegate != nil && l.Delegate.Defined(def.Name) {
+			return fmt.Errorf("loader %s: class %q would shadow a shared class", l.Tag, def.Name)
+		}
+		var super *object.Class
+		if def.Super != "" {
+			super, err = l.Class(def.Super)
+			if err != nil {
+				return fmt.Errorf("loader %s: class %q: super: %w", l.Tag, def.Name, err)
+			}
+		}
+		c, err := object.NewClass(def, super, l.Tag, shared)
+		if err != nil {
+			return fmt.Errorf("loader %s: %w", l.Tag, err)
+		}
+		for _, md := range def.Methods {
+			key := object.NativeKey(def.Name, md.Name, md.Sig)
+			native := l.natives[key]
+			if native == nil && l.Delegate != nil {
+				// Process loaders may also use natives registered with the
+				// shared loader (library code reloaded per process).
+				native = l.Delegate.natives[key]
+			}
+			if native == nil && md.Code == nil {
+				return fmt.Errorf("loader %s: method %s has no code and no native", l.Tag, key)
+			}
+			eff := md
+			if !shared && md.Code != nil {
+				clone := *md
+				clone.Code = md.Code.Clone()
+				eff = &clone
+			}
+			meth, err := c.AddMethod(eff, native)
+			if err != nil {
+				return fmt.Errorf("loader %s: %w", l.Tag, err)
+			}
+			if l.kernel[key] || (l.Delegate != nil && l.Delegate.kernel[key]) {
+				meth.Kernel = true
+			}
+		}
+		c.BuildVTable()
+		l.classes[def.Name] = c
+		created = append(created, c)
+	}
+	// Link after all classes of the module exist (mutual references).
+	for _, c := range created {
+		if err := l.linkClass(c); err != nil {
+			return err
+		}
+	}
+	// Allocate statics and queue <clinit>s.
+	for _, c := range created {
+		if c.StaticsClass != nil {
+			st, err := l.Heap.Alloc(c.StaticsClass)
+			if err != nil {
+				return fmt.Errorf("loader %s: statics of %s: %w", l.Tag, c.Name, err)
+			}
+			c.Statics = st
+		}
+		if m, ok := c.DeclaredMethod("<clinit>()V"); ok {
+			l.clinits = append(l.clinits, m)
+		}
+	}
+	return nil
+}
+
+// PendingClinits returns and clears the queue of class initializers the VM
+// must run (in definition order) before the module's code is used.
+func (l *Loader) PendingClinits() []*object.Method {
+	out := l.clinits
+	l.clinits = nil
+	return out
+}
+
+// topoOrder sorts the module's classes so that superclasses are defined
+// before subclasses. Classes whose supers live outside the module resolve
+// through the namespace as usual.
+func (l *Loader) topoOrder(m *bytecode.Module) ([]*bytecode.ClassDef, error) {
+	inModule := make(map[string]*bytecode.ClassDef, len(m.Classes))
+	for _, c := range m.Classes {
+		inModule[c.Name] = c
+	}
+	var out []*bytecode.ClassDef
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(c *bytecode.ClassDef) error
+	visit = func(c *bytecode.ClassDef) error {
+		switch state[c.Name] {
+		case 1:
+			return fmt.Errorf("loader %s: inheritance cycle through %q", l.Tag, c.Name)
+		case 2:
+			return nil
+		}
+		state[c.Name] = 1
+		if sup, ok := inModule[c.Super]; ok {
+			if err := visit(sup); err != nil {
+				return err
+			}
+		}
+		state[c.Name] = 2
+		out = append(out, c)
+		return nil
+	}
+	for _, c := range m.Classes {
+		if err := visit(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// linkClass resolves every method's constant pool and handler types.
+func (l *Loader) linkClass(c *object.Class) error {
+	for _, meth := range c.Methods {
+		if meth.Code == nil {
+			continue
+		}
+		links := make([]object.Linked, len(meth.Code.Consts))
+		for i := range meth.Code.Consts {
+			k := &meth.Code.Consts[i]
+			switch k.Kind {
+			case bytecode.KindClass:
+				cl, err := l.Class(k.Class)
+				if err != nil {
+					return fmt.Errorf("link %s: %w", meth, err)
+				}
+				links[i].Class = cl
+			case bytecode.KindField:
+				cl, err := l.Class(k.Class)
+				if err != nil {
+					return fmt.Errorf("link %s: %w", meth, err)
+				}
+				fl, ok := cl.FieldByName(k.Name)
+				if !ok {
+					fl, ok = cl.StaticByName(k.Name)
+				}
+				if !ok {
+					return fmt.Errorf("link %s: no field %s.%s", meth, k.Class, k.Name)
+				}
+				links[i].Class = cl
+				links[i].Field = fl
+			case bytecode.KindMethod:
+				cl, err := l.Class(k.Class)
+				if err != nil {
+					return fmt.Errorf("link %s: %w", meth, err)
+				}
+				mm, ok := cl.MethodByKey(k.Name + k.Sig)
+				if !ok {
+					return fmt.Errorf("link %s: no method %s.%s%s", meth, k.Class, k.Name, k.Sig)
+				}
+				links[i].Class = cl
+				links[i].Method = mm
+			}
+		}
+		meth.Links = links
+
+		handlers := make([]*object.Class, len(meth.Code.Handlers))
+		for i, h := range meth.Code.Handlers {
+			if h.Type == "" {
+				continue
+			}
+			cl, err := l.Class(h.Type)
+			if err != nil {
+				return fmt.Errorf("link %s: handler: %w", meth, err)
+			}
+			handlers[i] = cl
+		}
+		meth.HandlerClasses = handlers
+	}
+	return nil
+}
+
+// Unload drops every class defined by this namespace, so that a terminated
+// process' class metadata becomes unreachable (KaffeOS added class
+// unloading to Kaffe, §3.4). Statics objects die with the process heap.
+func (l *Loader) Unload() {
+	l.classes = make(map[string]*object.Class)
+	l.clinits = nil
+}
+
+// StaticsRoots enumerates the statics objects of this namespace's classes,
+// which are GC roots for the heap that holds them.
+func (l *Loader) StaticsRoots(visit func(*object.Object)) {
+	for _, c := range l.classes {
+		if c.Statics != nil {
+			visit(c.Statics)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+func defClass(t *testing.T, src, name string, super *Class) *Class {
+	t.Helper()
+	m, err := bytecode.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, ok := m.Class(name)
+	if !ok {
+		t.Fatalf("class %s not in source", name)
+	}
+	c, err := NewClass(def, super, "test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, md := range def.Methods {
+		if _, err := c.AddMethod(md, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.BuildVTable()
+	return c
+}
+
+func rootClass(t *testing.T) *Class {
+	return defClass(t, `
+.class java/lang/Object
+.method <init> ()V
+.locals 1
+	return
+.end
+.method toString ()Ljava/lang/String;
+.locals 1
+	aconst_null
+	areturn
+.end
+.end`, "java/lang/Object", nil)
+}
+
+func TestClassLayout(t *testing.T) {
+	root := rootClass(t)
+	c := defClass(t, `
+.class t/Point
+.field x I
+.field y I
+.field label Ljava/lang/String;
+.static origin Lt/Point;
+.static hits J
+.end`, "t/Point", root)
+
+	if c.NumPrimSlot != 2 || c.NumRefSlots != 1 {
+		t.Fatalf("slots prim=%d ref=%d, want 2/1", c.NumPrimSlot, c.NumRefSlots)
+	}
+	// header 8 + x 4 + y 4 + label 8 = 24, aligned 24.
+	if c.InstanceBytes != 24 {
+		t.Errorf("InstanceBytes = %d, want 24", c.InstanceBytes)
+	}
+	x, ok := c.FieldByName("x")
+	if !ok || x.Ref || x.Slot != 0 {
+		t.Errorf("field x = %+v", x)
+	}
+	label, ok := c.FieldByName("label")
+	if !ok || !label.Ref || label.Slot != 0 {
+		t.Errorf("field label = %+v", label)
+	}
+	if c.StaticsClass == nil {
+		t.Fatal("no statics class despite static fields")
+	}
+	if c.StaticsClass.NumRefSlots != 1 || c.StaticsClass.NumPrimSlot != 1 {
+		t.Errorf("statics slots = %d/%d", c.StaticsClass.NumRefSlots, c.StaticsClass.NumPrimSlot)
+	}
+	origin, ok := c.StaticByName("origin")
+	if !ok || !origin.Static || !origin.Ref {
+		t.Errorf("static origin = %+v", origin)
+	}
+}
+
+func TestInheritedLayout(t *testing.T) {
+	root := rootClass(t)
+	base := defClass(t, ".class t/A\n.field a I\n.field r Ljava/lang/Object;\n.end", "t/A", root)
+	sub := defClass(t, ".class t/B extends t/A\n.field b I\n.field s Ljava/lang/Object;\n.end", "t/B", base)
+
+	if sub.NumPrimSlot != 2 || sub.NumRefSlots != 2 {
+		t.Fatalf("sub slots = %d/%d, want 2/2", sub.NumPrimSlot, sub.NumRefSlots)
+	}
+	a, _ := sub.FieldByName("a")
+	b, _ := sub.FieldByName("b")
+	if a.Slot != 0 || b.Slot != 1 {
+		t.Errorf("slots a=%d b=%d, want 0,1", a.Slot, b.Slot)
+	}
+	if sub.InstanceBytes <= base.InstanceBytes {
+		t.Errorf("sub bytes %d <= base bytes %d", sub.InstanceBytes, base.InstanceBytes)
+	}
+}
+
+func TestFieldShadowRejected(t *testing.T) {
+	root := rootClass(t)
+	base := defClass(t, ".class t/A\n.field a I\n.end", "t/A", root)
+	m, _ := bytecode.Assemble(".class t/B extends t/A\n.field a I\n.end")
+	def, _ := m.Class("t/B")
+	if _, err := NewClass(def, base, "test", false); err == nil {
+		t.Fatal("shadowing field accepted")
+	}
+}
+
+func TestVTableOverride(t *testing.T) {
+	root := rootClass(t)
+	base := defClass(t, `
+.class t/A
+.method run ()V
+.locals 1
+	return
+.end
+.method only ()V
+.locals 1
+	return
+.end
+.end`, "t/A", root)
+	sub := defClass(t, `
+.class t/B extends t/A
+.method run ()V
+.locals 1
+	return
+.end
+.method extra ()V
+.locals 1
+	return
+.end
+.end`, "t/B", base)
+
+	if len(sub.VTable) != len(base.VTable)+1 {
+		t.Fatalf("vtable sizes base=%d sub=%d", len(base.VTable), len(sub.VTable))
+	}
+	baseRun, _ := base.DeclaredMethod("run()V")
+	subRun, _ := sub.DeclaredMethod("run()V")
+	if baseRun.VIndex != subRun.VIndex {
+		t.Errorf("override at different vtable slots: %d vs %d", baseRun.VIndex, subRun.VIndex)
+	}
+	if sub.VTable[subRun.VIndex] != subRun {
+		t.Error("sub vtable does not hold the override")
+	}
+	if base.VTable[baseRun.VIndex] != baseRun {
+		t.Error("base vtable clobbered by subclass")
+	}
+	extra, _ := sub.DeclaredMethod("extra()V")
+	if extra.VIndex != len(sub.VTable)-1 {
+		t.Errorf("new virtual method at %d, want tail", extra.VIndex)
+	}
+}
+
+func TestConstructorsNotVirtual(t *testing.T) {
+	root := rootClass(t)
+	init, _ := root.DeclaredMethod("<init>()V")
+	if init.VIndex != -1 {
+		t.Errorf("<init> has vtable index %d", init.VIndex)
+	}
+	if !init.IsSpecial() {
+		t.Error("<init> not special")
+	}
+}
+
+func TestSubclassAndAssignable(t *testing.T) {
+	root := rootClass(t)
+	a := defClass(t, ".class t/A\n.end", "t/A", root)
+	b := defClass(t, ".class t/B extends t/A\n.end", "t/B", a)
+	c := defClass(t, ".class t/C\n.end", "t/C", root)
+
+	if !b.IsSubclassOf(a) || !b.IsSubclassOf(root) || a.IsSubclassOf(b) {
+		t.Error("subclass relation wrong")
+	}
+	if !a.AssignableFrom(b) || a.AssignableFrom(c) {
+		t.Error("assignability wrong")
+	}
+	if !a.AssignableFrom(nil) {
+		t.Error("null not assignable")
+	}
+}
+
+func TestArrayClasses(t *testing.T) {
+	root := rootClass(t)
+	intDesc, _ := bytecode.ParseDesc("I")
+	ia := NewArrayClass("[I", intDesc, nil, root, "test")
+	if !ia.IsArray || ia.ElemBytes != 4 {
+		t.Fatalf("array class = %+v", ia)
+	}
+	// 16 header+len + 40 data = 56.
+	if got := ia.ArraySizeBytes(10); got != 56 {
+		t.Errorf("ArraySizeBytes(10) = %d, want 56", got)
+	}
+	// Byte arrays pack.
+	byteDesc, _ := bytecode.ParseDesc("B")
+	ba := NewArrayClass("[B", byteDesc, nil, root, "test")
+	if got := ba.ArraySizeBytes(10); got != 32 { // 16 + 10 -> align 32
+		t.Errorf("byte ArraySizeBytes(10) = %d, want 32", got)
+	}
+
+	a := defClass(t, ".class t/A\n.end", "t/A", root)
+	b := defClass(t, ".class t/B extends t/A\n.end", "t/B", a)
+	aDesc, _ := bytecode.ParseDesc("Lt/A;")
+	bDesc, _ := bytecode.ParseDesc("Lt/B;")
+	aArr := NewArrayClass("[Lt/A;", aDesc, a, root, "test")
+	bArr := NewArrayClass("[Lt/B;", bDesc, b, root, "test")
+	if !aArr.AssignableFrom(bArr) {
+		t.Error("array covariance rejected")
+	}
+	if bArr.AssignableFrom(aArr) {
+		t.Error("array contravariance accepted")
+	}
+	if aArr.AssignableFrom(ia) {
+		t.Error("ref array assignable from int array")
+	}
+	if !root.AssignableFrom(ia) {
+		t.Error("arrays must be assignable to Object")
+	}
+}
+
+func TestMethodResolutionWalksSupers(t *testing.T) {
+	root := rootClass(t)
+	a := defClass(t, ".class t/A\n.end", "t/A", root)
+	if _, ok := a.MethodByKey("toString()Ljava/lang/String;"); !ok {
+		t.Error("inherited method not resolved")
+	}
+	if _, ok := a.DeclaredMethod("toString()Ljava/lang/String;"); ok {
+		t.Error("DeclaredMethod found inherited method")
+	}
+}

@@ -1,0 +1,232 @@
+// Package shared implements KaffeOS shared heaps — the direct-sharing
+// mechanism of the paper (§2, "Direct sharing between processes").
+//
+// A shared heap has a strict lifecycle: a creator process creates it (the
+// heap's memlimit is a soft child of the creator's, so it cannot grow past
+// what the creator can pay), populates it with objects, then freezes it.
+// After the freeze its size is fixed forever, and the reference fields of
+// its objects are immutable (enforced by the write barrier), so one process
+// can never use a shared object to keep another process' objects alive.
+//
+// Every sharer is charged the *full* size of the heap while holding it
+// (not 1/n), so no process is ever charged asynchronously when another
+// sharer exits. When a sharer's collector finds no remaining references
+// into the heap, the size is credited back; when the last sharer drops it,
+// the heap is orphaned and the kernel collector merges it into the kernel
+// heap at the start of its next cycle.
+package shared
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/heap"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+)
+
+// Errors.
+var (
+	ErrExists    = errors.New("shared: heap name already in use")
+	ErrNotFound  = errors.New("shared: no such shared heap")
+	ErrNotFrozen = errors.New("shared: heap is not frozen yet")
+	ErrFrozen    = errors.New("shared: heap is already frozen")
+	ErrNoRoot    = errors.New("shared: heap has no root object")
+)
+
+// Heap is one shared heap plus its sharing bookkeeping.
+type Heap struct {
+	Name string
+	H    *heap.Heap
+	// Root is the object sharers obtain from Lookup; it must live on H.
+	Root *object.Object
+	// Size is the frozen size in bytes; every sharer is charged this much.
+	Size uint64
+
+	frozen      bool
+	createLimit *memlimit.Limit // soft child of the creator during population
+	sharers     map[any]*memlimit.Limit
+}
+
+// Frozen reports whether the heap has been frozen.
+func (s *Heap) Frozen() bool { return s.frozen }
+
+// Sharers reports the number of processes currently charged for the heap.
+func (s *Heap) Sharers() int { return len(s.sharers) }
+
+// SharedBy reports whether who is currently attached.
+func (s *Heap) SharedBy(who any) bool {
+	_, ok := s.sharers[who]
+	return ok
+}
+
+// Manager tracks every shared heap of one VM. The shared namespace is a
+// global resource (the paper notes this makes it harder to account for
+// precisely); names are charged nothing, contents are charged fully.
+type Manager struct {
+	mu    sync.Mutex
+	reg   *heap.Registry
+	base  *memlimit.Limit // accounting home for frozen shared heaps
+	heaps map[string]*Heap
+}
+
+// NewManager creates a manager; base is the memlimit that owns frozen
+// shared-heap storage (typically a child of the VM root).
+func NewManager(reg *heap.Registry, base *memlimit.Limit) *Manager {
+	return &Manager{reg: reg, base: base, heaps: make(map[string]*Heap)}
+}
+
+// Create makes a new, unfrozen shared heap. creatorLimit is the creator
+// process' memlimit; max bounds the heap's size during population. The
+// returned heap is ready to receive allocations (the VM layer points the
+// creating thread's allocation override at it).
+func (m *Manager) Create(name string, creatorLimit *memlimit.Limit, max uint64) (*Heap, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.heaps[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	// "Those heaps are initially associated with a soft memlimit that is a
+	// child of the current process heap's memlimit" (§2).
+	lim, err := creatorLimit.NewChild("shared:"+name, max, false)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Heap{
+		Name:        name,
+		H:           m.reg.NewHeap(heap.KindShared, "shared:"+name, lim),
+		createLimit: lim,
+		sharers:     make(map[any]*memlimit.Limit),
+	}
+	m.heaps[name] = sh
+	return sh, nil
+}
+
+// Freeze seals the heap: no further allocation, reference fields become
+// immutable, the size is fixed, and the storage accounting moves from the
+// creator to the manager's base limit. The creator must then Attach itself
+// (it is the first sharer and keeps paying while it holds the heap).
+func (m *Manager) Freeze(sh *Heap) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sh.frozen {
+		return ErrFrozen
+	}
+	if sh.Root == nil {
+		return ErrNoRoot
+	}
+	sh.H.Freeze()
+	sh.Size = sh.H.Bytes()
+	if err := sh.H.RetargetLimit(m.base); err != nil {
+		return err
+	}
+	sh.createLimit.Release()
+	sh.createLimit = nil
+	sh.frozen = true
+	return nil
+}
+
+// Lookup finds a frozen shared heap by name.
+func (m *Manager) Lookup(name string) (*Heap, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh, ok := m.heaps[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return sh, nil
+}
+
+// Attach charges who (through limit) the full size of the heap. Attaching
+// twice is idempotent. The heap must be frozen.
+func (m *Manager) Attach(sh *Heap, who any, limit *memlimit.Limit) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !sh.frozen {
+		return ErrNotFrozen
+	}
+	if _, dup := sh.sharers[who]; dup {
+		return nil
+	}
+	if err := limit.Debit(sh.Size); err != nil {
+		return err
+	}
+	sh.sharers[who] = limit
+	return nil
+}
+
+// Detach credits who's charge back. Detaching a non-sharer is a no-op.
+func (m *Manager) Detach(sh *Heap, who any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lim, ok := sh.sharers[who]; ok {
+		lim.Credit(sh.Size)
+		delete(sh.sharers, who)
+	}
+}
+
+// DetachAll removes who from every shared heap (process termination).
+func (m *Manager) DetachAll(who any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sh := range m.heaps {
+		if lim, ok := sh.sharers[who]; ok {
+			lim.Credit(sh.Size)
+			delete(sh.sharers, who)
+		}
+	}
+}
+
+// Heaps lists all shared heaps, sorted by name.
+func (m *Manager) Heaps() []*Heap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Heap, 0, len(m.heaps))
+	for _, sh := range m.heaps {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ReclaimOrphans merges every orphaned shared heap (frozen, zero sharers)
+// into the kernel heap; the kernel collector then reclaims the memory.
+// "The kernel garbage collector checks for orphaned shared heaps at the
+// beginning of each GC cycle and merges them into the kernel heap" (§2).
+// It returns the names reclaimed.
+func (m *Manager) ReclaimOrphans(kernel *heap.Heap) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name, sh := range m.heaps {
+		if !sh.frozen || len(sh.sharers) > 0 {
+			continue
+		}
+		if err := sh.H.MergeInto(kernel); err == nil {
+			names = append(names, name)
+			delete(m.heaps, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UnfrozenOwnedBy removes unfrozen heaps created by a process that died
+// mid-population: the heap merges into the kernel heap and the name frees.
+func (m *Manager) UnfrozenOwnedBy(creatorLimit *memlimit.Limit, kernel *heap.Heap) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, sh := range m.heaps {
+		if sh.frozen || sh.createLimit == nil {
+			continue
+		}
+		if sh.createLimit.Parent() == creatorLimit {
+			if err := sh.H.MergeInto(kernel); err == nil {
+				sh.createLimit.Release()
+				delete(m.heaps, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package spec
+
+// Expected checksums, verified identical across every engine and barrier
+// configuration by TestChecksumsStableAcrossPlatforms. Computed once on
+// the reference platform (KaffeOS-NoWriteBarrier); any change to a
+// workload's source must update its constant.
+const (
+	compressChecksum = 361
+	jessChecksum     = 9715256
+	dbChecksum       = 3629215
+	javacChecksum    = 6886280
+	mpegChecksum     = 101
+	mtrtChecksum     = 170
+	jackChecksum     = 15308221
+)

@@ -1,0 +1,103 @@
+package spec
+
+// Compress is shaped after SPEC _201_compress (LZW compression): tight
+// integer/array loops over byte data with essentially no pointer stores —
+// the paper's Table 1 reports only 0.017M barriers for compress, by far
+// the fewest.
+func Compress() *Workload {
+	return &Workload{
+		Name:      "compress",
+		MainClass: "spec/Compress",
+		Checksum:  compressChecksum,
+		Source: `
+.class spec/Compress
+.method run ()I static
+.locals 8
+.stack 6
+# locals: 0=input [I  1=freq [I  2=i  3=h  4=out  5=pass  6=b  7=x (lcg)
+	ldc 4096
+	newarray [I
+	astore 0
+	ldc 8192
+	newarray [I
+	astore 1
+	ldc 12345
+	istore 7
+# fill input with LCG bytes
+	iconst 0
+	istore 2
+FILL:	iload 2
+	ldc 4096
+	if_icmpge MAIN
+	iload 7
+	ldc 1103515245
+	imul
+	ldc 12345
+	iadd
+	ldc 2147483647
+	iand
+	istore 7
+	aload 0
+	iload 2
+	iload 7
+	iconst 16
+	ishr
+	ldc 255
+	iand
+	iastore
+	iinc 2 1
+	goto FILL
+MAIN:	iconst 0
+	istore 5
+	iconst 0
+	istore 3
+	iconst 0
+	istore 4
+PASS:	iload 5
+	iconst 40
+	if_icmpge DONE
+	iconst 0
+	istore 2
+INNER:	iload 2
+	ldc 4096
+	if_icmpge NEXTP
+	aload 0
+	iload 2
+	iaload
+	istore 6
+	iload 3
+	iconst 31
+	imul
+	iload 6
+	iadd
+	ldc 8191
+	iand
+	istore 3
+	aload 1
+	iload 3
+	aload 1
+	iload 3
+	iaload
+	iconst 1
+	iadd
+	iastore
+	iload 4
+	aload 1
+	iload 3
+	iaload
+	iload 6
+	iadd
+	ixor
+	istore 4
+	iinc 2 1
+	goto INNER
+NEXTP:	iinc 5 1
+	goto PASS
+DONE:	iload 4
+	ldc 2147483647
+	iand
+	ireturn
+.end
+.end`,
+	}
+}

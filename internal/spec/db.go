@@ -1,0 +1,161 @@
+package spec
+
+// DB is shaped after SPEC _209_db (an in-memory database): records held in
+// a Vector, with address/lookup/sort passes that endlessly shuffle object
+// references between slots. Table 1 reports db as the barrier champion by
+// a wide margin (33.0M), and our version keeps that crown.
+func DB() *Workload {
+	return &Workload{
+		Name:      "db",
+		MainClass: "spec/DB",
+		Checksum:  dbChecksum,
+		Source: `
+.class spec/DBRec
+.field key I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+
+.class spec/DB
+.method run ()I static
+.locals 9
+.stack 6
+# locals: 0=v Vector  1=x  2=i  3=out  4=round  5=j  6=tmp  7=rec  8=n
+#         (x doubles as the comparison-kernel accumulator during swaps)
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	astore 0
+	ldc 424242
+	istore 1
+	ldc 3000
+	istore 8
+# build the table
+	iconst 0
+	istore 2
+BUILD:	iload 2
+	iload 8
+	if_icmpge OPS
+	iload 1
+	ldc 1103515245
+	imul
+	ldc 12345
+	iadd
+	ldc 2147483647
+	iand
+	istore 1
+	new spec/DBRec
+	dup
+	invokespecial spec/DBRec.<init> ()V
+	astore 7
+	aload 7
+	iload 1
+	ldc 65535
+	iand
+	putfield spec/DBRec.key I
+	aload 0
+	aload 7
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	iinc 2 1
+	goto BUILD
+# shuffle/sort passes: swap records between slots
+OPS:	iconst 0
+	istore 4
+	iconst 0
+	istore 3
+ROUND:	iload 4
+	iconst 50
+	if_icmpge SAMPLE
+	iconst 0
+	istore 2
+SWAPS:	iload 2
+	iload 8
+	if_icmpge NEXTR
+	iload 2
+	iconst 7
+	imul
+	iload 4
+	iadd
+	iload 8
+	irem
+	istore 5
+	aload 0
+	iload 2
+	invokevirtual java/util/Vector.get (I)Ljava/lang/Object;
+	astore 6
+	aload 0
+	iload 2
+	aload 0
+	iload 5
+	invokevirtual java/util/Vector.get (I)Ljava/lang/Object;
+	invokevirtual java/util/Vector.set (ILjava/lang/Object;)V
+	aload 0
+	iload 5
+	aload 6
+	invokevirtual java/util/Vector.set (ILjava/lang/Object;)V
+# key-comparison kernel: the sort work between the pointer swaps
+	aload 6
+	checkcast spec/DBRec
+	getfield spec/DBRec.key I
+	istore 1
+	iload 2
+	istore 5
+CMP:	iload 5
+	iload 2
+	iconst 24
+	iadd
+	if_icmpge CMPD
+	iload 1
+	iconst 31
+	imul
+	iload 5
+	ixor
+	ldc 16777215
+	iand
+	istore 1
+	iinc 5 1
+	goto CMP
+CMPD:	iload 3
+	iload 1
+	ixor
+	ldc 16777215
+	iand
+	istore 3
+	iinc 2 1
+	goto SWAPS
+NEXTR:	iinc 4 1
+	goto ROUND
+# sample keys into the checksum
+SAMPLE:	iconst 0
+	istore 2
+SAMP2:	iload 2
+	iload 8
+	if_icmpge DONE
+	iload 3
+	aload 0
+	iload 2
+	invokevirtual java/util/Vector.get (I)Ljava/lang/Object;
+	checkcast spec/DBRec
+	getfield spec/DBRec.key I
+	iload 2
+	imul
+	iadd
+	ldc 16777215
+	iand
+	istore 3
+	iconst 97
+	iload 2
+	iadd
+	istore 2
+	goto SAMP2
+DONE:	iload 3
+	ireturn
+.end
+.end`,
+	}
+}

@@ -1,0 +1,154 @@
+package spec
+
+// Jack is shaped after SPEC _228_jack (a parser generator): token-stream
+// processing that drives error recovery through Java exceptions at a high
+// rate — the paper singles jack out as the benchmark where fast exception
+// dispatch "shows up strongly" — while building token lists (11.6M
+// barriers in Table 1).
+func Jack() *Workload {
+	return &Workload{
+		Name:      "jack",
+		MainClass: "spec/Jack",
+		Checksum:  jackChecksum,
+		Source: `
+.class spec/ParseError extends java/lang/Exception
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Exception.<init> ()V
+	return
+.end
+.end
+
+.class spec/Token
+.field next Lspec/Token;
+.field kind I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+
+.class spec/Jack
+.static head Lspec/Token;
+
+# parse one token kind; kind 0 is a syntax error reported by exception
+.method parseOne (I)I static
+.locals 1
+.stack 2
+	iload 0
+	ifne OK
+	new spec/ParseError
+	dup
+	invokespecial spec/ParseError.<init> ()V
+	athrow
+OK:	iload 0
+	iconst 3
+	imul
+	iconst 7
+	iadd
+	ireturn
+.end
+
+.method run ()I static
+.locals 8
+.stack 4
+# locals: 0=x  1=out  2=i  3=kind  4=tok  5=v  6=k  7=acc
+	ldc 777777
+	istore 0
+	iconst 0
+	istore 1
+	iconst 0
+	istore 2
+	aconst_null
+	putstatic spec/Jack.head Lspec/Token;
+LOOP:	iload 2
+	ldc 40000
+	if_icmpge DONE
+	iload 0
+	ldc 1103515245
+	imul
+	ldc 12345
+	iadd
+	ldc 2147483647
+	iand
+	istore 0
+	iload 0
+	iconst 13
+	irem
+	istore 3
+T0:	iload 3
+	invokestatic spec/Jack.parseOne (I)I
+	istore 5
+	goto TOKEN
+T1:	pop
+	iconst -1
+	istore 5
+	goto TOKEN
+.catch spec/ParseError T0 T1 T1
+# build the token list (bounded: recycle every 64 tokens)
+TOKEN:	new spec/Token
+	dup
+	invokespecial spec/Token.<init> ()V
+	astore 4
+	aload 4
+	iload 3
+	putfield spec/Token.kind I
+	iload 2
+	iconst 63
+	iand
+	ifne LINK
+	aload 4
+	aconst_null
+	putfield spec/Token.next Lspec/Token;
+	goto PUSH
+LINK:	aload 4
+	getstatic spec/Jack.head Lspec/Token;
+	putfield spec/Token.next Lspec/Token;
+PUSH:	getstatic spec/Jack.head Lspec/Token;
+	ifnull STORE
+	nop
+STORE:	aload 4
+	putstatic spec/Jack.head Lspec/Token;
+# lexing kernel: scan work per token
+	iconst 0
+	istore 6
+	iload 0
+	istore 7
+SCAN:	iload 6
+	iconst 14
+	if_icmpge SCAND
+	iload 7
+	iconst 131
+	imul
+	iload 6
+	ixor
+	ldc 16777215
+	iand
+	istore 7
+	iinc 6 1
+	goto SCAN
+SCAND:	iload 1
+	iload 7
+	ixor
+	istore 1
+	iload 1
+	iload 5
+	ixor
+	iload 2
+	iadd
+	ldc 16777215
+	iand
+	istore 1
+	iinc 2 1
+	goto LOOP
+DONE:	iload 1
+	ireturn
+.end
+.end`,
+	}
+}

@@ -1,0 +1,198 @@
+package spec
+
+// Javac is shaped after SPEC _213_javac (the JDK compiler): repeated
+// construction of AST-like trees followed by transformation passes that
+// rewrite child pointers — allocation-heavy with a high rate of reference
+// stores into fresh objects (15.5M barriers in Table 1).
+func Javac() *Workload {
+	return &Workload{
+		Name:      "javac",
+		MainClass: "spec/Javac",
+		Checksum:  javacChecksum,
+		Source: `
+.class spec/TNode
+.field left Lspec/TNode;
+.field right Lspec/TNode;
+.field val I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+
+.class spec/Javac
+.static serial I
+
+# build a balanced tree of the given depth
+.method build (I)Lspec/TNode; static
+.locals 2
+.stack 4
+	iload 0
+	ifgt GO
+	aconst_null
+	areturn
+GO:	new spec/TNode
+	dup
+	invokespecial spec/TNode.<init> ()V
+	astore 1
+	aload 1
+	getstatic spec/Javac.serial I
+	putfield spec/TNode.val I
+	getstatic spec/Javac.serial I
+	iconst 1
+	iadd
+	putstatic spec/Javac.serial I
+	aload 1
+	iload 0
+	iconst 1
+	isub
+	invokestatic spec/Javac.build (I)Lspec/TNode;
+	putfield spec/TNode.left Lspec/TNode;
+	aload 1
+	iload 0
+	iconst 1
+	isub
+	invokestatic spec/Javac.build (I)Lspec/TNode;
+	putfield spec/TNode.right Lspec/TNode;
+	aload 1
+	areturn
+.end
+
+# swap children recursively (a "transformation pass"); the type-check
+# kernel per node is the semantic analysis between pointer rewrites
+.method rotate (Lspec/TNode;)V static
+.locals 4
+.stack 3
+	aload 0
+	ifnonnull GO
+	return
+GO:	aload 0
+	getfield spec/TNode.val I
+	istore 2
+	iconst 0
+	istore 3
+TYCK:	iload 3
+	iconst 20
+	if_icmpge TYCKD
+	iload 2
+	iconst 29
+	imul
+	iload 3
+	ixor
+	ldc 16777215
+	iand
+	istore 2
+	iinc 3 1
+	goto TYCK
+TYCKD:	aload 0
+	iload 2
+	putfield spec/TNode.val I
+	aload 0
+	getfield spec/TNode.left Lspec/TNode;
+	astore 1
+	aload 0
+	aload 0
+	getfield spec/TNode.right Lspec/TNode;
+	putfield spec/TNode.left Lspec/TNode;
+	aload 0
+	aload 1
+	putfield spec/TNode.right Lspec/TNode;
+	aload 0
+	getfield spec/TNode.left Lspec/TNode;
+	invokestatic spec/Javac.rotate (Lspec/TNode;)V
+	aload 0
+	getfield spec/TNode.right Lspec/TNode;
+	invokestatic spec/Javac.rotate (Lspec/TNode;)V
+	return
+.end
+
+# fold the tree into a value; the constant-folding kernel per node is the
+# compiler work between pointer walks
+.method sum (Lspec/TNode;)I static
+.locals 3
+.stack 3
+	aload 0
+	ifnonnull GO
+	iconst 0
+	ireturn
+GO:	aload 0
+	getfield spec/TNode.val I
+	istore 1
+	iconst 0
+	istore 2
+FOLD:	iload 2
+	iconst 12
+	if_icmpge FOLDD
+	iload 1
+	iconst 37
+	imul
+	iload 2
+	iadd
+	ldc 16777215
+	iand
+	istore 1
+	iinc 2 1
+	goto FOLD
+FOLDD:	iload 1
+	aload 0
+	getfield spec/TNode.left Lspec/TNode;
+	invokestatic spec/Javac.sum (Lspec/TNode;)I
+	iconst 3
+	imul
+	iadd
+	aload 0
+	getfield spec/TNode.right Lspec/TNode;
+	invokestatic spec/Javac.sum (Lspec/TNode;)I
+	iconst 5
+	imul
+	iadd
+	ldc 16777215
+	iand
+	ireturn
+.end
+
+.method run ()I static
+.locals 4
+.stack 4
+# locals: 0=t  1=root  2=out  3=r
+	iconst 0
+	putstatic spec/Javac.serial I
+	iconst 0
+	istore 0
+	iconst 0
+	istore 2
+UNIT:	iload 0
+	iconst 12
+	if_icmpge DONE
+	iconst 10
+	invokestatic spec/Javac.build (I)Lspec/TNode;
+	astore 1
+	iconst 0
+	istore 3
+PASS:	iload 3
+	iconst 5
+	if_icmpge FOLD
+	aload 1
+	invokestatic spec/Javac.rotate (Lspec/TNode;)V
+	iinc 3 1
+	goto PASS
+FOLD:	iload 2
+	aload 1
+	invokestatic spec/Javac.sum (Lspec/TNode;)I
+	ixor
+	iload 0
+	iadd
+	istore 2
+	iinc 0 1
+	goto UNIT
+DONE:	iload 2
+	ldc 2147483647
+	iand
+	ireturn
+.end
+.end`,
+	}
+}

@@ -1,0 +1,145 @@
+package spec
+
+// Jess is shaped after SPEC _202_jess (an expert system shell): a working
+// memory of fact chains per rule bucket, with continuous assertion of
+// derived facts and periodic retraction — small-object allocation and
+// linked-structure pointer stores at a moderate rate (7.9M barriers in the
+// paper's Table 1).
+func Jess() *Workload {
+	return &Workload{
+		Name:      "jess",
+		MainClass: "spec/Jess",
+		Checksum:  jessChecksum,
+		Source: `
+.class spec/Fact
+.field next Lspec/Fact;
+.field tag I
+.field value I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+
+.class spec/Jess
+.method run ()I static
+.locals 10
+.stack 6
+# locals: 0=buckets [Lspec/Fact;  1=x  2=out  3=i  4=tag  5=f  6=head  7=tmp
+#         8=k (mix loop)  9=acc (mix accumulator)
+	iconst 64
+	newarray [Lspec/Fact;
+	astore 0
+	ldc 98765
+	istore 1
+	iconst 0
+	istore 2
+	iconst 0
+	istore 3
+LOOP:	iload 3
+	ldc 30000
+	if_icmpge DONE
+	iload 1
+	ldc 1103515245
+	imul
+	ldc 12345
+	iadd
+	ldc 2147483647
+	iand
+	istore 1
+	iload 1
+	iconst 63
+	iand
+	istore 4
+# assert: new fact at head of bucket
+	new spec/Fact
+	dup
+	invokespecial spec/Fact.<init> ()V
+	astore 5
+	aload 0
+	iload 4
+	aaload
+	astore 6
+	aload 5
+	aload 6
+	putfield spec/Fact.next Lspec/Fact;
+	aload 0
+	iload 4
+	aload 5
+	aastore
+	aload 5
+	iload 4
+	putfield spec/Fact.tag I
+# derived value: combine with prior head
+	aload 6
+	ifnull FRESH
+	aload 5
+	iload 1
+	aload 6
+	getfield spec/Fact.value I
+	iadd
+	ldc 16777215
+	iand
+	putfield spec/Fact.value I
+	goto MIX
+FRESH:	aload 5
+	iload 1
+	ldc 16777215
+	iand
+	putfield spec/Fact.value I
+MIX:	iload 2
+	aload 5
+	getfield spec/Fact.value I
+	ixor
+	istore 2
+# rule evaluation kernel: pure arithmetic between pointer operations
+	iconst 0
+	istore 8
+	iload 2
+	istore 9
+EVAL:	iload 8
+	iconst 16
+	if_icmpge EVALD
+	iload 9
+	iconst 31
+	imul
+	iload 8
+	iadd
+	ldc 16777215
+	iand
+	istore 9
+	iinc 8 1
+	goto EVAL
+EVALD:	iload 2
+	iload 9
+	ixor
+	istore 2
+# retract: every 4th iteration pop one fact from the bucket
+	iload 3
+	iconst 3
+	iand
+	ifne SKIP
+	aload 0
+	iload 4
+	aaload
+	astore 7
+	aload 7
+	ifnull SKIP
+	aload 0
+	iload 4
+	aload 7
+	getfield spec/Fact.next Lspec/Fact;
+	aastore
+SKIP:	iinc 3 1
+	goto LOOP
+DONE:	iload 2
+	ldc 2147483647
+	iand
+	ireturn
+.end
+.end`,
+	}
+}

@@ -1,0 +1,154 @@
+package spec
+
+// MpegAudio is shaped after SPEC _222_mpegaudio (MP3 decoding): dominated
+// by floating-point filter loops over coefficient windows, with a low but
+// steady rate of object stores as decoded frames enter a ring buffer
+// (5.5M barriers in Table 1, small relative to its runtime).
+func MpegAudio() *Workload {
+	return &Workload{
+		Name:      "mpegaudio",
+		MainClass: "spec/MpegAudio",
+		Checksum:  mpegChecksum,
+		Source: `
+.class spec/AFrame
+.field gain D
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+
+.class spec/MpegAudio
+.method run ()I static
+.locals 10
+.stack 8
+# locals: 0=coeff [D  1=window [D  2=ring [Lspec/AFrame;  3=f  4=i  5=acc(D bits)
+#         6=out  7=fr  8=slot  9=tap(D bits)
+	ldc 512
+	newarray [D
+	astore 0
+	ldc 512
+	newarray [D
+	astore 1
+	iconst 64
+	newarray [Lspec/AFrame;
+	astore 2
+# init coefficient and window tables
+	iconst 0
+	istore 4
+INIT:	iload 4
+	ldc 512
+	if_icmpge MAIN
+	aload 0
+	iload 4
+	iload 4
+	iconst 3
+	iadd
+	i2d
+	ldc 512.0
+	ddiv
+	iastore
+	aload 1
+	iload 4
+	iload 4
+	iconst 511
+	ixor
+	i2d
+	ldc 256.0
+	ddiv
+	iastore
+	iinc 4 1
+	goto INIT
+MAIN:	iconst 0
+	istore 3
+	iconst 0
+	istore 6
+FRAME:	iload 3
+	ldc 9000
+	if_icmpge DONE
+# inner filter: acc = sum coeff[(i*7+f)&511] * window[(i*13+f)&511]
+	ldc 0.0
+	istore 5
+	iconst 0
+	istore 4
+FILT:	iload 4
+	ldc 96
+	if_icmpge EMIT
+	aload 0
+	iload 4
+	iconst 7
+	imul
+	iload 3
+	iadd
+	ldc 511
+	iand
+	iaload
+	aload 1
+	iload 4
+	iconst 13
+	imul
+	iload 3
+	iadd
+	ldc 511
+	iand
+	iaload
+	dmul
+	istore 9
+	dload 5
+	dload 9
+	dadd
+	istore 5
+	iinc 4 1
+	goto FILT
+# emit a frame into the ring: three reference stores per frame
+EMIT:	new spec/AFrame
+	dup
+	invokespecial spec/AFrame.<init> ()V
+	astore 7
+	aload 7
+	dload 5
+	putfield spec/AFrame.gain D
+	iload 3
+	iconst 63
+	iand
+	istore 8
+	aload 2
+	iload 8
+	aload 7
+	aastore
+	aload 2
+	iload 8
+	iconst 1
+	iadd
+	iconst 63
+	iand
+	aload 7
+	aastore
+	aload 2
+	iload 8
+	iconst 2
+	iadd
+	iconst 63
+	iand
+	aconst_null
+	aastore
+	iload 6
+	dload 5
+	ldc 16.0
+	dmul
+	d2i
+	ixor
+	ldc 16777215
+	iand
+	istore 6
+	iinc 3 1
+	goto FRAME
+DONE:	iload 6
+	ireturn
+.end
+.end`,
+	}
+}

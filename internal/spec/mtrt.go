@@ -1,0 +1,252 @@
+package spec
+
+// Mtrt is shaped after SPEC _227_mtrt (a multithreaded ray tracer): dense
+// floating-point intersection math over a sphere scene, allocating hit
+// records as rays strike geometry (3.0M barriers in Table 1 — the fewest
+// of the pointer-using benchmarks). Like the original, it runs its work
+// on two java/lang/Thread workers sharing one process.
+func Mtrt() *Workload {
+	return &Workload{
+		Name:      "mtrt",
+		MainClass: "spec/Mtrt",
+		Checksum:  mtrtChecksum,
+		Source: `
+.class spec/Hit
+.field next Lspec/Hit;
+.field dist D
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+
+.class spec/Tracer extends java/lang/Thread
+.field from I
+.field to I
+.field result I
+.field done I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Thread.<init> ()V
+	return
+.end
+.method run ()V
+.locals 1
+.stack 4
+	aload 0
+	aload 0
+	getfield spec/Tracer.from I
+	aload 0
+	getfield spec/Tracer.to I
+	invokestatic spec/Mtrt.trace (II)I
+	putfield spec/Tracer.result I
+	aload 0
+	iconst 1
+	putfield spec/Tracer.done I
+	return
+.end
+.end
+
+.class spec/Mtrt
+.static sx [D
+.static sr [D
+.static hits Lspec/Hit;
+
+.method setup ()V static
+.locals 1
+.stack 5
+	iconst 32
+	newarray [D
+	putstatic spec/Mtrt.sx [D
+	iconst 32
+	newarray [D
+	putstatic spec/Mtrt.sr [D
+	iconst 0
+	istore 0
+INIT:	iload 0
+	iconst 32
+	if_icmpge DONE
+	getstatic spec/Mtrt.sx [D
+	iload 0
+	iload 0
+	iconst 17
+	imul
+	iconst 97
+	irem
+	i2d
+	ldc 10.0
+	ddiv
+	iastore
+	getstatic spec/Mtrt.sr [D
+	iload 0
+	iload 0
+	iconst 5
+	irem
+	iconst 1
+	iadd
+	i2d
+	ldc 9.0
+	ddiv
+	iastore
+	iinc 0 1
+	goto DONE2
+DONE2:	goto INIT
+DONE:	return
+.end
+
+# trace rays [from,to): returns hit count mixed with distances
+.method trace (II)I static
+.locals 9
+.stack 8
+# locals: 0=from 1=to 2=r 3=s 4=ox(Dbits) 5=d(Dbits) 6=acc 7=h 8=t(Dbits)
+	iload 0
+	istore 2
+	iconst 0
+	istore 6
+RAY:	iload 2
+	iload 1
+	if_icmpge OUT
+	iload 2
+	iconst 37
+	imul
+	iconst 101
+	irem
+	i2d
+	ldc 10.0
+	ddiv
+	istore 4
+	iconst 0
+	istore 3
+SPH:	iload 3
+	iconst 32
+	if_icmpge NEXTRAY
+# t = sx[s] - ox ; hit when |t| < sr[s]
+	getstatic spec/Mtrt.sx [D
+	iload 3
+	iaload
+	dload 4
+	dsub
+	istore 8
+	dload 8
+	ldc 0.0
+	dcmp
+	ifge POS
+	dload 8
+	dneg
+	istore 8
+POS:	dload 8
+	getstatic spec/Mtrt.sr [D
+	iload 3
+	iaload
+	dcmp
+	ifge MISS
+# hit: record it
+	new spec/Hit
+	dup
+	invokespecial spec/Hit.<init> ()V
+	astore 7
+	aload 7
+	dload 8
+	putfield spec/Hit.dist D
+	aload 7
+	getstatic spec/Mtrt.hits Lspec/Hit;
+	putfield spec/Hit.next Lspec/Hit;
+	aload 7
+	putstatic spec/Mtrt.hits Lspec/Hit;
+	iload 6
+	iconst 1
+	iadd
+	dload 8
+	ldc 100.0
+	dmul
+	d2i
+	ixor
+	ldc 16777215
+	iand
+	istore 6
+# cap the hit list so memory stays bounded
+	getstatic spec/Mtrt.hits Lspec/Hit;
+	getfield spec/Hit.next Lspec/Hit;
+	ifnull MISS
+	getstatic spec/Mtrt.hits Lspec/Hit;
+	aconst_null
+	putfield spec/Hit.next Lspec/Hit;
+MISS:	iinc 3 1
+	goto SPH
+# shading kernel: per-ray lighting math after intersection tests
+NEXTRAY:	iconst 0
+	istore 3
+SHADE:	iload 3
+	iconst 40
+	if_icmpge SHADED
+	dload 4
+	ldc 1.0009765625
+	dmul
+	istore 4
+	iinc 3 1
+	goto SHADE
+SHADED:	iload 6
+	dload 4
+	d2i
+	ixor
+	ldc 16777215
+	iand
+	istore 6
+	iinc 2 1
+	goto RAY
+OUT:	iload 6
+	ireturn
+.end
+
+.method run ()I static
+.locals 3
+.stack 4
+	invokestatic spec/Mtrt.setup ()V
+# two worker threads split the ray range
+	new spec/Tracer
+	dup
+	invokespecial spec/Tracer.<init> ()V
+	astore 0
+	aload 0
+	iconst 0
+	putfield spec/Tracer.from I
+	aload 0
+	ldc 2000
+	putfield spec/Tracer.to I
+	new spec/Tracer
+	dup
+	invokespecial spec/Tracer.<init> ()V
+	astore 1
+	aload 1
+	ldc 2000
+	putfield spec/Tracer.from I
+	aload 1
+	ldc 4000
+	putfield spec/Tracer.to I
+	aload 0
+	invokevirtual java/lang/Thread.start ()V
+	aload 1
+	invokevirtual java/lang/Thread.start ()V
+WAIT:	aload 0
+	getfield spec/Tracer.done I
+	ifeq WAIT
+WAIT2:	aload 1
+	getfield spec/Tracer.done I
+	ifeq WAIT2
+	aload 0
+	getfield spec/Tracer.result I
+	aload 1
+	getfield spec/Tracer.result I
+	ixor
+	ldc 2147483647
+	iand
+	ireturn
+.end
+.end`,
+	}
+}

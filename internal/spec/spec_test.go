@@ -1,0 +1,99 @@
+package spec
+
+import (
+	"testing"
+)
+
+// referencePlatform is the checksum oracle.
+func referencePlatform() Platform {
+	p, _ := PlatformByName("KaffeOS-NoWriteBarrier")
+	return p
+}
+
+func TestWorkloadsRunAndChecksum(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res, err := Run(w, referencePlatform())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%s: checksum=%d cycles=%d barriers=%d wall=%v",
+				w.Name, res.Checksum, res.Cycles, res.Barriers, res.Wall)
+		})
+	}
+}
+
+func TestChecksumsStableAcrossPlatforms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-platform sweep is slow")
+	}
+	for _, w := range []*Workload{Compress(), DB(), Jack()} {
+		var ref int64
+		for i, p := range Platforms() {
+			res, err := Run(w, p)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", w.Name, p.Name, err)
+			}
+			if i == 0 {
+				ref = res.Checksum
+			} else if res.Checksum != ref {
+				t.Errorf("%s: checksum differs on %s: %d vs %d", w.Name, p.Name, res.Checksum, ref)
+			}
+		}
+	}
+}
+
+func TestBarrierDensityShape(t *testing.T) {
+	// Table 1's shape: compress executes almost no barriers; db the most.
+	kaffeOS, _ := PlatformByName("KaffeOS-NoHeapPointer")
+	counts := map[string]uint64{}
+	for _, w := range All() {
+		res, err := Run(w, kaffeOS)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		counts[w.Name] = res.Barriers
+	}
+	t.Logf("barrier counts: %v", counts)
+	if counts["compress"] > 1000 {
+		t.Errorf("compress executed %d barriers, want ~0 (Table 1)", counts["compress"])
+	}
+	for name, c := range counts {
+		if name == "db" {
+			continue
+		}
+		if c >= counts["db"] {
+			t.Errorf("db (%d) must dominate %s (%d) per Table 1", counts["db"], name, c)
+		}
+	}
+	if counts["db"] < 100_000 {
+		t.Errorf("db barriers = %d, implausibly low", counts["db"])
+	}
+}
+
+func TestNoBarriersOnNoBarrierPlatforms(t *testing.T) {
+	p, _ := PlatformByName("Kaffe99")
+	res, err := Run(DB(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Barriers != 0 {
+		t.Errorf("Kaffe99 executed %d barriers", res.Barriers)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, w := range All() {
+		got, ok := ByName(w.Name)
+		if !ok || got.Name != w.Name {
+			t.Errorf("ByName(%q) failed", w.Name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted garbage")
+	}
+	if _, ok := PlatformByName("nope"); ok {
+		t.Error("PlatformByName accepted garbage")
+	}
+}

@@ -1,0 +1,203 @@
+package vmaddr
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReserveAssignsPages(t *testing.T) {
+	s := NewSpace()
+	h := s.NewHeapID()
+	base, err := s.Reserve(h, 4)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if base%PageSize != 0 {
+		t.Fatalf("base %#x not page aligned", base)
+	}
+	for off := uint64(0); off < 4*PageSize; off += 128 {
+		got, ok := s.HeapOf(base + off)
+		if !ok || got != h {
+			t.Fatalf("HeapOf(base+%#x) = %v, %v; want %v, true", off, got, ok, h)
+		}
+	}
+	if _, ok := s.HeapOf(base + 4*PageSize); ok {
+		t.Fatalf("address past reservation resolved to a heap")
+	}
+}
+
+func TestReserveDistinctRanges(t *testing.T) {
+	s := NewSpace()
+	a, b := s.NewHeapID(), s.NewHeapID()
+	ba, err := s.Reserve(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := s.Reserve(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba == bb {
+		t.Fatalf("overlapping reservations at %#x", ba)
+	}
+	if got, _ := s.HeapOf(ba); got != a {
+		t.Errorf("first range owner = %v, want %v", got, a)
+	}
+	if got, _ := s.HeapOf(bb); got != b {
+		t.Errorf("second range owner = %v, want %v", got, b)
+	}
+}
+
+func TestReserveRejectsBadArgs(t *testing.T) {
+	s := NewSpace()
+	h := s.NewHeapID()
+	if _, err := s.Reserve(h, 0); err == nil {
+		t.Error("Reserve(0 pages) succeeded")
+	}
+	if _, err := s.Reserve(h, -1); err == nil {
+		t.Error("Reserve(-1 pages) succeeded")
+	}
+	if _, err := s.Reserve(NoHeap, 1); err == nil {
+		t.Error("Reserve(NoHeap) succeeded")
+	}
+}
+
+func TestReleaseUnmaps(t *testing.T) {
+	s := NewSpace()
+	h := s.NewHeapID()
+	base, _ := s.Reserve(h, 3)
+	s.Release(base, 3)
+	if _, ok := s.HeapOf(base); ok {
+		t.Error("released page still mapped")
+	}
+	if n := s.PagesOwned(h); n != 0 {
+		t.Errorf("PagesOwned = %d after release, want 0", n)
+	}
+}
+
+func TestReassignTransfersOwnership(t *testing.T) {
+	s := NewSpace()
+	user, kernel := s.NewHeapID(), s.NewHeapID()
+	base, _ := s.Reserve(user, 5)
+	s.Reassign(base, 5, kernel)
+	for i := 0; i < 5; i++ {
+		got, ok := s.HeapOf(base + uint64(i)*PageSize)
+		if !ok || got != kernel {
+			t.Fatalf("page %d owner = %v, %v; want kernel", i, got, ok)
+		}
+	}
+	if n := s.PagesOwned(user); n != 0 {
+		t.Errorf("user still owns %d pages after reassign", n)
+	}
+}
+
+func TestReassignSkipsUnmapped(t *testing.T) {
+	s := NewSpace()
+	a, b := s.NewHeapID(), s.NewHeapID()
+	base, _ := s.Reserve(a, 2)
+	s.Release(base, 2)
+	s.Reassign(base, 2, b)
+	if _, ok := s.HeapOf(base); ok {
+		t.Error("reassign resurrected an unmapped page")
+	}
+}
+
+func TestHeapIDsUnique(t *testing.T) {
+	s := NewSpace()
+	seen := make(map[HeapID]bool)
+	for i := 0; i < 1000; i++ {
+		id := s.NewHeapID()
+		if id == NoHeap {
+			t.Fatal("minted NoHeap")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate heap ID %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpaceExhaustion(t *testing.T) {
+	s := NewSpace()
+	s.limit = s.next + 4*PageSize
+	h := s.NewHeapID()
+	if _, err := s.Reserve(h, 8); err != ErrSpaceExhausted {
+		t.Fatalf("Reserve past limit: err = %v, want ErrSpaceExhausted", err)
+	}
+	if _, err := s.Reserve(h, 4); err != nil {
+		t.Fatalf("Reserve within limit failed: %v", err)
+	}
+}
+
+func TestConcurrentReserve(t *testing.T) {
+	s := NewSpace()
+	const workers, pagesEach = 16, 8
+	bases := make([]uint64, workers)
+	ids := make([]HeapID, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = s.NewHeapID()
+			b, err := s.Reserve(ids[i], pagesEach)
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			bases[i] = b
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for i, b := range bases {
+		for p := 0; p < pagesEach; p++ {
+			page := (b >> PageShift) + uint64(p)
+			if prev, dup := seen[page]; dup {
+				t.Fatalf("page %#x leased to workers %d and %d", page, prev, i)
+			}
+			seen[page] = i
+		}
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {PageSize - 1, 1}, {PageSize, 1},
+		{PageSize + 1, 2}, {10 * PageSize, 10},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.size); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+// Property: every address inside a reservation resolves to the reserving
+// heap, and addresses in separate reservations never alias.
+func TestPropReservationResolution(t *testing.T) {
+	s := NewSpace()
+	f := func(nPages uint8, offsets []uint16) bool {
+		n := int(nPages%16) + 1
+		h := s.NewHeapID()
+		base, err := s.Reserve(h, n)
+		if err != nil {
+			return false
+		}
+		for _, off := range offsets {
+			addr := base + uint64(off)%(uint64(n)<<PageShift)
+			got, ok := s.HeapOf(addr)
+			if !ok || got != h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

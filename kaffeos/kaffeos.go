@@ -1,0 +1,294 @@
+// Package kaffeos is the public API of the KaffeOS reproduction: a Java-
+// style virtual machine with an operating-system process model.
+//
+// A VM hosts isolated processes. Each process has its own garbage-
+// collected heap under a hierarchical memory limit, its own class
+// namespace and interned strings, and green threads whose CPU cycles —
+// including garbage-collection time — are charged to it. Processes can be
+// killed at any time without corrupting the system: their memory is fully
+// reclaimed by merging their heap into the kernel heap. Processes
+// communicate through frozen shared heaps, with every sharer charged the
+// full size of what it holds.
+//
+// Programs are written in the textual bytecode accepted by the assembler
+// (see package repro/internal/bytecode) and run against a miniature Java
+// class library. The quickstart:
+//
+//	vm, _ := kaffeos.New(kaffeos.Config{})
+//	p, _ := vm.NewProcess("hello", kaffeos.ProcessConfig{MemLimit: 1 << 20})
+//	_ = p.LoadSource(src)
+//	_, _ = p.Start("app/Main")
+//	_ = vm.Run()
+package kaffeos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/barrier"
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// Engine names an execution engine.
+type Engine string
+
+// The three engines, spanning the paper's platform spectrum.
+const (
+	// Interp is the baseline switch interpreter (Kaffe99-class). Default.
+	Interp Engine = "interp"
+	// JIT is the closure-compiling engine (Kaffe00-class).
+	JIT Engine = "jit"
+	// JITOpt adds superoperator fusion and inline caches (commercial-JIT
+	// class).
+	JITOpt Engine = "jit-opt"
+)
+
+// WriteBarrier names a write-barrier implementation from the paper's §4.1.
+type WriteBarrier string
+
+const (
+	// NoWriteBarrier disables cross-heap checking (unsafe baseline; only
+	// sensible for benchmarking).
+	NoWriteBarrier WriteBarrier = "NoWriteBarrier"
+	// HeapPointer finds an object's heap from a header word (25 cycles,
+	// +4 bytes per object).
+	HeapPointer WriteBarrier = "HeapPointer"
+	// NoHeapPointer finds it from the page table (41 cycles, no space
+	// cost). The default, as shipped in KaffeOS.
+	NoHeapPointer WriteBarrier = "NoHeapPointer"
+	// FakeHeapPointer is NoHeapPointer plus 4 bytes of padding, isolating
+	// the space cost of HeapPointer.
+	FakeHeapPointer WriteBarrier = "FakeHeapPointer"
+)
+
+// Config parameterizes a VM.
+type Config struct {
+	// Engine selects the execution engine (default Interp).
+	Engine Engine
+	// Barrier selects the write barrier (default NoHeapPointer).
+	Barrier WriteBarrier
+	// TotalMemory is the whole VM's memory budget (default 256 MiB).
+	TotalMemory uint64
+	// KernelMemory is reserved for the kernel heap (default 32 MiB).
+	KernelMemory uint64
+	// Stdout receives process output by default.
+	Stdout io.Writer
+}
+
+// ProcessConfig parameterizes process creation.
+type ProcessConfig struct {
+	// MemLimit caps the process' total memory (default 16 MiB).
+	MemLimit uint64
+	// Reserve makes the limit a hard reservation, set aside up front.
+	Reserve bool
+	// CPULimit, when nonzero, kills the process after it has consumed
+	// this many simulated cycles (500,000 cycles = 1 virtual ms).
+	CPULimit uint64
+	// IOLimit, when nonzero, kills the process after it has written this
+	// many bytes to its output stream.
+	IOLimit uint64
+	// Stdout overrides the VM default for this process.
+	Stdout io.Writer
+	// Seed seeds the process' deterministic random source.
+	Seed int64
+}
+
+// VM is a KaffeOS virtual machine.
+type VM struct {
+	inner *core.VM
+}
+
+// New creates a VM.
+func New(cfg Config) (*VM, error) {
+	var bar barrier.Barrier = barrier.NoHeapPointer
+	if cfg.Barrier != "" {
+		b, ok := barrier.ByName(string(cfg.Barrier))
+		if !ok {
+			return nil, fmt.Errorf("kaffeos: unknown write barrier %q", cfg.Barrier)
+		}
+		bar = b
+	}
+	eng := core.EngineInterp
+	switch cfg.Engine {
+	case "", Interp:
+	case JIT:
+		eng = core.EngineJIT
+	case JITOpt:
+		eng = core.EngineJITOpt
+	default:
+		return nil, fmt.Errorf("kaffeos: unknown engine %q", cfg.Engine)
+	}
+	inner, err := core.NewVM(core.Config{
+		Engine:       eng,
+		Barrier:      bar,
+		TotalMemory:  cfg.TotalMemory,
+		KernelMemory: cfg.KernelMemory,
+		Stdout:       cfg.Stdout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VM{inner: inner}, nil
+}
+
+// Core exposes the underlying VM for advanced use (benchmark harnesses).
+func (vm *VM) Core() *core.VM { return vm.inner }
+
+// NewProcess creates an isolated process.
+func (vm *VM) NewProcess(name string, cfg ProcessConfig) (*Process, error) {
+	p, err := vm.inner.NewProcess(name, core.ProcessOptions{
+		MemLimit:  cfg.MemLimit,
+		HardLimit: cfg.Reserve,
+		CPULimit:  cfg.CPULimit,
+		IOLimit:   cfg.IOLimit,
+		Out:       cfg.Stdout,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Process{inner: p}, nil
+}
+
+// RegisterProgram makes an assembled module spawnable by name through the
+// kaffeos/Kernel.spawn system call.
+func (vm *VM) RegisterProgram(name, source string) error {
+	m, err := bytecode.Assemble(source)
+	if err != nil {
+		return err
+	}
+	vm.inner.RegisterProgram(name, m)
+	return nil
+}
+
+// Run drives the scheduler until every non-daemon thread exits.
+func (vm *VM) Run() error { return vm.inner.Run(0) }
+
+// RunFor drives the scheduler for at most the given number of simulated
+// CPU cycles (500,000 cycles = 1 virtual millisecond).
+func (vm *VM) RunFor(cycles uint64) error { return vm.inner.Run(cycles) }
+
+// RunUntil drives the scheduler until cond reports true.
+func (vm *VM) RunUntil(cond func() bool) error { return vm.inner.RunUntil(cond) }
+
+// NowMillis reports the virtual clock.
+func (vm *VM) NowMillis() uint64 { return vm.inner.Sched.NowMillis() }
+
+// KernelHeapBytes reports live bytes on the kernel heap.
+func (vm *VM) KernelHeapBytes() uint64 { return vm.inner.KernelHeap.Bytes() }
+
+// BarriersExecuted reports the number of write-barrier checks performed.
+func (vm *VM) BarriersExecuted() uint64 { return vm.inner.Stats.Executed.Load() }
+
+// Processes lists live processes.
+func (vm *VM) Processes() []*Process {
+	inner := vm.inner.Processes()
+	out := make([]*Process, len(inner))
+	for i, p := range inner {
+		out[i] = &Process{inner: p}
+	}
+	return out
+}
+
+// Process is one isolated KaffeOS process.
+type Process struct {
+	inner *core.Process
+}
+
+// Pid reports the process id.
+func (p *Process) Pid() int32 { return int32(p.inner.ID) }
+
+// Name reports the process name.
+func (p *Process) Name() string { return p.inner.Name }
+
+// LoadSource assembles and loads a program into the process namespace.
+func (p *Process) LoadSource(src string) error {
+	m, err := bytecode.Assemble(src)
+	if err != nil {
+		return err
+	}
+	return p.inner.Load(m)
+}
+
+// LoadModule loads a pre-assembled module.
+func (p *Process) LoadModule(m *bytecode.Module) error { return p.inner.Load(m) }
+
+// Start spawns a thread running the static, argumentless main()V (or
+// main()I) of the given class.
+func (p *Process) Start(mainClass string) (*Thread, error) {
+	for _, key := range []string{"main()V", "main()I", "run()I", "run()V"} {
+		th, err := p.inner.Spawn(mainClass, key)
+		if err == nil {
+			return &Thread{inner: th}, nil
+		}
+	}
+	return nil, fmt.Errorf("kaffeos: %s has no runnable entry point (main()V/main()I/run()I/run()V)", mainClass)
+}
+
+// StartMethod spawns a thread on an explicit method key, e.g. "work(I)I".
+func (p *Process) StartMethod(cls, methodKey string, args ...int64) (*Thread, error) {
+	slots := make([]interp.Slot, len(args))
+	for i, a := range args {
+		slots[i] = interp.IntSlot(a)
+	}
+	th, err := p.inner.Spawn(cls, methodKey, slots...)
+	if err != nil {
+		return nil, err
+	}
+	return &Thread{inner: th}, nil
+}
+
+// Kill terminates the process at the next safepoint of each of its
+// threads; kernel-mode sections complete first. Memory is fully reclaimed.
+func (p *Process) Kill() { p.inner.Kill(errors.New("killed")) }
+
+// Alive reports whether the process is still running.
+func (p *Process) Alive() bool { return p.inner.State() == core.ProcRunning }
+
+// Exited reports whether the process ended normally.
+func (p *Process) Exited() bool {
+	return p.inner.State() == core.ProcReclaimed && p.inner.ExitError() == nil && p.inner.Uncaught() == nil
+}
+
+// FailureClass reports the class name of the uncaught throwable that
+// killed the process, or "".
+func (p *Process) FailureClass() string {
+	if u := p.inner.Uncaught(); u != nil {
+		return u.Class.Name
+	}
+	return ""
+}
+
+// MemUse reports accounted bytes (heap + shared-heap charges + metadata).
+func (p *Process) MemUse() uint64 { return p.inner.MemUse() }
+
+// HeapBytes reports live heap bytes.
+func (p *Process) HeapBytes() uint64 { return p.inner.HeapBytes() }
+
+// CPUCycles reports simulated cycles charged to the process, including
+// collection of its heap.
+func (p *Process) CPUCycles() uint64 { return p.inner.CPUCycles() }
+
+// IOBytes reports bytes the process has written to its output stream.
+func (p *Process) IOBytes() uint64 { return p.inner.IOBytes() }
+
+// GC forces a collection of the process heap.
+func (p *Process) GC() { p.inner.Collect() }
+
+// Thread is a green thread.
+type Thread struct {
+	inner *interp.Thread
+}
+
+// Done reports whether the thread has finished or been killed.
+func (t *Thread) Done() bool { return !t.inner.Alive() }
+
+// Result returns the thread's integer return value (entry methods
+// returning I).
+func (t *Thread) Result() int64 { return t.inner.Result.I }
+
+// Err reports the error that killed the thread, if any.
+func (t *Thread) Err() error { return t.inner.Err }

@@ -1,0 +1,198 @@
+package kaffeos
+
+import (
+	"bytes"
+	"testing"
+)
+
+const spinForever = `
+.class app/Spin
+.method main ()V static
+.locals 0
+.stack 1
+L0:	goto L0
+.end
+.end`
+
+func TestCPULimitViaFacade(t *testing.T) {
+	vm, _ := New(Config{})
+	p, err := vm.NewProcess("spin", ProcessConfig{CPULimit: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadSource(spinForever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start("app/Spin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Alive() {
+		t.Fatal("CPU-limited process survived")
+	}
+	if p.CPUCycles() < 300_000 {
+		t.Errorf("killed before the limit: %d cycles", p.CPUCycles())
+	}
+}
+
+func TestIOLimitViaFacade(t *testing.T) {
+	vm, _ := New(Config{})
+	var out bytes.Buffer
+	p, err := vm.NewProcess("noisy", ProcessConfig{IOLimit: 64, Stdout: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.LoadSource(`
+.class app/N
+.method main ()V static
+.locals 0
+.stack 2
+L0:	getstatic java/lang/System.out Ljava/io/PrintStream;
+	ldc "0123456789"
+	invokevirtual java/io/PrintStream.println (Ljava/lang/String;)V
+	goto L0
+.end
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start("app/N"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Alive() {
+		t.Fatal("IO-limited process survived")
+	}
+	if p.IOBytes() < 64 {
+		t.Errorf("killed before the limit: %d bytes", p.IOBytes())
+	}
+	if out.Len() > 64 {
+		t.Errorf("leaked %d bytes past the limit", out.Len())
+	}
+}
+
+func TestRunForAndClock(t *testing.T) {
+	vm, _ := New(Config{})
+	p, _ := vm.NewProcess("spin", ProcessConfig{})
+	if err := p.LoadSource(spinForever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start("app/Spin"); err != nil {
+		t.Fatal(err)
+	}
+	// Run 2 virtual milliseconds.
+	if err := vm.RunFor(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Alive() {
+		t.Fatal("spinner died")
+	}
+	if vm.NowMillis() < 2 {
+		t.Errorf("clock = %d ms", vm.NowMillis())
+	}
+	if len(vm.Processes()) != 1 {
+		t.Errorf("processes = %d", len(vm.Processes()))
+	}
+	if vm.Processes()[0].Pid() != p.Pid() || vm.Processes()[0].Name() != "spin" {
+		t.Error("process identity mismatch")
+	}
+	p.Kill()
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilAndGC(t *testing.T) {
+	vm, _ := New(Config{})
+	p, _ := vm.NewProcess("churn", ProcessConfig{MemLimit: 1 << 20})
+	err := p.LoadSource(`
+.class app/C
+.method main ()V static
+.locals 1
+.stack 2
+	iconst 0
+	istore 0
+L0:	ldc 128
+	newarray [I
+	pop
+	iinc 0 1
+	iload 0
+	ldc 100
+	if_icmplt L0
+L1:	goto L1
+.end
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start("app/C"); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	if err := vm.RunUntil(func() bool { steps++; return steps > 50 }); err != nil {
+		t.Fatal(err)
+	}
+	before := p.HeapBytes()
+	p.GC()
+	if p.HeapBytes() > before {
+		t.Error("GC grew the heap")
+	}
+	if p.MemUse() == 0 {
+		t.Error("no accounted memory for a live process")
+	}
+	p.Kill()
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.KernelHeapBytes() > 64<<10 {
+		t.Errorf("kernel retains %d bytes", vm.KernelHeapBytes())
+	}
+}
+
+func TestCoreEscapeHatch(t *testing.T) {
+	vm, _ := New(Config{})
+	if vm.Core() == nil {
+		t.Fatal("Core() returned nil")
+	}
+	if vm.Core().KernelHeap == nil {
+		t.Fatal("no kernel heap")
+	}
+}
+
+func TestStartFallbackEntryPoints(t *testing.T) {
+	vm, _ := New(Config{})
+	p, _ := vm.NewProcess("r", ProcessConfig{})
+	err := p.LoadSource(`
+.class app/R
+.method run ()I static
+.locals 0
+.stack 1
+	iconst 9
+	ireturn
+.end
+.end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := p.Start("app/R") // finds run()I
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result() != 9 {
+		t.Errorf("result = %d", th.Result())
+	}
+	p2, _ := vm.NewProcess("none", ProcessConfig{})
+	if err := p2.LoadSource(".class app/None\n.end"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Start("app/None"); err == nil {
+		t.Error("Start found an entry point in an empty class")
+	}
+}
