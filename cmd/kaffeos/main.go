@@ -6,11 +6,21 @@
 //	kaffeos run prog.kasm [prog2.kasm ...]   run programs, one process each
 //	kaffeos run -main app/Main prog.kasm     explicit entry class
 //	kaffeos run -mem 4096 prog.kasm          per-process memlimit (KiB)
+//	kaffeos run -stats prog.kasm             resource accounting at exit
+//	kaffeos run -trace out.jsonl prog.kasm   dump the kernel event trace
+//	kaffeos run -http :8080 prog.kasm        HTTP introspection endpoint
+//	kaffeos ps [flags] prog.kasm ...         run, then print the process table
+//	kaffeos top -interval 50 prog.kasm ...   re-render the table as the VM runs
 //	kaffeos check prog.kasm                  assemble + verify only
 //	kaffeos dis prog.kasm                    disassemble round-trip
 //
 // Each program must contain a class with a static main()V or main()I.
 // Without -main, the first class defining one is used.
+//
+// ps and top accept the run flags too; ps additionally takes -for N to
+// bound the run to N virtual milliseconds (0 = run to completion). The
+// table includes reclaimed processes: per-process accounting survives
+// reclamation in the telemetry registry.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"os"
 
 	"repro/internal/bytecode"
+	"repro/internal/telemetry"
 	"repro/kaffeos"
 )
 
@@ -30,6 +41,10 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = runCmd(os.Args[2:])
+	case "ps":
+		err = psCmd(os.Args[2:])
+	case "top":
+		err = topCmd(os.Args[2:])
 	case "check":
 		err = checkCmd(os.Args[2:])
 	case "dis":
@@ -44,84 +59,163 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kaffeos run|check|dis [flags] file.kasm ...")
+	fmt.Fprintln(os.Stderr, "usage: kaffeos run|ps|top|check|dis [flags] file.kasm ...")
 	os.Exit(2)
+}
+
+// runFlags are the flags shared by run, ps and top.
+type runFlags struct {
+	mainClass *string
+	memKB     *int
+	engine    *string
+	barrier   *string
+	cpuMS     *int
+	trace     *string
+	httpAddr  *string
+}
+
+func addRunFlags(fs *flag.FlagSet) *runFlags {
+	return &runFlags{
+		mainClass: fs.String("main", "", "entry class (default: first class with main)"),
+		memKB:     fs.Int("mem", 16384, "per-process memory limit in KiB"),
+		engine:    fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt"),
+		barrier:   fs.String("barrier", "NoHeapPointer", "write barrier: NoWriteBarrier | HeapPointer | NoHeapPointer | FakeHeapPointer"),
+		cpuMS:     fs.Int("cpu", 0, "per-process CPU limit in virtual milliseconds (0 = unlimited)"),
+		trace:     fs.String("trace", "", "dump the kernel event trace to this file as JSON lines at exit"),
+		httpAddr:  fs.String("http", "", "serve the telemetry HTTP endpoint on this address (e.g. :8080)"),
+	}
+}
+
+type job struct {
+	proc *kaffeos.Process
+	th   *kaffeos.Thread
+	file string
+}
+
+// setup builds the VM and one process per program file, applying the
+// shared run/ps/top flags (tracing on when -trace is set, HTTP endpoint
+// when -http is set).
+func setup(rf *runFlags, files []string) (*kaffeos.VM, []job, error) {
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no program files")
+	}
+	vm, err := kaffeos.New(kaffeos.Config{
+		Engine:  kaffeos.Engine(*rf.engine),
+		Barrier: kaffeos.WriteBarrier(*rf.barrier),
+		Stdout:  os.Stdout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if *rf.trace != "" {
+		vm.SetTracing(true)
+	}
+	if *rf.httpAddr != "" {
+		addr, err := vm.ServeTelemetry(*rf.httpAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "kaffeos: telemetry on http://%s (/procs /metrics /trace /ps)\n", addr)
+	}
+
+	var jobs []job
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		mod, err := bytecode.Assemble(string(src))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", file, err)
+		}
+		entry := *rf.mainClass
+		if entry == "" {
+			entry = findMain(mod)
+			if entry == "" {
+				return nil, nil, fmt.Errorf("%s: no class with a static main method", file)
+			}
+		}
+		p, err := vm.NewProcess(file, kaffeos.ProcessConfig{
+			MemLimit: uint64(*rf.memKB) << 10,
+			CPULimit: uint64(*rf.cpuMS) * 500_000,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.LoadModule(mod); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", file, err)
+		}
+		th, err := p.Start(entry)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", file, err)
+		}
+		jobs = append(jobs, job{proc: p, th: th, file: file})
+	}
+	return vm, jobs, nil
+}
+
+// finish writes the -trace dump, if requested.
+func finish(vm *kaffeos.VM, rf *runFlags) error {
+	if *rf.trace == "" {
+		return nil
+	}
+	f, err := os.Create(*rf.trace)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := vm.Telemetry().Trace
+	if err := tr.WriteJSONL(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kaffeos: wrote %d events to %s (%d dropped from ring)\n",
+		tr.Total()-tr.Dropped(), *rf.trace, tr.Dropped())
+	return nil
+}
+
+// printStats writes the stable, greppable -stats report: one "proc" line
+// and one "gc-pause" line per process, then kernel-wide lines.
+func printStats(vm *kaffeos.VM) {
+	hub := vm.Telemetry()
+	snap := vm.Snapshot()
+	for _, r := range snap.Procs {
+		fmt.Fprintf(os.Stderr,
+			"proc pid=%d name=%q state=%s cpu-cycles=%d cpu-ms=%d io-bytes=%d heap-bytes=%d mem-use=%d mem-limit=%d gcs=%d gc-cycles=%d\n",
+			r.Pid, r.Name, r.State, r.CPUCycles, r.CPUCycles/telemetry.CyclesPerMs,
+			r.IOBytes, r.HeapBytes, r.MemUse, r.MemLimit, r.GCs, r.GCCycles)
+		pause := hub.Reg.Proc(r.Pid).Histogram(telemetry.MGCPause)
+		fmt.Fprintf(os.Stderr, "gc-pause pid=%d %s\n", r.Pid, pause.Summary())
+	}
+	kernel := hub.Reg.Kernel()
+	fmt.Fprintf(os.Stderr, "gc-pause pid=0 %s\n", kernel.Histogram(telemetry.MGCPause).Summary())
+	fmt.Fprintf(os.Stderr, "barrier checks=%d violations=%d\n",
+		vm.BarriersExecuted(), kernel.Counter(telemetry.MViolations).Value())
+	fmt.Fprintf(os.Stderr, "memlimit failures=%d\n", kernel.Counter(telemetry.MMemFailures).Value())
+	fmt.Fprintf(os.Stderr, "kernel gcs=%d virtual-ms=%d events=%d\n",
+		snap.KernelGCs, snap.NowMillis, snap.Events)
 }
 
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	mainClass := fs.String("main", "", "entry class (default: first class with main)")
-	memKB := fs.Int("mem", 16384, "per-process memory limit in KiB")
-	engine := fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt")
-	barrier := fs.String("barrier", "NoHeapPointer", "write barrier: NoWriteBarrier | HeapPointer | NoHeapPointer | FakeHeapPointer")
+	rf := addRunFlags(fs)
 	stats := fs.Bool("stats", false, "print per-process resource accounting at exit")
-	cpuMS := fs.Int("cpu", 0, "per-process CPU limit in virtual milliseconds (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() == 0 {
-		return fmt.Errorf("no program files")
-	}
-
-	vm, err := kaffeos.New(kaffeos.Config{
-		Engine:  kaffeos.Engine(*engine),
-		Barrier: kaffeos.WriteBarrier(*barrier),
-		Stdout:  os.Stdout,
-	})
+	vm, jobs, err := setup(rf, fs.Args())
 	if err != nil {
 		return err
 	}
-
-	type job struct {
-		proc *kaffeos.Process
-		th   *kaffeos.Thread
-		file string
-	}
-	var jobs []job
-	for _, file := range fs.Args() {
-		src, err := os.ReadFile(file)
-		if err != nil {
-			return err
-		}
-		mod, err := bytecode.Assemble(string(src))
-		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
-		}
-		entry := *mainClass
-		if entry == "" {
-			entry = findMain(mod)
-			if entry == "" {
-				return fmt.Errorf("%s: no class with a static main method", file)
-			}
-		}
-		p, err := vm.NewProcess(file, kaffeos.ProcessConfig{
-			MemLimit: uint64(*memKB) << 10,
-			CPULimit: uint64(*cpuMS) * 500_000,
-		})
-		if err != nil {
-			return err
-		}
-		if err := p.LoadModule(mod); err != nil {
-			return fmt.Errorf("%s: %w", file, err)
-		}
-		th, err := p.Start(entry)
-		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
-		}
-		jobs = append(jobs, job{proc: p, th: th, file: file})
-	}
-
 	if err := vm.Run(); err != nil {
 		return err
 	}
-	exitCode := 0
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%-30s %12s %12s %10s\n", "process", "cpu-cycles", "io-bytes", "virtual-ms")
-		for _, j := range jobs {
-			fmt.Fprintf(os.Stderr, "%-30s %12d %12d %10d\n",
-				j.file, j.proc.CPUCycles(), j.proc.IOBytes(), j.proc.CPUCycles()/500_000)
-		}
+		printStats(vm)
 	}
+	if err := finish(vm, rf); err != nil {
+		return err
+	}
+	exitCode := 0
 	for _, j := range jobs {
 		switch {
 		case j.proc.Exited():
@@ -139,6 +233,58 @@ func runCmd(args []string) error {
 		os.Exit(exitCode)
 	}
 	return nil
+}
+
+// psCmd runs the programs (optionally for a bounded stretch of virtual
+// time) and prints the /proc-style process table.
+func psCmd(args []string) error {
+	fs := flag.NewFlagSet("ps", flag.ExitOnError)
+	rf := addRunFlags(fs)
+	forMS := fs.Int("for", 0, "run for this many virtual milliseconds before printing (0 = to completion)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	vm, _, err := setup(rf, fs.Args())
+	if err != nil {
+		return err
+	}
+	if err := vm.RunFor(uint64(*forMS) * 500_000); err != nil {
+		return err
+	}
+	telemetry.RenderTable(os.Stdout, vm.Snapshot())
+	return finish(vm, rf)
+}
+
+// topCmd re-renders the process table every -interval virtual
+// milliseconds while the programs run.
+func topCmd(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	rf := addRunFlags(fs)
+	intervalMS := fs.Int("interval", 50, "virtual milliseconds between refreshes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *intervalMS <= 0 {
+		return fmt.Errorf("top: -interval must be positive")
+	}
+	vm, _, err := setup(rf, fs.Args())
+	if err != nil {
+		return err
+	}
+	for {
+		before := vm.Snapshot().NowCycles
+		if err := vm.RunFor(uint64(*intervalMS) * 500_000); err != nil {
+			return err
+		}
+		snap := vm.Snapshot()
+		fmt.Printf("--- t=%dms (%d cycles) kernel-gcs=%d ---\n",
+			snap.NowMillis, snap.NowCycles, snap.KernelGCs)
+		telemetry.RenderTable(os.Stdout, snap)
+		if snap.NowCycles == before {
+			break // no progress: every thread exited
+		}
+	}
+	return finish(vm, rf)
 }
 
 func findMain(mod *bytecode.Module) string {

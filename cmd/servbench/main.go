@@ -6,6 +6,7 @@
 //
 //	servbench            # the six curves of Figure 4 (fluid host simulation)
 //	servbench -real      # the isolation property on the real KaffeOS VM
+//	servbench -real -http :8080   # with the telemetry HTTP endpoint
 //	servbench -csv       # machine-readable output
 package main
 
@@ -22,11 +23,12 @@ func main() {
 	real := flag.Bool("real", false, "run the real-VM servlet demonstration instead of the host simulation")
 	csv := flag.Bool("csv", false, "CSV output")
 	requests := flag.Uint64("requests", 60, "requests per servlet in -real mode")
+	httpAddr := flag.String("http", "", "serve the telemetry HTTP endpoint on this address in -real mode")
 	flag.Parse()
 
 	var err error
 	if *real {
-		err = realDemo(*requests)
+		err = realDemo(*requests, *httpAddr)
 	} else {
 		err = figure4(*csv)
 	}
@@ -90,10 +92,17 @@ func at(outs []jserv.Outcome, n int) float64 {
 
 // realDemo runs the isolation experiment on the real VM: three servlets
 // plus a MemHog, each in its own KaffeOS process.
-func realDemo(requests uint64) error {
+func realDemo(requests uint64, httpAddr string) error {
 	vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt})
 	if err != nil {
 		return err
+	}
+	if httpAddr != "" {
+		addr, err := vm.Tel.Serve(httpAddr, vm.Snapshot)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "servbench: telemetry on http://%s (/procs /metrics /trace /ps)\n", addr)
 	}
 	eng := jserv.NewEngine(vm)
 	for i := 0; i < 3; i++ {

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/heap"
 	"repro/internal/object"
+	"repro/internal/telemetry"
 	"repro/internal/vmaddr"
 )
 
@@ -59,8 +60,26 @@ func (v *Violation) Error() string {
 
 // Stats counts barrier executions, matching Table 1 of the paper.
 type Stats struct {
-	Executed atomic.Uint64 // pointer-store barrier checks performed
-	Cycles   atomic.Uint64 // simulated cycles spent in barriers
+	Executed   atomic.Uint64 // pointer-store barrier checks performed
+	Cycles     atomic.Uint64 // simulated cycles spent in barriers
+	Violations atomic.Uint64 // segmentation violations raised
+
+	// Sink, when set, receives an EvBarrierViolation event per violation.
+	// The success path never touches it, so the per-store cost stays at
+	// the two counter bumps above.
+	Sink telemetry.Sink
+}
+
+// violate counts and traces a segmentation violation, then returns it.
+func (st *Stats) violate(v *Violation) error {
+	st.Violations.Add(1)
+	if st.Sink != nil {
+		st.Sink.Emit(telemetry.Event{
+			Kind:   telemetry.EvBarrierViolation,
+			Detail: v.Reason + " (" + v.HolderHeap + " -> " + v.RefHeap + ")",
+		})
+	}
+	return v
 }
 
 // Barrier validates and tracks reference stores.
@@ -112,11 +131,11 @@ func (b *checking) Write(reg *heap.Registry, holder, ref *object.Object, kernelM
 	st.Cycles.Add(b.cycles)
 
 	if holder.Frozen() {
-		return &Violation{
+		return st.violate(&Violation{
 			HolderHeap: heapName(reg, b.heapOf(reg, holder)),
 			RefHeap:    refHeapName(reg, b.heapOf, ref),
 			Reason:     "write to reference field of frozen shared object",
-		}
+		})
 	}
 	if ref == nil {
 		return nil // clearing a slot can never create an illegal reference
@@ -128,11 +147,11 @@ func (b *checking) Write(reg *heap.Registry, holder, ref *object.Object, kernelM
 	}
 	hh, ok := reg.Lookup(hid)
 	if !ok {
-		return &Violation{HolderHeap: "?", RefHeap: heapName(reg, rid), Reason: "holder heap unknown"}
+		return st.violate(&Violation{HolderHeap: "?", RefHeap: heapName(reg, rid), Reason: "holder heap unknown"})
 	}
 	rh, ok := reg.Lookup(rid)
 	if !ok {
-		return &Violation{HolderHeap: hh.Name, RefHeap: "?", Reason: "referenced heap unknown"}
+		return st.violate(&Violation{HolderHeap: hh.Name, RefHeap: "?", Reason: "referenced heap unknown"})
 	}
 
 	switch hh.Kind {
@@ -141,10 +160,10 @@ func (b *checking) Write(reg *heap.Registry, holder, ref *object.Object, kernelM
 		case heap.KindKernel, heap.KindShared:
 			return hh.RecordCrossRef(ref)
 		default: // another user heap
-			return &Violation{
+			return st.violate(&Violation{
 				HolderHeap: hh.Name, RefHeap: rh.Name,
 				Reason: "user heap may not reference another user heap",
-			}
+			})
 		}
 	case heap.KindShared:
 		// Unfrozen shared heaps are being populated by their creator;
@@ -153,20 +172,20 @@ func (b *checking) Write(reg *heap.Registry, holder, ref *object.Object, kernelM
 		if rh.Kind == heap.KindKernel {
 			return hh.RecordCrossRef(ref)
 		}
-		return &Violation{
+		return st.violate(&Violation{
 			HolderHeap: hh.Name, RefHeap: rh.Name,
 			Reason: "shared heap may only reference itself or the kernel heap",
-		}
+		})
 	case heap.KindKernel:
 		if !kernelMode {
-			return &Violation{
+			return st.violate(&Violation{
 				HolderHeap: hh.Name, RefHeap: rh.Name,
 				Reason: "user-mode write to kernel object",
-			}
+			})
 		}
 		return hh.RecordCrossRef(ref)
 	}
-	return &Violation{HolderHeap: hh.Name, RefHeap: rh.Name, Reason: "unknown heap kind"}
+	return st.violate(&Violation{HolderHeap: hh.Name, RefHeap: rh.Name, Reason: "unknown heap kind"})
 }
 
 func heapName(reg *heap.Registry, id vmaddr.HeapID) string {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/object"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // kernelModule declares the KaffeOS system-call surface: static native
@@ -132,7 +133,9 @@ func (vm *VM) kernelNatives() (map[string]any, map[string]bool) {
 		}
 		// Mark a clean exit, then terminate every thread (including the
 		// caller, at its next user-mode safepoint).
-		p.state = ProcExited
+		if p.transition(ProcRunning, ProcExited, nil, nil) {
+			p.emit(telemetry.EvProcExit, 0, 0, "exit syscall")
+		}
 		for th := range p.threads {
 			th.Kill()
 		}
@@ -183,7 +186,7 @@ func (vm *VM) kernelNatives() (map[string]any, map[string]bool) {
 		if err != nil {
 			return interp.Slot{}, err
 		}
-		return interp.IntSlot(int64(p.cpuCycles / sched.CyclesPerMs)), nil
+		return interp.IntSlot(int64(p.CPUCycles() / sched.CyclesPerMs)), nil
 	})
 
 	add("kaffeos/Kernel.gc()V", func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
@@ -195,6 +198,9 @@ func (vm *VM) kernelNatives() (map[string]any, map[string]bool) {
 		res := vm.CollectKernel()
 		t.Fuel -= int64(res.Cycles)
 		t.Cycles += res.Cycles
+		if vm.Tel != nil {
+			vm.Tel.Reg.Kernel().Counter(telemetry.MGCCharged).Add(res.Cycles)
+		}
 		return interp.Slot{}, nil
 	})
 

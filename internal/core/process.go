@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/heap"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/memlimit"
 	"repro/internal/object"
+	"repro/internal/telemetry"
 )
 
 // ProcState is a process' lifecycle state.
@@ -75,17 +78,30 @@ type Process struct {
 	Loader *loader.Loader
 	Out    io.Writer
 
-	state     ProcState
+	// state is atomic and nthreads mirrors len(threads) so that external
+	// pollers (kaffeos top, the HTTP introspection endpoint) can read
+	// State/Threads/CPUCycles/IOBytes without racing the running VM. The
+	// threads/threadFor maps themselves are only touched on the
+	// scheduling goroutine; mu orders the state/exitErr/uncaught writes.
+	mu        sync.Mutex
+	state     atomic.Uint32 // holds a ProcState
 	exitErr   error
 	uncaught  *object.Object
 	threads   map[*interp.Thread]struct{}
 	threadFor map[*object.Object]*interp.Thread // java/lang/Thread objects
+	nthreads  atomic.Int32
 	intern    map[string]*object.Object
 	rng       *rand.Rand
-	cpuCycles uint64
+	cpuCycles atomic.Uint64
 	cpuLimit  uint64
-	ioBytes   uint64
+	ioBytes   atomic.Uint64
 	ioLimit   uint64
+
+	// Cached per-process telemetry counters: the scheduler's charge hook
+	// and the accounted writer bump these with one atomic add each.
+	ctrCPU       *telemetry.Counter
+	ctrIO        *telemetry.Counter
+	ctrGCCharged *telemetry.Counter
 	// handles other processes hold on this one do not keep its heap
 	// alive; the process table entry is the only kernel-side state.
 }
@@ -112,7 +128,6 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 		VM:        vm,
 		Limit:     lim,
 		Out:       opts.Out,
-		state:     ProcRunning,
 		threads:   make(map[*interp.Thread]struct{}),
 		threadFor: make(map[*object.Object]*interp.Thread),
 		intern:    make(map[string]*object.Object),
@@ -120,11 +135,21 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 		cpuLimit:  opts.CPULimit,
 		ioLimit:   opts.IOLimit,
 	}
+	p.state.Store(uint32(ProcRunning))
+	if vm.Tel != nil {
+		scope := vm.Tel.Reg.Proc(int32(pid))
+		p.ctrCPU = scope.Counter(telemetry.MCPUCycles)
+		p.ctrIO = scope.Counter(telemetry.MIOBytes)
+		p.ctrGCCharged = scope.Counter(telemetry.MGCCharged)
+		scope.Gauge(telemetry.MMemLimit).Set(opts.MemLimit)
+	}
 	// The process object itself is large and lives on the *new* heap; the
 	// kernel keeps only the small process-table entry (§2, "Precise memory
 	// and CPU accounting").
 	p.Heap = vm.Reg.NewHeap(heap.KindUser, fmt.Sprintf("proc:%s#%d", name, pid), lim)
 	p.Heap.Owner = p
+	p.Heap.Pid = int32(pid)
+	p.emit(telemetry.EvProcCreate, opts.MemLimit, 0, name)
 	p.Loader = loader.NewProcess(fmt.Sprintf("%s#%d", name, pid), p.Heap, vm.Shared)
 	p.Loader.RegisterNatives(vm.Lib.Natives, vm.Lib.Kernel)
 
@@ -147,24 +172,54 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 func (p *Process) releaseEarly() {
 	_ = p.Heap.MergeInto(p.VM.KernelHeap)
 	p.Limit.Release()
-	p.state = ProcReclaimed
+	p.state.Store(uint32(ProcReclaimed))
+	p.emit(telemetry.EvProcReclaim, 0, 0, "creation failed")
 }
 
-// State reports the lifecycle state.
-func (p *Process) State() ProcState { return p.state }
+// emit forwards a lifecycle event, stamped with this process' pid, to the
+// VM's telemetry hub.
+func (p *Process) emit(k telemetry.Kind, a, b uint64, detail string) {
+	if p.VM != nil && p.VM.Tel != nil {
+		p.VM.Tel.Emit(telemetry.Event{Kind: k, Pid: int32(p.ID), A: a, B: b, Detail: detail})
+	}
+}
+
+// TelemetryPid lets layers that hold the process as an opaque owner
+// (scheduler, shared-heap manager) recover its pid for event stamping.
+func (p *Process) TelemetryPid() int32 { return int32(p.ID) }
+
+// State reports the lifecycle state. Safe to call from any goroutine.
+func (p *Process) State() ProcState { return ProcState(p.state.Load()) }
 
 // ExitError reports why the process died (nil for a normal exit).
-func (p *Process) ExitError() error { return p.exitErr }
+func (p *Process) ExitError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exitErr
+}
 
 // Uncaught reports the throwable that killed the process, if any.
-func (p *Process) Uncaught() *object.Object { return p.uncaught }
+func (p *Process) Uncaught() *object.Object {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.uncaught
+}
 
 // CPUCycles reports the simulated cycles charged to this process,
-// including GC of its heap.
-func (p *Process) CPUCycles() uint64 { return p.cpuCycles }
+// including GC of its heap. Safe to call from any goroutine.
+func (p *Process) CPUCycles() uint64 { return p.cpuCycles.Load() }
+
+// chargeCPU adds cycles to the process' CPU account and telemetry.
+func (p *Process) chargeCPU(cycles uint64) {
+	p.cpuCycles.Add(cycles)
+	if p.ctrCPU != nil {
+		p.ctrCPU.Add(cycles)
+	}
+}
 
 // IOBytes reports the bytes the process has written to its output stream.
-func (p *Process) IOBytes() uint64 { return p.ioBytes }
+// Safe to call from any goroutine.
+func (p *Process) IOBytes() uint64 { return p.ioBytes.Load() }
 
 // accountedWriter wraps a process' output: every byte is accounted, and
 // an IOLimit overrun kills the writer at its next safepoint.
@@ -174,8 +229,11 @@ type accountedWriter struct {
 }
 
 func (w *accountedWriter) Write(b []byte) (int, error) {
-	w.p.ioBytes += uint64(len(b))
-	if w.p.ioLimit > 0 && w.p.ioBytes > w.p.ioLimit && w.p.state == ProcRunning {
+	total := w.p.ioBytes.Add(uint64(len(b)))
+	if w.p.ctrIO != nil {
+		w.p.ctrIO.Add(uint64(len(b)))
+	}
+	if w.p.ioLimit > 0 && total > w.p.ioLimit && w.p.State() == ProcRunning {
 		w.p.Kill(ErrIOLimit)
 		return len(b), nil // the write that crossed the line is dropped downstream
 	}
@@ -194,14 +252,15 @@ func (p *Process) HeapBytes() uint64 { return p.Heap.Bytes() }
 // MemUse reports the process' total accounted memory (heap + charges).
 func (p *Process) MemUse() uint64 { return p.Limit.Use() }
 
-// Threads reports the number of live threads.
-func (p *Process) Threads() int { return len(p.threads) }
+// Threads reports the number of live threads. Safe to call from any
+// goroutine.
+func (p *Process) Threads() int { return int(p.nthreads.Load()) }
 
 // Load defines a program module into the process namespace and runs its
 // class initializers.
 func (p *Process) Load(m *bytecode.Module) error {
-	if p.state != ProcRunning {
-		return fmt.Errorf("core: load into %s process", p.state)
+	if s := p.State(); s != ProcRunning {
+		return fmt.Errorf("core: load into %s process", s)
 	}
 	if err := p.Loader.DefineModule(m); err != nil {
 		return err
@@ -221,8 +280,8 @@ func (p *Process) LoadProgram(name string) error {
 // Spawn starts a thread executing cls.method (a static method taking no
 // arguments or a single int).
 func (p *Process) Spawn(cls, methodKey string, args ...interp.Slot) (*interp.Thread, error) {
-	if p.state != ProcRunning {
-		return nil, fmt.Errorf("core: spawn in %s process", p.state)
+	if s := p.State(); s != ProcRunning {
+		return nil, fmt.Errorf("core: spawn in %s process", s)
 	}
 	c, err := p.Loader.Class(cls)
 	if err != nil {
@@ -237,7 +296,9 @@ func (p *Process) Spawn(cls, methodKey string, args ...interp.Slot) (*interp.Thr
 		return nil, err
 	}
 	p.threads[t] = struct{}{}
+	p.nthreads.Add(1)
 	p.VM.Sched.Add(t)
+	p.emit(telemetry.EvThreadSpawn, uint64(t.ID), 0, cls+"."+methodKey)
 	return t, nil
 }
 
@@ -257,7 +318,9 @@ func (p *Process) spawnThreadObject(threadObj *object.Object) error {
 	}
 	p.threads[t] = struct{}{}
 	p.threadFor[threadObj] = t
+	p.nthreads.Add(1)
 	p.VM.Sched.Add(t)
+	p.emit(telemetry.EvThreadSpawn, uint64(t.ID), 0, threadObj.Class.Name+".run()V")
 	return nil
 }
 
@@ -265,39 +328,61 @@ func (p *Process) spawnThreadObject(threadObj *object.Object) error {
 // next safepoint; kernel-mode sections finish first (§2, "Safe termination
 // of processes"). Reclamation happens when the last thread exits.
 func (p *Process) Kill(reason error) {
-	if p.state != ProcRunning {
+	if !p.transition(ProcRunning, ProcKilled, reason, nil) {
 		return
 	}
-	p.state = ProcKilled
-	if p.exitErr == nil {
-		p.exitErr = reason
+	why := ""
+	if reason != nil {
+		why = reason.Error()
 	}
+	p.emit(telemetry.EvProcKill, 0, 0, why)
 	for t := range p.threads {
 		t.Kill()
 	}
 }
 
+// transition moves the process from one state to another, recording the
+// exit reason on the first terminal transition. It reports whether the
+// transition happened (false if the state was not `from`).
+func (p *Process) transition(from, to ProcState, reason error, uncaught *object.Object) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.state.CompareAndSwap(uint32(from), uint32(to)) {
+		return false
+	}
+	if p.exitErr == nil {
+		p.exitErr = reason
+	}
+	if p.uncaught == nil {
+		p.uncaught = uncaught
+	}
+	return true
+}
+
 // threadExited is called by the scheduler's exit hook.
 func (p *Process) threadExited(t *interp.Thread, res interp.StepResult) {
 	delete(p.threads, t)
+	p.nthreads.Add(-1)
 	for obj, th := range p.threadFor {
 		if th == t {
 			delete(p.threadFor, obj)
 		}
 	}
-	if res == interp.StepKilled && p.state == ProcRunning {
+	if res == interp.StepKilled && p.transition(ProcRunning, ProcKilled, t.Err, t.Uncaught) {
 		// An uncaught throwable (or VM fault) in any thread kills the
 		// whole process, like an uncaught signal.
-		p.state = ProcKilled
-		p.exitErr = t.Err
-		p.uncaught = t.Uncaught
+		why := ""
+		if t.Err != nil {
+			why = t.Err.Error()
+		}
+		p.emit(telemetry.EvProcKill, uint64(t.ID), 0, why)
 		for other := range p.threads {
 			other.Kill()
 		}
 	}
 	if len(p.threads) == 0 {
-		if p.state == ProcRunning {
-			p.state = ProcExited
+		if p.transition(ProcRunning, ProcExited, nil, nil) {
+			p.emit(telemetry.EvProcExit, 0, 0, "")
 		}
 		p.reclaim()
 	}
@@ -307,7 +392,8 @@ func (p *Process) threadExited(t *interp.Thread, res interp.StepResult) {
 // heap into the kernel heap, destroy exit items, unload the namespace,
 // release shared-heap charges, and let the kernel collector take it all.
 func (p *Process) reclaim() {
-	if p.state == ProcReclaimed {
+	finalState := p.State()
+	if finalState == ProcReclaimed {
 		return
 	}
 	vm := p.VM
@@ -315,15 +401,15 @@ func (p *Process) reclaim() {
 	vm.SharedMgr.UnfrozenOwnedBy(p.Limit, vm.KernelHeap)
 	p.intern = make(map[string]*object.Object)
 	p.Loader.Unload()
+	merged := p.Heap.Bytes()
 	if err := p.Heap.MergeInto(vm.KernelHeap); err != nil {
 		// Merging can only fail if the kernel cannot absorb the bytes;
 		// collect the kernel heap and retry once.
 		vm.CollectKernel()
 		_ = p.Heap.MergeInto(vm.KernelHeap)
 	}
-	finalState := p.state
-	p.state = ProcReclaimed
-	_ = finalState
+	p.state.Store(uint32(ProcReclaimed))
+	p.emit(telemetry.EvProcReclaim, merged, 0, finalState.String())
 
 	vm.mu.Lock()
 	delete(vm.procs, p.ID)
@@ -355,10 +441,17 @@ func (p *Process) stackAndStaticRoots(visit func(*object.Object)) {
 	p.Loader.StaticsRoots(visit)
 }
 
-// Collect runs a GC of this process' heap, charging no thread (external
-// callers: tests, the kernel's periodic sweep).
+// Collect runs a GC of this process' heap. The cycles are charged to the
+// process directly — even externally-triggered collections of a heap are
+// paid for by its owner, so CPU accounting stays complete (§2, "Precise
+// memory and CPU accounting").
 func (p *Process) Collect() heap.GCResult {
-	return p.Heap.Collect(p.gcRoots())
+	res := p.Heap.Collect(p.gcRoots())
+	p.chargeCPU(res.Cycles)
+	if p.ctrGCCharged != nil {
+		p.ctrGCCharged.Add(res.Cycles)
+	}
+	return res
 }
 
 // errorsAs adapts errors.As for the vm.go helper.

@@ -2,10 +2,14 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/telemetry"
 )
 
 // TestSoakRandomLifecycles runs many rounds of creating, running, and
@@ -18,7 +22,39 @@ func TestSoakRandomLifecycles(t *testing.T) {
 		t.Skip("soak test")
 	}
 	vm := newTestVM(t)
+	vm.Tel.SetTracing(true)
 	rng := rand.New(rand.NewSource(7))
+
+	// A concurrent observer hammers the introspection surface (the same
+	// reads the HTTP handler and `kaffeos top` perform) while the
+	// scheduler mutates everything — the race detector polices the pair.
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := vm.Snapshot()
+			telemetry.RenderTable(io.Discard, snap)
+			vm.Tel.Trace.Snapshot()
+			for _, p := range vm.Processes() {
+				_ = p.State()
+				_ = p.CPUCycles()
+				_ = p.IOBytes()
+				_ = p.Threads()
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	defer func() {
+		close(stop)
+		pollers.Wait()
+	}()
 
 	programs := map[string]string{
 		"compute": `
@@ -167,5 +203,8 @@ L0:	goto L0
 	}
 	if got := len(vm.SharedMgr.Heaps()); got != 0 {
 		t.Errorf("%d shared heaps leaked", got)
+	}
+	if got := vm.Tel.Trace.Total(); got == 0 {
+		t.Error("tracing was on but no events reached the ring")
 	}
 }

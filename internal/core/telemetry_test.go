@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// kindsFor extracts the lifecycle event kinds traced for one pid, in
+// emission order.
+func kindsFor(vm *VM, pid Pid, want map[telemetry.Kind]bool) []telemetry.Kind {
+	var out []telemetry.Kind
+	for _, e := range vm.Tel.Trace.Snapshot() {
+		if e.Pid == int32(pid) && want[e.Kind] {
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+func TestKillReclaimEventOrder(t *testing.T) {
+	vm := newTestVM(t)
+	vm.Tel.SetTracing(true)
+	src := `
+.class app/Spin
+.method main ()V static
+.locals 0
+.stack 1
+L0:	goto L0
+.end
+.end`
+	p := mustProc(t, vm, "victim", ProcessOptions{})
+	load(t, p, src)
+	spawn(t, p, "app/Spin", "main()V")
+	if err := vm.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	p.Kill(errors.New("test kill"))
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != ProcReclaimed {
+		t.Fatalf("state = %v, want reclaimed", p.State())
+	}
+
+	got := kindsFor(vm, p.ID, map[telemetry.Kind]bool{
+		telemetry.EvProcCreate:  true,
+		telemetry.EvThreadSpawn: true,
+		telemetry.EvProcKill:    true,
+		telemetry.EvProcReclaim: true,
+	})
+	want := []telemetry.Kind{
+		telemetry.EvProcCreate, telemetry.EvThreadSpawn,
+		telemetry.EvProcKill, telemetry.EvProcReclaim,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lifecycle events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lifecycle events = %v, want %v", got, want)
+		}
+	}
+
+	// The reclaim event must carry the pre-reclaim state, and the kill
+	// event the reason.
+	for _, e := range vm.Tel.Trace.Snapshot() {
+		if e.Pid != int32(p.ID) {
+			continue
+		}
+		switch e.Kind {
+		case telemetry.EvProcKill:
+			if e.Detail != "test kill" {
+				t.Errorf("kill detail = %q", e.Detail)
+			}
+		case telemetry.EvProcReclaim:
+			if e.Detail != "killed" {
+				t.Errorf("reclaim detail = %q, want killed", e.Detail)
+			}
+		}
+	}
+
+	// Kernel-side lifecycle counters agree with the trace.
+	k := vm.Tel.Reg.Kernel()
+	if got := k.Counter(telemetry.MProcsKilled).Value(); got != 1 {
+		t.Errorf("proc.killed = %d, want 1", got)
+	}
+	if got := k.Counter(telemetry.MProcsReclaimed).Value(); got != 1 {
+		t.Errorf("proc.reclaimed = %d, want 1", got)
+	}
+}
+
+func TestExitEventOnNormalCompletion(t *testing.T) {
+	vm := newTestVM(t)
+	vm.Tel.SetTracing(true)
+	p := mustProc(t, vm, "hello", ProcessOptions{})
+	load(t, p, helloSrc)
+	spawn(t, p, "app/Hello", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got := kindsFor(vm, p.ID, map[telemetry.Kind]bool{
+		telemetry.EvProcExit:    true,
+		telemetry.EvProcKill:    true,
+		telemetry.EvProcReclaim: true,
+	})
+	want := []telemetry.Kind{telemetry.EvProcExit, telemetry.EvProcReclaim}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+}
+
+// TestGCAccountingCompleteExplicit checks the completeness property on
+// externally-triggered collections: every cycle the collector spends on a
+// process' heap shows up (1) in the pause histogram, (2) in the gc.charged
+// counter, and (3) in Process.CPUCycles.
+func TestGCAccountingCompleteExplicit(t *testing.T) {
+	vm := newTestVM(t)
+	p := mustProc(t, vm, "gcme", ProcessOptions{})
+	scope := vm.Tel.Reg.Proc(int32(p.ID))
+	pause := scope.Histogram(telemetry.MGCPause)
+
+	cpuBefore := p.CPUCycles()
+	chargedBefore := scope.Counter(telemetry.MGCCharged).Value()
+	sumBefore := pause.Sum()
+	countBefore := pause.Count()
+
+	res1 := p.Collect()
+	res2 := p.Collect()
+	spent := res1.Cycles + res2.Cycles
+	if spent == 0 {
+		t.Fatal("collections reported zero cycles; cost model broken")
+	}
+
+	if delta := p.CPUCycles() - cpuBefore; delta != spent {
+		t.Errorf("CPUCycles delta = %d, want %d", delta, spent)
+	}
+	if delta := scope.Counter(telemetry.MGCCharged).Value() - chargedBefore; delta != spent {
+		t.Errorf("gc.charged delta = %d, want %d", delta, spent)
+	}
+	if delta := pause.Sum() - sumBefore; delta != spent {
+		t.Errorf("pause histogram sum delta = %d, want %d", delta, spent)
+	}
+	if delta := pause.Count() - countBefore; delta != 2 {
+		t.Errorf("pause histogram count delta = %d, want 2", delta)
+	}
+}
+
+// TestGCAccountingCompleteUnderPressure checks the same property when the
+// collections are triggered by allocation failure inside the running
+// program: gc.cycles (observed pauses) == gc.charged (cycles billed).
+func TestGCAccountingCompleteUnderPressure(t *testing.T) {
+	vm := newTestVM(t)
+	src := `
+.class app/Churn
+.method main ()V static
+.locals 2
+.stack 3
+	iconst 0
+	istore 0
+L0:	ldc 512
+	newarray [I
+	astore 1
+	iinc 0 1
+	iload 0
+	ldc 2000
+	if_icmplt L0
+	return
+.end
+.end`
+	p := mustProc(t, vm, "churn", ProcessOptions{MemLimit: 1 << 20})
+	load(t, p, src)
+	spawn(t, p, "app/Churn", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != ProcReclaimed || p.ExitError() != nil {
+		t.Fatalf("state=%v err=%v", p.State(), p.ExitError())
+	}
+
+	scope := vm.Tel.Reg.Proc(int32(p.ID))
+	gcs := scope.Counter(telemetry.MGCCount).Value()
+	if gcs == 0 {
+		t.Fatal("churn under a 1 MiB limit triggered no collections")
+	}
+	cycles := scope.Counter(telemetry.MGCCycles).Value()
+	charged := scope.Counter(telemetry.MGCCharged).Value()
+	pause := scope.Histogram(telemetry.MGCPause)
+	if cycles != charged {
+		t.Errorf("gc.cycles = %d but gc.charged = %d: some GC work was not billed", cycles, charged)
+	}
+	if pause.Sum() != cycles {
+		t.Errorf("pause histogram sum = %d, gc.cycles = %d", pause.Sum(), cycles)
+	}
+	if pause.Count() != gcs {
+		t.Errorf("pause count = %d, gc.count = %d", pause.Count(), gcs)
+	}
+	if cpu := scope.Counter(telemetry.MCPUCycles).Value(); cpu < charged {
+		t.Errorf("cpu.cycles %d < gc.charged %d: GC time missing from the CPU account", cpu, charged)
+	}
+	if p.CPUCycles() < charged {
+		t.Errorf("Process.CPUCycles %d < gc.charged %d", p.CPUCycles(), charged)
+	}
+}
+
+func TestSnapshotIncludesReclaimedProcesses(t *testing.T) {
+	vm := newTestVM(t)
+	p := mustProc(t, vm, "ghost", ProcessOptions{})
+	load(t, p, helloSrc)
+	spawn(t, p, "app/Hello", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	snap := vm.Snapshot()
+	if len(snap.Procs) != 1 {
+		t.Fatalf("snapshot rows = %d, want 1", len(snap.Procs))
+	}
+	row := snap.Procs[0]
+	if row.Pid != int32(p.ID) || row.Name != "ghost" {
+		t.Errorf("row identity: %+v", row)
+	}
+	if row.State != "reclaimed" {
+		t.Errorf("row state = %q, want reclaimed", row.State)
+	}
+	if row.CPUCycles == 0 {
+		t.Error("reclaimed row lost its CPU accounting")
+	}
+	if row.IOBytes == 0 {
+		t.Error("reclaimed row lost its IO accounting")
+	}
+	if snap.NowCycles == 0 {
+		t.Error("snapshot clock is zero after a run")
+	}
+}
+
+// TestDispatchEventsTraced asserts the scheduler feeds the quantum
+// histogram and, with tracing on, the ring sees dispatch events.
+func TestDispatchEventsTraced(t *testing.T) {
+	vm := newTestVM(t)
+	vm.Tel.SetTracing(true)
+	src := `
+.class app/Spin
+.method main (I)V static
+.locals 2
+.stack 2
+	iconst 0
+	istore 1
+L0:	iinc 1 1
+	iload 1
+	iload 0
+	if_icmplt L0
+	return
+.end
+.end`
+	p := mustProc(t, vm, "spin", ProcessOptions{})
+	load(t, p, src)
+	th, err := p.Spawn("app/Spin", "main(I)V")
+	_ = th
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	scope := vm.Tel.Reg.Proc(int32(p.ID))
+	nd := scope.Counter(telemetry.MDispatches).Value()
+	if nd == 0 {
+		t.Fatal("no dispatches counted")
+	}
+	if got := scope.Histogram(telemetry.MQuantum).Count(); got != nd {
+		t.Errorf("quantum histogram count = %d, dispatches = %d", got, nd)
+	}
+	var traced uint64
+	for _, e := range vm.Tel.Trace.Snapshot() {
+		if e.Kind == telemetry.EvDispatch && e.Pid == int32(p.ID) {
+			traced++
+			if e.Time == 0 {
+				t.Error("dispatch event missing virtual-cycle timestamp")
+			}
+		}
+	}
+	if traced != nd {
+		t.Errorf("traced dispatches = %d, counted = %d", traced, nd)
+	}
+}
+
+// TestHotPathQuietWhenTracingOff asserts the default configuration traces
+// nothing: metrics accumulate but the ring stays empty.
+func TestHotPathQuietWhenTracingOff(t *testing.T) {
+	vm := newTestVM(t)
+	p := mustProc(t, vm, "quiet", ProcessOptions{})
+	load(t, p, helloSrc)
+	spawn(t, p, "app/Hello", "main()V")
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Tel.Trace.Total(); got != 0 {
+		t.Fatalf("ring holds %d events with tracing off", got)
+	}
+	if got := vm.Tel.Reg.Proc(int32(p.ID)).Counter(telemetry.MDispatches).Value(); got == 0 {
+		t.Fatal("metrics did not accumulate with tracing off")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/sched"
 	"repro/internal/shared"
+	"repro/internal/telemetry"
 	"repro/internal/vmaddr"
 )
 
@@ -73,6 +74,10 @@ type Config struct {
 	Quantum int64
 	// Stdout is where process output goes unless a process overrides it.
 	Stdout io.Writer
+	// Telemetry, when set, is used instead of a freshly-created hub —
+	// callers that want a custom trace-ring size or shared registry pass
+	// one in. The VM always has a hub; tracing defaults to off.
+	Telemetry *telemetry.Hub
 }
 
 func (c *Config) fill() {
@@ -114,6 +119,9 @@ type VM struct {
 	Lib        *classlib.Library
 	Env        *interp.Env
 	Stats      *barrier.Stats
+	// Tel routes every subsystem's telemetry: metrics update always, the
+	// event ring fills only while tracing is enabled.
+	Tel *telemetry.Hub
 
 	engine interp.Engine
 
@@ -136,8 +144,15 @@ func NewVM(cfg Config) (*VM, error) {
 		procs:    make(map[Pid]*Process),
 		programs: make(map[string]*bytecode.Module),
 	}
+	vm.Tel = cfg.Telemetry
+	if vm.Tel == nil {
+		vm.Tel = telemetry.NewHub(0)
+	}
 	vm.Reg = heap.NewRegistry(vm.Space, heap.Config{HeaderExtra: cfg.Barrier.HeaderExtra()})
+	vm.Reg.Telemetry = vm.Tel
+	vm.Stats.Sink = vm.Tel
 	vm.RootLimit = memlimit.NewRoot("vm", cfg.TotalMemory)
+	vm.RootLimit.SetSink(vm.Tel)
 	kernelLimit, err := vm.RootLimit.NewChild("kernel", cfg.KernelMemory, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: kernel reservation: %w", err)
@@ -148,6 +163,7 @@ func NewVM(cfg Config) (*VM, error) {
 		return nil, err
 	}
 	vm.SharedMgr = shared.NewManager(vm.Reg, sharedBase)
+	vm.SharedMgr.Telemetry = vm.Tel
 
 	switch cfg.Engine {
 	case EngineInterp, EngineInterpSpill:
@@ -174,10 +190,12 @@ func NewVM(cfg Config) (*VM, error) {
 	vm.Sched = sched.New(vm.engine)
 	vm.Sched.Quantum = cfg.Quantum
 	vm.Sched.OnExit = vm.onThreadExit
+	vm.Sched.Telemetry = vm.Tel
+	vm.Tel.SetClock(vm.Sched.Now)
 	vm.Sched.Charge = func(t *interp.Thread, cycles uint64) {
 		if p, ok := t.Owner.(*Process); ok {
-			p.cpuCycles += cycles
-			if p.cpuLimit > 0 && p.cpuCycles > p.cpuLimit && p.state == ProcRunning {
+			p.chargeCPU(cycles)
+			if p.cpuLimit > 0 && p.CPUCycles() > p.cpuLimit && p.State() == ProcRunning {
 				p.Kill(ErrCPULimit)
 			}
 		}
@@ -354,6 +372,14 @@ func (vm *VM) collectHeapFor(t *interp.Thread, h *heap.Heap) {
 	if t != nil {
 		t.Fuel -= int64(res.Cycles)
 		t.Cycles += res.Cycles
+		// Record who paid: the gc.charged counter of the collected heap's
+		// scope must, in a complete accounting, equal the gc.cycles the
+		// pause histogram saw (asserted by TestGCAccountingComplete).
+		if owner, ok := h.Owner.(*Process); ok && owner.ctrGCCharged != nil {
+			owner.ctrGCCharged.Add(res.Cycles)
+		} else if vm.Tel != nil {
+			vm.Tel.Reg.Kernel().Counter(telemetry.MGCCharged).Add(res.Cycles)
+		}
 	}
 }
 
@@ -404,6 +430,28 @@ func (vm *VM) KernelGCs() uint64 {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	return vm.kernelGC
+}
+
+// Snapshot captures a point-in-time telemetry view of the VM: the virtual
+// clock, one row per process the VM has ever created (reclaimed processes
+// keep their final metrics), and kernel-wide totals. Safe to call from any
+// goroutine while the VM runs; live fields (state, threads, heap bytes)
+// are joined in for processes still in the table.
+func (vm *VM) Snapshot() telemetry.Snapshot {
+	rows := vm.Tel.Reg.Rows(func(pid int32) (string, int, uint64, uint64, bool) {
+		p, ok := vm.Process(Pid(pid))
+		if !ok {
+			return "", 0, 0, 0, false
+		}
+		return p.State().String(), p.Threads(), p.HeapBytes(), p.MemUse(), true
+	})
+	return telemetry.Snapshot{
+		NowCycles: vm.Sched.Now(),
+		NowMillis: vm.Sched.NowMillis(),
+		Procs:     rows,
+		KernelGCs: vm.KernelGCs(),
+		Events:    vm.Tel.Trace.Total(),
+	}
 }
 
 // RegisterProgram makes a module spawnable by name via the Kernel.spawn

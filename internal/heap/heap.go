@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/memlimit"
 	"repro/internal/object"
+	"repro/internal/telemetry"
 	"repro/internal/vmaddr"
 )
 
@@ -102,6 +103,10 @@ type Registry struct {
 	// crossMu serializes all entry/exit item manipulation across heaps,
 	// avoiding lock-order cycles between pairs of heaps.
 	crossMu sync.Mutex
+
+	// Telemetry, when set, receives EvGCStart/EvGCEnd events for every
+	// collection of every heap in the registry.
+	Telemetry telemetry.Sink
 }
 
 // NewRegistry creates a registry over an address space.
@@ -201,6 +206,10 @@ type Heap struct {
 	// Owner is an opaque back-pointer to the owning process (or nil for
 	// the kernel heap); the VM layer uses it for accounting.
 	Owner any
+
+	// Pid tags GC telemetry with the owning process (0 = kernel/shared).
+	// Set by the VM layer when the heap is handed to a process.
+	Pid int32
 }
 
 type chunk struct {
@@ -431,6 +440,12 @@ func (h *Heap) Collect(roots RootFunc) GCResult {
 	if h.dead {
 		return GCResult{}
 	}
+	if h.reg.Telemetry != nil {
+		h.reg.Telemetry.Emit(telemetry.Event{
+			Kind: telemetry.EvGCStart, Pid: h.Pid,
+			A: h.bytes, B: uint64(len(h.objects)), Detail: h.Name,
+		})
+	}
 
 	var res GCResult
 	var stack []*object.Object
@@ -510,6 +525,12 @@ func (h *Heap) Collect(roots RootFunc) GCResult {
 	h.stats.Swept += uint64(res.Swept)
 	h.stats.FreedBytes += res.FreedBytes
 	h.stats.GCCycles += res.Cycles
+	if h.reg.Telemetry != nil {
+		h.reg.Telemetry.Emit(telemetry.Event{
+			Kind: telemetry.EvGCEnd, Pid: h.Pid,
+			A: res.Cycles, B: res.FreedBytes, Detail: h.Name,
+		})
+	}
 	return res
 }
 

@@ -165,6 +165,7 @@ func (e *Engine) poll() error {
 					s.lastSeen = v
 				}
 			}
+			e.publish(s)
 			continue
 		}
 		// Dead (the hog OOM-ing, typically): restart, like the paper's
@@ -173,8 +174,46 @@ func (e *Engine) poll() error {
 		if err := e.start(s); err != nil {
 			return err
 		}
+		e.publish(s)
 	}
 	return nil
+}
+
+// publish mirrors the zone's supervisor-level counters into the current
+// process' telemetry scope, so `kaffeos top` and the HTTP endpoint show
+// requests handled and restarts next to the kernel-maintained metrics.
+func (e *Engine) publish(s *Servlet) {
+	if e.VM.Tel == nil || s.proc == nil {
+		return
+	}
+	scope := e.VM.Tel.Reg.Proc(int32(s.proc.ID))
+	scope.Gauge("jserv.handled").Set(s.handled)
+	scope.Gauge("jserv.restarts").Set(uint64(s.restarts))
+	scope.SetMeta("jserv.zone", s.Name)
+}
+
+// ZoneRow is one supervised zone's cumulative stats for introspection.
+type ZoneRow struct {
+	Name     string `json:"name"`
+	Pid      int32  `json:"pid"`
+	Hog      bool   `json:"hog"`
+	Handled  uint64 `json:"handled"`
+	Restarts int    `json:"restarts"`
+	State    string `json:"state"`
+}
+
+// Zones snapshots every zone's supervisor-level stats.
+func (e *Engine) Zones() []ZoneRow {
+	rows := make([]ZoneRow, 0, len(e.servlets))
+	for _, s := range e.servlets {
+		r := ZoneRow{Name: s.Name, Hog: s.Hog, Handled: s.handled, Restarts: s.restarts}
+		if s.proc != nil {
+			r.Pid = int32(s.proc.ID)
+			r.State = s.proc.State().String()
+		}
+		rows = append(rows, r)
+	}
+	return rows
 }
 
 // counter reads the servlet's handled static.

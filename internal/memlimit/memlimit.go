@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Unlimited is a limit value that no realistic debit can reach.
@@ -61,6 +63,9 @@ type Limit struct {
 	use      uint64
 	hard     bool
 	released bool
+	// sink, when set, receives a telemetry event for every refused debit
+	// (a reserve failure). Inherited from the parent at creation.
+	sink telemetry.Sink
 }
 
 // NewRoot creates a root memlimit with the given maximum. The root is a
@@ -98,6 +103,7 @@ func (l *Limit) NewChild(name string, max uint64, hard bool) (*Limit, error) {
 		children: make(map[*Limit]struct{}),
 		max:      max,
 		hard:     hard,
+		sink:     l.sink,
 	}
 	l.children[c] = struct{}{}
 	return c, nil
@@ -128,10 +134,32 @@ func (l *Limit) Debit(n uint64) error {
 	return l.debitLocked(n)
 }
 
+// SetSink installs a telemetry sink on l and its whole subtree; future
+// children inherit it. Reserve failures anywhere below l then emit
+// EvMemFail events.
+func (l *Limit) SetSink(s telemetry.Sink) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.setSinkLocked(s)
+}
+
+func (l *Limit) setSinkLocked(s telemetry.Sink) {
+	l.sink = s
+	for c := range l.children {
+		c.setSinkLocked(s)
+	}
+}
+
 func (l *Limit) debitLocked(n uint64) error {
 	// First pass: verify the whole path accepts the debit.
 	for node := l; node != nil; node = node.propagationParent() {
 		if node.use+n > node.max || node.use+n < node.use {
+			if l.sink != nil {
+				l.sink.Emit(telemetry.Event{
+					Kind: telemetry.EvMemFail, A: n, B: node.use,
+					Detail: node.name,
+				})
+			}
 			return &ErrExceeded{Limit: node, Need: n}
 		}
 	}

@@ -14,8 +14,10 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/interp"
+	"repro/internal/telemetry"
 )
 
 // CyclesPerMs converts simulated cycles to virtual milliseconds (500 MHz,
@@ -44,13 +46,18 @@ type Scheduler struct {
 	OnExit ExitFunc
 	// Charge is invoked with consumed cycles after every dispatch.
 	Charge ChargeFunc
+	// Telemetry, when set, receives one EvDispatch event per dispatched
+	// quantum (feeding the quantum-latency histogram) and EvYield events.
+	Telemetry telemetry.Sink
 
 	runq     []*interp.Thread
 	blocked  []*interp.Thread
 	sleeping []*interp.Thread
 	waiting  []*interp.Thread // Object.wait / parked threads
-	now      uint64           // virtual cycles elapsed
-	steps    uint64
+	// now is the virtual clock in cycles. Written only by the scheduling
+	// goroutine; atomic so telemetry pollers can read it concurrently.
+	now   atomic.Uint64
+	steps uint64
 }
 
 // New returns a scheduler using eng for every thread.
@@ -58,11 +65,11 @@ func New(eng interp.Engine) *Scheduler {
 	return &Scheduler{Engine: eng}
 }
 
-// Now reports elapsed virtual cycles.
-func (s *Scheduler) Now() uint64 { return s.now }
+// Now reports elapsed virtual cycles. Safe to call from any goroutine.
+func (s *Scheduler) Now() uint64 { return s.now.Load() }
 
 // NowMillis reports elapsed virtual milliseconds.
-func (s *Scheduler) NowMillis() uint64 { return s.now / CyclesPerMs }
+func (s *Scheduler) NowMillis() uint64 { return s.now.Load() / CyclesPerMs }
 
 // Steps reports the number of dispatches performed.
 func (s *Scheduler) Steps() uint64 { return s.steps }
@@ -97,13 +104,20 @@ func (s *Scheduler) LiveNonDaemon() int {
 // cycles. Intended for use by natives: they set the state and the
 // scheduler moves the thread to the sleep queue after the step returns.
 func (s *Scheduler) Sleep(t *interp.Thread, cycles uint64) {
-	t.WakeAt = s.now + cycles
+	t.WakeAt = s.now.Load() + cycles
 	t.State = interp.StateSleeping
 }
 
 // Yield makes the thread give up the remainder of its quantum.
 func (s *Scheduler) Yield(t *interp.Thread) {
 	t.Fuel = 0
+	if s.Telemetry != nil {
+		s.Telemetry.Emit(telemetry.Event{
+			Kind: telemetry.EvYield,
+			Pid:  telemetry.PidOf(t.Owner),
+			A:    uint64(t.ID),
+		})
+	}
 }
 
 func (s *Scheduler) engineFor(t *interp.Thread) interp.Engine {
@@ -150,8 +164,8 @@ func (s *Scheduler) Step() (bool, error) {
 				earliest = t.WakeAt
 			}
 		}
-		if earliest > s.now {
-			s.now = earliest
+		if earliest > s.now.Load() {
+			s.now.Store(earliest)
 			s.wake()
 		}
 		if len(s.runq) == 0 {
@@ -181,10 +195,18 @@ func (s *Scheduler) Step() (bool, error) {
 	before := t.Cycles
 	res := s.engineFor(t).Step(t)
 	consumed := t.Cycles - before
-	s.now += consumed
+	s.now.Add(consumed)
 	s.steps++
 	if s.Charge != nil {
 		s.Charge(t, consumed)
+	}
+	if s.Telemetry != nil {
+		s.Telemetry.Emit(telemetry.Event{
+			Kind: telemetry.EvDispatch,
+			Pid:  telemetry.PidOf(t.Owner),
+			A:    consumed,
+			B:    uint64(res),
+		})
 	}
 
 	switch res {
@@ -236,7 +258,7 @@ func (s *Scheduler) wake() {
 				if s.OnExit != nil {
 					s.OnExit(t, interp.StepKilled)
 				}
-			case t.WakeAt <= s.now:
+			case t.WakeAt <= s.now.Load():
 				t.State = interp.StateRunnable
 				s.runq = append(s.runq, t)
 			default:
@@ -257,7 +279,7 @@ func (s *Scheduler) wake() {
 				}
 			case func() bool {
 				// A timed wait whose deadline passed self-notifies.
-				if t.WakeAt > 0 && t.WakeAt <= s.now {
+				if t.WakeAt > 0 && t.WakeAt <= s.now.Load() {
 					t.Notified = true
 					t.WakeAt = 0
 				}
@@ -282,9 +304,9 @@ func (s *Scheduler) wake() {
 // exhausted (0 = unlimited), or a deadlock is detected. The budget is
 // relative to the clock at the call, so repeated calls each run a slice.
 func (s *Scheduler) Run(maxCycles uint64) error {
-	start := s.now
+	start := s.now.Load()
 	for s.LiveNonDaemon() > 0 {
-		if maxCycles > 0 && s.now-start >= maxCycles {
+		if maxCycles > 0 && s.now.Load()-start >= maxCycles {
 			return nil
 		}
 		progressed, err := s.Step()

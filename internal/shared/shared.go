@@ -25,6 +25,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/memlimit"
 	"repro/internal/object"
+	"repro/internal/telemetry"
 )
 
 // Errors.
@@ -66,10 +67,23 @@ func (s *Heap) SharedBy(who any) bool {
 // global resource (the paper notes this makes it harder to account for
 // precisely); names are charged nothing, contents are charged fully.
 type Manager struct {
+	// Telemetry, when set, receives shared-heap lifecycle events
+	// (create/freeze/attach/detach). Set once at VM construction, before
+	// any process runs.
+	Telemetry telemetry.Sink
+
 	mu    sync.Mutex
 	reg   *heap.Registry
 	base  *memlimit.Limit // accounting home for frozen shared heaps
 	heaps map[string]*Heap
+}
+
+// emit forwards a shared-heap lifecycle event; who (a sharer handle) is
+// mapped to a pid when it implements telemetry.Pidded.
+func (m *Manager) emit(k telemetry.Kind, who any, a uint64, name string) {
+	if m.Telemetry != nil {
+		m.Telemetry.Emit(telemetry.Event{Kind: k, Pid: telemetry.PidOf(who), A: a, Detail: name})
+	}
 }
 
 // NewManager creates a manager; base is the memlimit that owns frozen
@@ -101,6 +115,7 @@ func (m *Manager) Create(name string, creatorLimit *memlimit.Limit, max uint64) 
 		sharers:     make(map[any]*memlimit.Limit),
 	}
 	m.heaps[name] = sh
+	m.emit(telemetry.EvSharedCreate, nil, max, name)
 	return sh, nil
 }
 
@@ -125,6 +140,7 @@ func (m *Manager) Freeze(sh *Heap) error {
 	sh.createLimit.Release()
 	sh.createLimit = nil
 	sh.frozen = true
+	m.emit(telemetry.EvSharedFreeze, nil, sh.Size, sh.Name)
 	return nil
 }
 
@@ -154,6 +170,7 @@ func (m *Manager) Attach(sh *Heap, who any, limit *memlimit.Limit) error {
 		return err
 	}
 	sh.sharers[who] = limit
+	m.emit(telemetry.EvSharedAttach, who, sh.Size, sh.Name)
 	return nil
 }
 
@@ -164,6 +181,7 @@ func (m *Manager) Detach(sh *Heap, who any) {
 	if lim, ok := sh.sharers[who]; ok {
 		lim.Credit(sh.Size)
 		delete(sh.sharers, who)
+		m.emit(telemetry.EvSharedDetach, who, sh.Size, sh.Name)
 	}
 }
 
@@ -175,6 +193,7 @@ func (m *Manager) DetachAll(who any) {
 		if lim, ok := sh.sharers[who]; ok {
 			lim.Credit(sh.Size)
 			delete(sh.sharers, who)
+			m.emit(telemetry.EvSharedDetach, who, sh.Size, sh.Name)
 		}
 	}
 }

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler builds the HTTP introspection surface (stdlib net/http only):
+//
+//	/procs    JSON Snapshot — the live process table
+//	/metrics  JSON array of every scope's metrics (kernel first)
+//	/trace    the current trace ring as JSON lines
+//	/ps       the process table rendered as plain text
+//
+// snap may be nil, in which case /procs and /ps serve registry data only.
+func (h *Hub) Handler(snap SnapshotFunc) http.Handler {
+	takeSnap := func() Snapshot {
+		if snap != nil {
+			return snap()
+		}
+		return Snapshot{Procs: h.Reg.Rows(nil), Events: h.Trace.Total()}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/procs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(takeSnap())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		scopes := []MetricsSnapshot{h.Reg.Kernel().Dump()}
+		for _, s := range h.Reg.Procs() {
+			scopes = append(scopes, s.Dump())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(scopes)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = h.Trace.WriteJSONL(w)
+	})
+	mux.HandleFunc("/ps", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderTable(w, takeSnap())
+	})
+	return mux
+}
+
+// Serve starts the introspection endpoint on addr in a background
+// goroutine and returns the bound address (useful with ":0"). The
+// listener lives until the process exits; this is an opt-in debug
+// surface, not a production server.
+func (h *Hub) Serve(addr string, snap SnapshotFunc) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h.Handler(snap)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

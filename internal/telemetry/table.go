@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// ProcRow is one line of the /proc-style process table: the union of
+// live-process state (filled by the VM for running processes) and the
+// registry's accumulated accounting (which survives reclamation).
+type ProcRow struct {
+	Pid       int32  `json:"pid"`
+	Name      string `json:"name"`
+	State     string `json:"state"`
+	Threads   int    `json:"threads"`
+	HeapBytes uint64 `json:"heap_bytes"`
+	MemUse    uint64 `json:"mem_use"`
+	MemLimit  uint64 `json:"mem_limit"`
+	CPUCycles uint64 `json:"cpu_cycles"`
+	IOBytes   uint64 `json:"io_bytes"`
+	GCs       uint64 `json:"gc_count"`
+	GCCycles  uint64 `json:"gc_cycles"`
+	GCPauseP50 uint64 `json:"gc_pause_p50"`
+	GCPauseMax uint64 `json:"gc_pause_max"`
+}
+
+// Snapshot is one observation of the whole system, served over HTTP and
+// rendered by ps/top.
+type Snapshot struct {
+	NowCycles uint64    `json:"now_cycles"`
+	NowMillis uint64    `json:"now_ms"`
+	Procs     []ProcRow `json:"procs"`
+	KernelGCs uint64    `json:"kernel_gc_count"`
+	Events    uint64    `json:"events_traced"`
+}
+
+// SnapshotFunc supplies a live Snapshot; the VM layer provides one to the
+// HTTP handler and CLI renderers.
+type SnapshotFunc func() Snapshot
+
+// baseRow builds the registry-derived part of a process row. Live fields
+// (state, threads, heap, mem) stay zero/meta for dead processes.
+func baseRow(s *Scope) ProcRow {
+	pause := s.Histogram(MGCPause)
+	return ProcRow{
+		Pid:        s.Pid,
+		Name:       s.DisplayName(),
+		State:      s.Meta("state"),
+		MemLimit:   s.Gauge(MMemLimit).Value(),
+		CPUCycles:  s.Counter(MCPUCycles).Value(),
+		IOBytes:    s.Counter(MIOBytes).Value(),
+		GCs:        s.Counter(MGCCount).Value(),
+		GCCycles:   s.Counter(MGCCycles).Value(),
+		GCPauseP50: pause.Quantile(0.50),
+		GCPauseMax: pause.Max(),
+	}
+}
+
+// Rows builds a table row per process scope. live reports current
+// process state by pid; it returns ok=false for reclaimed processes.
+func (r *Registry) Rows(live func(pid int32) (state string, threads int, heap, memUse uint64, ok bool)) []ProcRow {
+	scopes := r.Procs()
+	out := make([]ProcRow, 0, len(scopes))
+	for _, s := range scopes {
+		row := baseRow(s)
+		if live != nil {
+			if state, threads, heap, memUse, ok := live(s.Pid); ok {
+				row.State = state
+				row.Threads = threads
+				row.HeapBytes = heap
+				row.MemUse = memUse
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// CyclesPerMs mirrors the scheduler's virtual-clock rate (500 MHz, the
+// paper's measurement host) for rendering cycles as milliseconds.
+const CyclesPerMs = 500_000
+
+// RenderTable writes the ps/top process table. The format is fixed-width
+// and stable: scripts may rely on the column set and ordering.
+func RenderTable(w io.Writer, snap Snapshot) {
+	fmt.Fprintf(w, "%5s %-24s %-10s %4s %10s %10s %10s %9s %9s %5s %9s %9s %9s\n",
+		"PID", "NAME", "STATE", "THR", "HEAP-B", "MEM-B", "LIM-B",
+		"CPU-MS", "IO-B", "GCS", "GC-MS", "GC-P50", "GC-MAX")
+	for _, p := range snap.Procs {
+		fmt.Fprintf(w, "%5d %-24s %-10s %4d %10d %10d %10d %9d %9d %5d %9d %9d %9d\n",
+			p.Pid, clip(p.Name, 24), p.State, p.Threads, p.HeapBytes, p.MemUse, p.MemLimit,
+			p.CPUCycles/CyclesPerMs, p.IOBytes, p.GCs, p.GCCycles/CyclesPerMs,
+			p.GCPauseP50, p.GCPauseMax)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

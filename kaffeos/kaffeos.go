@@ -30,6 +30,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/telemetry"
 )
 
 // Engine names an execution engine.
@@ -176,6 +177,27 @@ func (vm *VM) RunUntil(cond func() bool) error { return vm.inner.RunUntil(cond) 
 
 // NowMillis reports the virtual clock.
 func (vm *VM) NowMillis() uint64 { return vm.inner.Sched.NowMillis() }
+
+// Telemetry exposes the VM's telemetry hub: the always-on metrics
+// registry plus the opt-in event tracer. See package
+// repro/internal/telemetry for the event and metric taxonomy.
+func (vm *VM) Telemetry() *telemetry.Hub { return vm.inner.Tel }
+
+// SetTracing switches event tracing on or off. Metrics accumulate either
+// way; the trace ring fills only while tracing is on.
+func (vm *VM) SetTracing(on bool) { vm.inner.Tel.SetTracing(on) }
+
+// Snapshot captures a point-in-time view of every process (reclaimed ones
+// included) plus kernel totals. Safe to call from any goroutine.
+func (vm *VM) Snapshot() telemetry.Snapshot { return vm.inner.Snapshot() }
+
+// ServeTelemetry starts an HTTP introspection endpoint on addr (":0"
+// picks a free port) and returns the bound address. Routes: /procs
+// (JSON snapshot), /metrics (JSON metric dump), /trace (JSON lines),
+// /ps (plain-text table).
+func (vm *VM) ServeTelemetry(addr string) (string, error) {
+	return vm.inner.Tel.Serve(addr, vm.inner.Snapshot)
+}
 
 // KernelHeapBytes reports live bytes on the kernel heap.
 func (vm *VM) KernelHeapBytes() uint64 { return vm.inner.KernelHeap.Bytes() }
