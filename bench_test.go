@@ -19,6 +19,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/barrier"
@@ -463,6 +464,133 @@ L0:	goto L0
 				}
 			})
 		})
+	}
+}
+
+// benchNodeClass builds the two-class world (Object + a linkable node)
+// used by the GC scaling benchmarks.
+func benchNodeClass(b *testing.B) *object.Class {
+	b.Helper()
+	mod := bytecode.MustAssemble(".class java/lang/Object\n.end\n.class t/N\n.field next Lt/N;\n.end")
+	objDef, _ := mod.Class("java/lang/Object")
+	objC, err := object.NewClass(objDef, nil, "b", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nDef, _ := mod.Class("t/N")
+	nC, err := object.NewClass(nDef, objC, "b", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nC
+}
+
+// buildGCBenchHeaps populates n user heaps with identical live graphs
+// (chains reachable from explicit roots) so every collection marks the
+// same amount of work, and returns ready-made collection requests.
+func buildGCBenchHeaps(b *testing.B, n, objsPerHeap int) (*heap.Registry, []heap.CollectRequest) {
+	b.Helper()
+	space := vmaddr.NewSpace()
+	reg := heap.NewRegistry(space, heap.Config{})
+	root := memlimit.NewRoot("root", memlimit.Unlimited)
+	nC := benchNodeClass(b)
+	reqs := make([]heap.CollectRequest, n)
+	for i := 0; i < n; i++ {
+		h := reg.NewHeap(heap.KindUser, fmt.Sprintf("h%d", i), root.MustChild(fmt.Sprintf("h%d", i), memlimit.Unlimited, false))
+		var keep []*object.Object
+		var prev *object.Object
+		for j := 0; j < objsPerHeap; j++ {
+			o, err := h.Alloc(nC)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o.SetRef(0, prev)
+			prev = o
+			if j%32 == 31 {
+				keep = append(keep, o) // chain head: marks the 32 below it
+				prev = nil
+			}
+		}
+		roots := keep
+		reqs[i] = heap.CollectRequest{Heap: h, Roots: func(visit func(*object.Object)) {
+			for _, o := range roots {
+				visit(o)
+			}
+		}}
+	}
+	return reg, reqs
+}
+
+// BenchmarkGCParallel measures collecting n fully live process heaps
+// serially vs on the CollectConcurrent worker pool. Per-heap collections
+// share no locks except short crossMu windows, so on a multi-core host
+// the parallel variant scales with GOMAXPROCS; per-op time is for
+// collecting ALL n heaps once.
+func BenchmarkGCParallel(b *testing.B) {
+	const objsPerHeap = 2000
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("heaps=%d/serial", n), func(b *testing.B) {
+			_, reqs := buildGCBenchHeaps(b, n, objsPerHeap)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range reqs {
+					r.Heap.Collect(r.Roots)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("heaps=%d/parallel", n), func(b *testing.B) {
+			reg, reqs := buildGCBenchHeaps(b, n, objsPerHeap)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reg.CollectConcurrent(reqs, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAllocParallel measures allocation throughput from concurrent
+// goroutines, each owning a heap under a shared memlimit root — the
+// contention the per-heap lease exists to absorb. "nolease" disables the
+// fast path (every allocation debits the shared limit tree); per-op time
+// is one allocation. Goroutines collect their heap periodically so the
+// workload stays bounded.
+func BenchmarkAllocParallel(b *testing.B) {
+	nC := benchNodeClass(b)
+	for _, cfg := range []struct {
+		name  string
+		batch int
+	}{{"lease", 0}, {"nolease", -1}} {
+		for _, workers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", cfg.name, workers), func(b *testing.B) {
+				space := vmaddr.NewSpace()
+				reg := heap.NewRegistry(space, heap.Config{LeaseBatch: cfg.batch})
+				root := memlimit.NewRoot("root", 1<<40)
+				heaps := make([]*heap.Heap, workers)
+				for i := range heaps {
+					heaps[i] = reg.NewHeap(heap.KindUser, fmt.Sprintf("h%d", i), root.MustChild(fmt.Sprintf("h%d", i), memlimit.Unlimited, false))
+				}
+				perG := b.N/workers + 1
+				noRoots := func(func(*object.Object)) {}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(h *heap.Heap) {
+						defer wg.Done()
+						for i := 0; i < perG; i++ {
+							if _, err := h.Alloc(nC); err != nil {
+								b.Error(err)
+								return
+							}
+							if i%50_000 == 49_999 {
+								h.Collect(noRoots)
+							}
+						}
+					}(heaps[w])
+				}
+				wg.Wait()
+			})
+		}
 	}
 }
 

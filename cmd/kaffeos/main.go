@@ -70,6 +70,7 @@ type runFlags struct {
 	engine    *string
 	barrier   *string
 	cpuMS     *int
+	gcWorkers *int
 	trace     *string
 	httpAddr  *string
 }
@@ -81,6 +82,7 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 		engine:    fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt"),
 		barrier:   fs.String("barrier", "NoHeapPointer", "write barrier: NoWriteBarrier | HeapPointer | NoHeapPointer | FakeHeapPointer"),
 		cpuMS:     fs.Int("cpu", 0, "per-process CPU limit in virtual milliseconds (0 = unlimited)"),
+		gcWorkers: fs.Int("gcworkers", 0, "GC worker pool for collecting process heaps concurrently (0 = GOMAXPROCS)"),
 		trace:     fs.String("trace", "", "dump the kernel event trace to this file as JSON lines at exit"),
 		httpAddr:  fs.String("http", "", "serve the telemetry HTTP endpoint on this address (e.g. :8080)"),
 	}
@@ -100,9 +102,10 @@ func setup(rf *runFlags, files []string) (*kaffeos.VM, []job, error) {
 		return nil, nil, fmt.Errorf("no program files")
 	}
 	vm, err := kaffeos.New(kaffeos.Config{
-		Engine:  kaffeos.Engine(*rf.engine),
-		Barrier: kaffeos.WriteBarrier(*rf.barrier),
-		Stdout:  os.Stdout,
+		Engine:    kaffeos.Engine(*rf.engine),
+		Barrier:   kaffeos.WriteBarrier(*rf.barrier),
+		GCWorkers: *rf.gcWorkers,
+		Stdout:    os.Stdout,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -191,6 +194,8 @@ func printStats(vm *kaffeos.VM) {
 	fmt.Fprintf(os.Stderr, "barrier checks=%d violations=%d\n",
 		vm.BarriersExecuted(), kernel.Counter(telemetry.MViolations).Value())
 	fmt.Fprintf(os.Stderr, "memlimit failures=%d\n", kernel.Counter(telemetry.MMemFailures).Value())
+	fmt.Fprintf(os.Stderr, "gc-fastpath hits=%d misses=%d overlap=%d\n",
+		snap.GCFastHits, snap.GCFastMisses, snap.GCOverlap)
 	fmt.Fprintf(os.Stderr, "kernel gcs=%d virtual-ms=%d events=%d\n",
 		snap.KernelGCs, snap.NowMillis, snap.Events)
 }

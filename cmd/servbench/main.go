@@ -24,11 +24,12 @@ func main() {
 	csv := flag.Bool("csv", false, "CSV output")
 	requests := flag.Uint64("requests", 60, "requests per servlet in -real mode")
 	httpAddr := flag.String("http", "", "serve the telemetry HTTP endpoint on this address in -real mode")
+	gcWorkers := flag.Int("gcworkers", 0, "GC worker pool for collecting process heaps concurrently in -real mode (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var err error
 	if *real {
-		err = realDemo(*requests, *httpAddr)
+		err = realDemo(*requests, *httpAddr, *gcWorkers)
 	} else {
 		err = figure4(*csv)
 	}
@@ -92,8 +93,8 @@ func at(outs []jserv.Outcome, n int) float64 {
 
 // realDemo runs the isolation experiment on the real VM: three servlets
 // plus a MemHog, each in its own KaffeOS process.
-func realDemo(requests uint64, httpAddr string) error {
-	vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt})
+func realDemo(requests uint64, httpAddr string, gcWorkers int) error {
+	vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt, GCWorkers: gcWorkers})
 	if err != nil {
 		return err
 	}

@@ -99,9 +99,15 @@ type Process struct {
 
 	// Cached per-process telemetry counters: the scheduler's charge hook
 	// and the accounted writer bump these with one atomic add each.
-	ctrCPU       *telemetry.Counter
-	ctrIO        *telemetry.Counter
-	ctrGCCharged *telemetry.Counter
+	ctrCPU        *telemetry.Counter
+	ctrIO         *telemetry.Counter
+	ctrGCCharged  *telemetry.Counter
+	ctrGCAdaptive *telemetry.Counter
+
+	// gcTrigger is the heap size past which the scheduler's charge hook
+	// collects the heap adaptively. Reset after every collection to
+	// max(GCMinHeap, bytes × GCGrowthFactor); read every quantum.
+	gcTrigger atomic.Uint64
 	// handles other processes hold on this one do not keep its heap
 	// alive; the process table entry is the only kernel-side state.
 }
@@ -136,11 +142,13 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 		ioLimit:   opts.IOLimit,
 	}
 	p.state.Store(uint32(ProcRunning))
+	p.gcTrigger.Store(vm.Cfg.GCMinHeap)
 	if vm.Tel != nil {
 		scope := vm.Tel.Reg.Proc(int32(pid))
 		p.ctrCPU = scope.Counter(telemetry.MCPUCycles)
 		p.ctrIO = scope.Counter(telemetry.MIOBytes)
 		p.ctrGCCharged = scope.Counter(telemetry.MGCCharged)
+		p.ctrGCAdaptive = scope.Counter(telemetry.MGCAdaptive)
 		scope.Gauge(telemetry.MMemLimit).Set(opts.MemLimit)
 	}
 	// The process object itself is large and lives on the *new* heap; the
@@ -447,11 +455,23 @@ func (p *Process) stackAndStaticRoots(visit func(*object.Object)) {
 // memory and CPU accounting").
 func (p *Process) Collect() heap.GCResult {
 	res := p.Heap.Collect(p.gcRoots())
+	p.resetGCTrigger()
 	p.chargeCPU(res.Cycles)
 	if p.ctrGCCharged != nil {
 		p.ctrGCCharged.Add(res.Cycles)
 	}
 	return res
+}
+
+// resetGCTrigger rearms the adaptive collection trigger after a collection
+// of this process' heap: the heap may grow by GCGrowthFactor before the
+// scheduler collects it again, and never below the GCMinHeap floor.
+func (p *Process) resetGCTrigger() {
+	next := uint64(float64(p.Heap.Bytes()) * p.VM.Cfg.GCGrowthFactor)
+	if min := p.VM.Cfg.GCMinHeap; next < min {
+		next = min
+	}
+	p.gcTrigger.Store(next)
 }
 
 // errorsAs adapts errors.As for the vm.go helper.

@@ -204,6 +204,16 @@ L0:	goto L0
 	if got := len(vm.SharedMgr.Heaps()); got != 0 {
 		t.Errorf("%d shared heaps leaked", got)
 	}
+	// Address-space accounting: with every process heap merged away, every
+	// mapped page must belong to the kernel heap, and the page table must be
+	// bounded — before chunk release, 200 rounds of process churn leaked a
+	// page range per dead heap and this count grew without bound.
+	if total, kernel := vm.Space.Pages(), vm.Space.PagesOwned(vm.KernelHeap.ID); total != kernel {
+		t.Errorf("page table holds %d pages but the kernel heap owns only %d — dead heaps leaked pages", total, kernel)
+	}
+	if got := vm.Space.Pages(); got > 512 {
+		t.Errorf("page table holds %d pages (%d KiB) after teardown, want a bounded residue", got, got<<2)
+	}
 	if got := vm.Tel.Trace.Total(); got == 0 {
 		t.Error("tracing was on but no events reached the ring")
 	}

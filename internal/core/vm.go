@@ -72,6 +72,18 @@ type Config struct {
 	KernelMemory uint64
 	// Quantum is the scheduling quantum in cycles.
 	Quantum int64
+	// GCWorkers bounds the worker pool CollectAll uses to run process-heap
+	// collections concurrently. 0 selects GOMAXPROCS.
+	GCWorkers int
+	// GCGrowthFactor is the adaptive collection trigger: a process heap is
+	// collected once it grows past factor × its size after the previous
+	// collection (default 2.0; see Kirisame et al. on adaptive heap
+	// limits).
+	GCGrowthFactor float64
+	// GCMinHeap is the floor below which the adaptive trigger never fires
+	// (default 256 KiB), so short-lived or tiny processes are never
+	// collected preemptively.
+	GCMinHeap uint64
 	// Stdout is where process output goes unless a process overrides it.
 	Stdout io.Writer
 	// Telemetry, when set, is used instead of a freshly-created hub —
@@ -96,6 +108,12 @@ func (c *Config) fill() {
 	}
 	if c.KernelMemory == 0 {
 		c.KernelMemory = 32 << 20
+	}
+	if c.GCGrowthFactor <= 0 {
+		c.GCGrowthFactor = 2.0
+	}
+	if c.GCMinHeap == 0 {
+		c.GCMinHeap = 256 << 10
 	}
 	if c.Stdout == nil {
 		c.Stdout = io.Discard
@@ -197,6 +215,17 @@ func NewVM(cfg Config) (*VM, error) {
 			p.chargeCPU(cycles)
 			if p.cpuLimit > 0 && p.CPUCycles() > p.cpuLimit && p.State() == ProcRunning {
 				p.Kill(ErrCPULimit)
+			}
+			// Adaptive trigger: collect a heap that doubled (by default)
+			// since its last collection, instead of waiting for an
+			// allocation failure. Runs on the scheduler goroutine, so the
+			// process' mutators are quiescent; the cycles are charged to
+			// the process through the normal path.
+			if p.State() == ProcRunning && p.Heap.Bytes() > p.gcTrigger.Load() {
+				if p.ctrGCAdaptive != nil {
+					p.ctrGCAdaptive.Inc()
+				}
+				vm.collectHeapFor(t, p.Heap)
 			}
 		}
 	}
@@ -390,10 +419,39 @@ func (vm *VM) CollectHeap(h *heap.Heap) heap.GCResult {
 	}
 	if owner, ok := h.Owner.(*Process); ok {
 		res := h.Collect(owner.gcRoots())
+		owner.resetGCTrigger()
 		vm.reconcileShared(owner)
 		return res
 	}
 	return h.Collect(vm.allStackRoots())
+}
+
+// CollectAll collects every live process heap on a bounded pool of worker
+// goroutines (Cfg.GCWorkers wide), so independent collections overlap
+// instead of queueing, then charges each owner, reconciles shared-heap
+// accounting, and finishes with a kernel collection. It must only be
+// called while the scheduler is idle (between Run calls): a heap's own
+// mutator threads must be quiescent during its collection, which the
+// worker pool does not arrange — it only exploits that different
+// processes' heaps are independent.
+func (vm *VM) CollectAll() []heap.GCResult {
+	procs := vm.Processes()
+	reqs := make([]heap.CollectRequest, len(procs))
+	for i, p := range procs {
+		reqs[i] = heap.CollectRequest{Heap: p.Heap, Roots: p.gcRoots()}
+	}
+	results := vm.Reg.CollectConcurrent(reqs, vm.Cfg.GCWorkers)
+	for i, p := range procs {
+		res := results[i]
+		p.chargeCPU(res.Cycles)
+		if p.ctrGCCharged != nil {
+			p.ctrGCCharged.Add(res.Cycles)
+		}
+		p.resetGCTrigger()
+		vm.reconcileShared(p)
+	}
+	vm.CollectKernel()
+	return results
 }
 
 // CollectKernel merges orphaned shared heaps, then collects the kernel
@@ -446,11 +504,14 @@ func (vm *VM) Snapshot() telemetry.Snapshot {
 		return p.State().String(), p.Threads(), p.HeapBytes(), p.MemUse(), true
 	})
 	return telemetry.Snapshot{
-		NowCycles: vm.Sched.Now(),
-		NowMillis: vm.Sched.NowMillis(),
-		Procs:     rows,
-		KernelGCs: vm.KernelGCs(),
-		Events:    vm.Tel.Trace.Total(),
+		NowCycles:    vm.Sched.Now(),
+		NowMillis:    vm.Sched.NowMillis(),
+		Procs:        rows,
+		KernelGCs:    vm.KernelGCs(),
+		Events:       vm.Tel.Trace.Total(),
+		GCFastHits:   vm.Tel.Reg.Kernel().Counter(telemetry.MGCFastHits).Value(),
+		GCFastMisses: vm.Tel.Reg.Kernel().Counter(telemetry.MGCFastMisses).Value(),
+		GCOverlap:    uint64(vm.Reg.MaxConcurrentGCs()),
 	}
 }
 

@@ -1,0 +1,60 @@
+package heap
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CollectRequest pairs a heap with its external root provider for a batch
+// collection.
+type CollectRequest struct {
+	Heap  *Heap
+	Roots RootFunc
+}
+
+// CollectConcurrent collects every requested heap on a bounded pool of
+// worker goroutines, so independent process collections overlap instead of
+// queueing — the scaling behavior the entry/exit-item design exists to
+// allow. workers <= 0 selects GOMAXPROCS; the pool never exceeds the
+// number of requests. Results are returned in request order.
+//
+// Per-heap safety is the caller's obligation, exactly as for Collect: each
+// heap's own mutator must be quiescent (in the VM, CollectAll runs while
+// the scheduler is idle). Requests for the same heap are legal — the
+// per-heap gcMu serializes them.
+func (r *Registry) CollectConcurrent(reqs []CollectRequest, workers int) []GCResult {
+	results := make([]GCResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers == 1 {
+		for i, req := range reqs {
+			results[i] = req.Heap.Collect(req.Roots)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				results[i] = reqs[i].Heap.Collect(reqs[i].Roots)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

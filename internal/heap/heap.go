@@ -13,6 +13,16 @@
 // item unreachable, it decrements the entry item's count, eventually
 // letting the target heap reclaim the object.
 //
+// Collections of different heaps genuinely overlap: the registry-wide
+// crossMu is held only for two short windows per collection (snapshotting
+// entry-item roots, and releasing dead exit items), while mark and sweep
+// run under the heap's own mutex. A per-heap gcMu serializes collections
+// and merges of the *same* heap against each other. The lock order, used
+// everywhere, is:
+//
+//	gcMu (both heaps', ordered by ID, when merging) → reg.crossMu → h.mu
+//	(both heaps', ordered by ID, when merging) → memlimit tree → Space
+//
 // When a process terminates, its heap is merged into the kernel heap; the
 // kernel collector then reclaims everything, including user/kernel cycles.
 package heap
@@ -20,7 +30,9 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/memlimit"
 	"repro/internal/object"
@@ -64,6 +76,10 @@ const (
 	cyclesPerSweep = 20
 )
 
+// maxFreeChunks bounds the per-heap free list of recycled chunks; chunks
+// beyond it are released back to the address space.
+const maxFreeChunks = 4
+
 var (
 	// ErrHeapDead reports allocation on a merged (terminated) heap.
 	ErrHeapDead = errors.New("heap: heap has been merged")
@@ -82,6 +98,12 @@ type Config struct {
 	// PagesPerChunk is how many pages a heap leases at a time from the
 	// address space (default 16).
 	PagesPerChunk int
+	// LeaseBatch is the headroom, in bytes, a heap debits from its
+	// memlimit beyond each allocation that misses the standing lease, so
+	// subsequent allocations touch only the heap's own mutex (the Go
+	// runtime's mcache idea applied to memlimits). 0 selects the default
+	// of 64 KiB; a negative value disables leasing entirely.
+	LeaseBatch int
 }
 
 func (c Config) pagesPerChunk() int {
@@ -89,6 +111,16 @@ func (c Config) pagesPerChunk() int {
 		return 16
 	}
 	return c.PagesPerChunk
+}
+
+func (c Config) leaseBatch() uint64 {
+	if c.LeaseBatch < 0 {
+		return 0
+	}
+	if c.LeaseBatch == 0 {
+		return 64 << 10
+	}
+	return uint64(c.LeaseBatch)
 }
 
 // Registry tracks every live heap of one VM and owns the cross-heap
@@ -101,8 +133,15 @@ type Registry struct {
 	heaps map[vmaddr.HeapID]*Heap
 
 	// crossMu serializes all entry/exit item manipulation across heaps,
-	// avoiding lock-order cycles between pairs of heaps.
+	// avoiding lock-order cycles between pairs of heaps. Collections hold
+	// it only for two short windows (root snapshot, exit release), not for
+	// the whole mark/sweep.
 	crossMu sync.Mutex
+
+	// active counts collections currently in flight; maxActive is the
+	// high-water mark since VM start (the gc.overlap gauge).
+	active    atomic.Int64
+	maxActive atomic.Int64
 
 	// Telemetry, when set, receives EvGCStart/EvGCEnd events for every
 	// collection of every heap in the registry.
@@ -142,6 +181,27 @@ func (r *Registry) Heaps() []*Heap {
 	return out
 }
 
+// MaxConcurrentGCs reports the largest number of collections that have
+// ever been in flight simultaneously.
+func (r *Registry) MaxConcurrentGCs() int { return int(r.maxActive.Load()) }
+
+// noteOverlap raises the overlap high-water mark to n and emits an
+// EvGCOverlap event on every new maximum.
+func (r *Registry) noteOverlap(n int64) {
+	for {
+		m := r.maxActive.Load()
+		if n <= m {
+			return
+		}
+		if r.maxActive.CompareAndSwap(m, n) {
+			if r.Telemetry != nil {
+				r.Telemetry.Emit(telemetry.Event{Kind: telemetry.EvGCOverlap, A: uint64(n)})
+			}
+			return
+		}
+	}
+}
+
 // EntryItem records that objects in other heaps reference Target, which
 // lives in the heap holding the item. A positive RefCount pins Target as a
 // GC root of its heap.
@@ -155,6 +215,12 @@ type EntryItem struct {
 type ExitItem struct {
 	Target *object.Object
 	Entry  *EntryItem
+	// gen is the source heap's collection generation when the exit was
+	// created or last re-confirmed by a store. An exit stamped with the
+	// generation of an in-flight collection is not released by it: the
+	// store happened after the mark snapshot, so the collection cannot
+	// prove the exit dead.
+	gen uint64
 }
 
 // Stats accumulates per-heap counters.
@@ -166,6 +232,13 @@ type Stats struct {
 	Swept      uint64
 	FreedBytes uint64
 	GCCycles   uint64
+	// FastHits/FastMisses count allocations served from the standing
+	// memlimit lease vs. those that had to debit the tree.
+	FastHits   uint64
+	FastMisses uint64
+	// PagesReleased counts address-space pages returned by chunk
+	// reclamation (sweep and merge).
+	PagesReleased uint64
 }
 
 // GCResult reports one collection.
@@ -173,6 +246,9 @@ type GCResult struct {
 	Scanned    int
 	Swept      int
 	FreedBytes uint64
+	// PagesReleased is the number of address-space pages returned by this
+	// collection's chunk reclamation.
+	PagesReleased int
 	// Cycles is the simulated CPU cost, to be charged to the heap's owner.
 	Cycles uint64
 }
@@ -186,22 +262,44 @@ type Heap struct {
 	reg   *Registry
 	limit *memlimit.Limit
 
+	// gcMu serializes collections and merges involving this heap against
+	// each other, while collections of different heaps run concurrently.
+	// It is acquired before reg.crossMu and h.mu, never after.
+	gcMu sync.Mutex
+
 	mu      sync.Mutex
 	objects map[*object.Object]struct{}
 	chunks  []chunk
 	cur     int // index of chunk being bump-allocated
+	free    []chunk
 	bytes   uint64
+	// lease is headroom already debited from limit but not yet allocated:
+	// allocations that fit take it with only h.mu held.
+	lease uint64
+	// gcActive is true from a collection's root snapshot until its sweep
+	// completes; objects adopted in that window are allocated black
+	// (marked) so the in-flight sweep cannot free them.
+	gcActive bool
+	// gcGen counts collections; it stamps exit items (see ExitItem.gen).
+	gcGen uint64
 
 	// entries: target object in THIS heap <- referenced from other heaps.
 	// exits: target object in ANOTHER heap referenced from this heap.
-	// Both are guarded by reg.crossMu, not h.mu.
+	// exitsTo: number of exit items per target heap, kept in lockstep with
+	// exits so HasExitsTo is O(1). All three are guarded by reg.crossMu,
+	// not h.mu.
 	entries map[*object.Object]*EntryItem
 	exits   map[*object.Object]*ExitItem
+	exitsTo map[vmaddr.HeapID]int
 
 	frozen bool
 	dead   bool
 
 	stats Stats
+	// fastFlushed* remember the stats values already emitted as
+	// EvGCFastPath deltas (guarded by h.mu).
+	fastFlushedHits   uint64
+	fastFlushedMisses uint64
 
 	// Owner is an opaque back-pointer to the owning process (or nil for
 	// the kernel heap); the VM layer uses it for accounting.
@@ -229,6 +327,7 @@ func (r *Registry) NewHeap(kind Kind, name string, limit *memlimit.Limit) *Heap 
 		objects: make(map[*object.Object]struct{}),
 		entries: make(map[*object.Object]*EntryItem),
 		exits:   make(map[*object.Object]*ExitItem),
+		exitsTo: make(map[vmaddr.HeapID]int),
 	}
 	r.mu.Lock()
 	r.heaps[h.ID] = h
@@ -244,6 +343,15 @@ func (h *Heap) Bytes() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.bytes
+}
+
+// Lease reports the standing memlimit headroom lease: bytes debited from
+// the limit tree but not yet allocated. The accounting invariant, on every
+// path, is limit-use attributable to the heap == Bytes() + Lease().
+func (h *Heap) Lease() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lease
 }
 
 // Objects reports the number of live objects.
@@ -304,7 +412,9 @@ func (h *Heap) AllocArray(c *object.Class, n int) (*object.Object, error) {
 	return o, nil
 }
 
-// adopt charges, addresses, and registers a freshly built object.
+// adopt charges, addresses, and registers a freshly built object. The fast
+// path — lease covers the size and the current chunk has room — touches
+// only h.mu.
 func (h *Heap) adopt(o *object.Object, size uint64) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -314,8 +424,18 @@ func (h *Heap) adopt(o *object.Object, size uint64) error {
 	if h.frozen {
 		return ErrFrozen
 	}
-	if err := h.limit.Debit(size); err != nil {
-		return err
+	if h.lease >= size {
+		h.lease -= size
+		h.stats.FastHits++
+	} else {
+		h.stats.FastMisses++
+		lease, err := h.limit.DebitLease(size, h.reg.Cfg.leaseBatch(), h.lease)
+		if err != nil {
+			// DebitLease consumed the refund; the lease is gone.
+			h.lease = 0
+			return err
+		}
+		h.lease = lease
 	}
 	addr, err := h.bump(size)
 	if err != nil {
@@ -325,6 +445,11 @@ func (h *Heap) adopt(o *object.Object, size uint64) error {
 	o.Addr = addr
 	o.Heap = h.ID
 	o.Hash = int32(addr>>3) ^ int32(addr>>19)
+	if h.gcActive {
+		// Allocate black: an in-flight collection of this heap must not
+		// sweep an object born after its root snapshot.
+		o.SetMark(true)
+	}
 	h.objects[o] = struct{}{}
 	h.bytes += size
 	h.stats.Allocs++
@@ -332,7 +457,8 @@ func (h *Heap) adopt(o *object.Object, size uint64) error {
 	return nil
 }
 
-// bump assigns an address, leasing new pages as needed. Caller holds h.mu.
+// bump assigns an address, recycling a free chunk or leasing new pages as
+// needed. Caller holds h.mu.
 func (h *Heap) bump(size uint64) (uint64, error) {
 	// An object never spans chunks; oversized objects get a dedicated
 	// multi-page chunk.
@@ -346,7 +472,16 @@ func (h *Heap) bump(size uint64) (uint64, error) {
 		}
 		h.cur++
 	}
-	pages := h.reg.Cfg.pagesPerChunk()
+	std := h.reg.Cfg.pagesPerChunk()
+	if n := len(h.free); n > 0 && size <= uint64(std)<<vmaddr.PageShift {
+		c := h.free[n-1]
+		h.free = h.free[:n-1]
+		c.off = size
+		h.chunks = append(h.chunks, c)
+		h.cur = len(h.chunks) - 1
+		return c.base, nil
+	}
+	pages := std
 	if need := vmaddr.PagesFor(size); need > pages {
 		pages = need
 	}
@@ -381,8 +516,11 @@ func (h *Heap) RecordCrossRef(target *object.Object) error {
 	}
 	h.reg.crossMu.Lock()
 	defer h.reg.crossMu.Unlock()
-	if _, ok := h.exits[target]; ok {
-		return nil // this heap already references target
+	if exit, ok := h.exits[target]; ok {
+		// Re-confirm for any in-flight collection of h: the store proves
+		// the exit live even if the mark snapshot predates it.
+		exit.gen = h.gcGen
+		return nil
 	}
 	entry, ok := th.entries[target]
 	if !ok {
@@ -400,7 +538,8 @@ func (h *Heap) RecordCrossRef(target *object.Object) error {
 		return err
 	}
 	entry.RefCount++
-	h.exits[target] = &ExitItem{Target: target, Entry: entry}
+	h.exits[target] = &ExitItem{Target: target, Entry: entry, gen: h.gcGen}
+	h.exitsTo[target.Heap]++
 	return nil
 }
 
@@ -429,70 +568,114 @@ type RootFunc func(visit func(*object.Object))
 // that leave the heap are not followed (that is the point of the design);
 // instead the set of still-referenced exit targets is recomputed, and exit
 // items that became unreachable release their entry items.
+//
+// Collections of different heaps overlap: reg.crossMu is held only to
+// snapshot entry-item roots (plus a re-check for entries that appeared
+// while marking) and to release dead exit items at the end. Mark and sweep
+// run under h.mu alone. Callers must guarantee that the heap's own object
+// graph and root set are not mutated during the collection — in the VM
+// that holds because a heap's mutator threads and its collections share
+// the scheduler goroutine (or the scheduler is stopped, for CollectAll).
+// Cross-heap mutations (RecordCrossRef, allocations into other heaps,
+// merges of unrelated heaps) are safe at any point.
 func (h *Heap) Collect(roots RootFunc) GCResult {
-	// Lock order everywhere: reg.crossMu before any heap mutex. Holding
-	// crossMu for the whole collection serializes GCs across heaps, which
-	// matches the VM's stop-the-world collector.
-	h.reg.crossMu.Lock()
-	defer h.reg.crossMu.Unlock()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.dead {
-		return GCResult{}
-	}
-	if h.reg.Telemetry != nil {
-		h.reg.Telemetry.Emit(telemetry.Event{
-			Kind: telemetry.EvGCStart, Pid: h.Pid,
-			A: h.bytes, B: uint64(len(h.objects)), Detail: h.Name,
-		})
-	}
+	h.gcMu.Lock()
+	defer h.gcMu.Unlock()
+
+	reg := h.reg
+	inFlight := reg.active.Add(1)
+	defer reg.active.Add(-1)
+	reg.noteOverlap(inFlight)
 
 	var res GCResult
 	var stack []*object.Object
 	externalLive := make(map[*object.Object]bool)
 
 	pushRoot := func(o *object.Object) {
-		if o == nil || o.Marked() {
+		if o == nil || o.Heap != h.ID {
 			return
 		}
-		if o.Heap != h.ID {
-			return
-		}
+		// Membership and ownership are checked before the mark bit is
+		// touched: roots may over-approximate, and a foreign object's
+		// flags must never be read while its own heap collects.
 		if _, mine := h.objects[o]; !mine {
+			return
+		}
+		if o.Marked() {
 			return
 		}
 		o.SetMark(true)
 		stack = append(stack, o)
 	}
-	if roots != nil {
-		roots(pushRoot)
+	mark := func() {
+		for len(stack) > 0 {
+			o := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			res.Scanned++
+			for _, ref := range o.Refs {
+				if ref == nil {
+					continue
+				}
+				if ref.Heap == h.ID {
+					if !ref.Marked() {
+						ref.SetMark(true)
+						stack = append(stack, ref)
+					}
+				} else {
+					externalLive[ref] = true
+				}
+			}
+		}
+	}
+
+	// Window 1 (crossMu + h.mu): snapshot entry-item roots, open the
+	// allocate-black window, and advance the exit generation so exits
+	// recorded from here on survive this collection.
+	reg.crossMu.Lock()
+	h.mu.Lock()
+	if h.dead {
+		h.mu.Unlock()
+		reg.crossMu.Unlock()
+		return GCResult{}
+	}
+	h.gcGen++
+	gen := h.gcGen
+	h.gcActive = true
+	if reg.Telemetry != nil {
+		reg.Telemetry.Emit(telemetry.Event{
+			Kind: telemetry.EvGCStart, Pid: h.Pid,
+			A: h.bytes, B: uint64(len(h.objects)), Detail: h.Name,
+		})
 	}
 	for _, e := range h.entries {
 		if e.RefCount > 0 {
 			pushRoot(e.Target)
 		}
 	}
+	reg.crossMu.Unlock() // h.mu stays held: mark runs under the heap's own lock
 
-	for len(stack) > 0 {
-		o := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		res.Scanned++
-		for _, ref := range o.Refs {
-			if ref == nil {
-				continue
-			}
-			if ref.Heap == h.ID {
-				if !ref.Marked() {
-					ref.SetMark(true)
-					stack = append(stack, ref)
-				}
-			} else {
-				externalLive[ref] = true
-			}
+	if roots != nil {
+		roots(pushRoot)
+	}
+	mark()
+	h.mu.Unlock()
+
+	// Window 2 (crossMu + h.mu): entry items created while marking ran (a
+	// concurrent RecordCrossRef targeting this heap) are roots this
+	// collection must still honor; close the marking under them.
+	reg.crossMu.Lock()
+	h.mu.Lock()
+	for _, e := range h.entries {
+		if e.RefCount > 0 {
+			pushRoot(e.Target)
 		}
 	}
+	reg.crossMu.Unlock() // h.mu stays held for the supplementary mark + sweep
+	mark()
 
-	// Sweep.
+	// Sweep (h.mu only). Freed bytes and the standing lease are credited
+	// back to the memlimit tree in one batch, and fully-dead chunks are
+	// recycled or released.
 	for o := range h.objects {
 		if o.Marked() {
 			o.SetMark(false)
@@ -501,22 +684,40 @@ func (h *Heap) Collect(roots RootFunc) GCResult {
 		size := h.sizeOf(o)
 		delete(h.objects, o)
 		h.bytes -= size
-		h.limit.Credit(size)
 		res.Swept++
 		res.FreedBytes += size
 		o.Sever()
 	}
+	if res.Swept > 0 {
+		res.PagesReleased = h.sweepChunksLocked()
+	}
+	if credit := res.FreedBytes + h.lease; credit > 0 {
+		h.lease = 0
+		h.limit.Credit(credit)
+	}
+	h.gcActive = false
+	h.mu.Unlock()
 
-	// Exit items whose targets are no longer referenced from this heap
-	// release their entry items; entry items that drop to zero disappear
-	// and their targets become collectable in their own heaps.
+	// Window 3 (crossMu + h.mu): release exit items whose targets this
+	// heap provably no longer references, then publish stats.
+	reg.crossMu.Lock()
+	h.mu.Lock()
+	var exitCredit uint64
 	for target, exit := range h.exits {
-		if externalLive[target] {
+		if externalLive[target] || exit.gen == gen {
 			continue
 		}
 		delete(h.exits, target)
-		h.limit.Credit(exitItemBytes)
+		if n := h.exitsTo[target.Heap] - 1; n > 0 {
+			h.exitsTo[target.Heap] = n
+		} else {
+			delete(h.exitsTo, target.Heap)
+		}
+		exitCredit += exitItemBytes
 		h.releaseEntryLocked(exit.Entry)
+	}
+	if exitCredit > 0 {
+		h.limit.Credit(exitCredit)
 	}
 
 	res.Cycles = uint64(res.Scanned)*cyclesPerScan + uint64(res.Swept)*cyclesPerSweep
@@ -525,13 +726,105 @@ func (h *Heap) Collect(roots RootFunc) GCResult {
 	h.stats.Swept += uint64(res.Swept)
 	h.stats.FreedBytes += res.FreedBytes
 	h.stats.GCCycles += res.Cycles
-	if h.reg.Telemetry != nil {
-		h.reg.Telemetry.Emit(telemetry.Event{
+	h.stats.PagesReleased += uint64(res.PagesReleased)
+	if reg.Telemetry != nil {
+		h.emitFastPathLocked()
+		reg.Telemetry.Emit(telemetry.Event{
 			Kind: telemetry.EvGCEnd, Pid: h.Pid,
 			A: res.Cycles, B: res.FreedBytes, Detail: h.Name,
 		})
 	}
+	h.mu.Unlock()
+	reg.crossMu.Unlock()
 	return res
+}
+
+// emitFastPathLocked emits the allocation fast-path counters accumulated
+// since the last emission. Caller holds h.mu and reg.Telemetry != nil.
+func (h *Heap) emitFastPathLocked() {
+	fh := h.stats.FastHits - h.fastFlushedHits
+	fm := h.stats.FastMisses - h.fastFlushedMisses
+	if fh == 0 && fm == 0 {
+		return
+	}
+	h.fastFlushedHits = h.stats.FastHits
+	h.fastFlushedMisses = h.stats.FastMisses
+	h.reg.Telemetry.Emit(telemetry.Event{
+		Kind: telemetry.EvGCFastPath, Pid: h.Pid, A: fh, B: fm, Detail: h.Name,
+	})
+}
+
+// sweepChunksLocked retires chunks that no surviving object lies in:
+// standard-size chunks go to the heap's bounded free list for reuse,
+// everything else (oversized chunks, free-list overflow) is released back
+// to the address space. Returns the number of pages released. Caller
+// holds h.mu.
+func (h *Heap) sweepChunksLocked() int {
+	if len(h.chunks) == 0 {
+		return 0
+	}
+	// Chunks are not address-ordered in general (merge appends foreign
+	// ranges, recycling re-appends old bases), so sort an index for the
+	// per-object binary search.
+	idx := make([]int, len(h.chunks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.chunks[idx[a]].base < h.chunks[idx[b]].base })
+	live := make([]bool, len(h.chunks))
+	for o := range h.objects {
+		lo, hi := 0, len(idx)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			c := &h.chunks[idx[mid]]
+			if o.Addr >= c.base+uint64(c.pages)<<vmaddr.PageShift {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(idx) && o.Addr >= h.chunks[idx[lo]].base {
+			live[idx[lo]] = true
+		}
+	}
+	std := h.reg.Cfg.pagesPerChunk()
+	released := 0
+	curSurvived := -1
+	kept := h.chunks[:0]
+	for i := range h.chunks {
+		c := h.chunks[i]
+		if live[i] {
+			if i == h.cur {
+				curSurvived = len(kept)
+			}
+			kept = append(kept, c)
+			continue
+		}
+		if c.pages == std && len(h.free) < maxFreeChunks {
+			c.off = 0
+			h.free = append(h.free, c)
+			continue
+		}
+		h.reg.Space.Release(h.ID, c.base, c.pages)
+		released += c.pages
+	}
+	h.chunks = kept
+	if curSurvived >= 0 {
+		h.cur = curSurvived
+	} else {
+		h.cur = len(h.chunks)
+	}
+	return released
+}
+
+// flushLeaseLocked returns the standing headroom lease to the memlimit
+// tree. Called before any operation that assumes limit use == live bytes
+// (+ item bytes): merge, freeze, retarget. Caller holds h.mu.
+func (h *Heap) flushLeaseLocked() {
+	if h.lease > 0 {
+		h.limit.Credit(h.lease)
+		h.lease = 0
+	}
 }
 
 // releaseEntryLocked decrements an entry item; at zero the item is removed
@@ -568,6 +861,9 @@ func (h *Heap) RetargetLimit(newLimit *memlimit.Limit) error {
 	defer h.reg.crossMu.Unlock()
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	// The lease is an artifact of the old limit; return it first so the
+	// transfer moves exactly the live bytes.
+	h.flushLeaseLocked()
 	// Item bytes are charged to h.limit as well; move everything.
 	var itemBytes uint64
 	itemBytes += uint64(len(h.entries)) * entryItemBytes
@@ -581,23 +877,22 @@ func (h *Heap) RetargetLimit(newLimit *memlimit.Limit) error {
 
 // HasExitsTo reports whether this heap holds any exit item targeting an
 // object in heap id — i.e. whether objects in h still reference that heap.
+// O(1): the per-target-heap exit counters are maintained by RecordCrossRef,
+// Collect, and MergeInto.
 func (h *Heap) HasExitsTo(id vmaddr.HeapID) bool {
 	h.reg.crossMu.Lock()
 	defer h.reg.crossMu.Unlock()
-	for target := range h.exits {
-		if target.Heap == id {
-			return true
-		}
-	}
-	return false
+	return h.exitsTo[id] > 0
 }
 
 // Freeze marks a shared heap read-only for reference fields and closed for
 // allocation (paper §2: after a shared heap is populated, "it is frozen and
-// its size remains fixed for its lifetime").
+// its size remains fixed for its lifetime"). The standing lease is
+// returned: a frozen heap never allocates again.
 func (h *Heap) Freeze() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.flushLeaseLocked()
 	h.frozen = true
 	for o := range h.objects {
 		o.Flags |= object.FlagFrozen

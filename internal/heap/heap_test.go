@@ -88,8 +88,9 @@ func TestAllocAccountsAndAddresses(t *testing.T) {
 	if got, ok := w.reg.Space.HeapOf(o.Addr); !ok || got != h.ID {
 		t.Errorf("page table says heap %d, %v", got, ok)
 	}
-	if h.Bytes() != h.Limit().Use() {
-		t.Errorf("heap bytes %d != limit use %d", h.Bytes(), h.Limit().Use())
+	// The limit carries the live bytes plus the standing headroom lease.
+	if h.Bytes()+h.Lease() != h.Limit().Use() {
+		t.Errorf("heap bytes %d + lease %d != limit use %d", h.Bytes(), h.Lease(), h.Limit().Use())
 	}
 	if h.Bytes() == 0 {
 		t.Error("allocation accounted zero bytes")
@@ -459,5 +460,158 @@ func TestRegistryLookup(t *testing.T) {
 	}
 	if len(w.reg.Heaps()) != 1 {
 		t.Errorf("heaps = %d, want 1 (kernel)", len(w.reg.Heaps()))
+	}
+}
+
+func TestLeaseFastPathAndFlush(t *testing.T) {
+	w := newWorld(t, Config{})
+	h := w.userHeap(t, "p", memlimit.Unlimited)
+	o := w.alloc(t, h)
+	if h.Lease() == 0 {
+		t.Fatal("no standing lease after first allocation")
+	}
+	if h.Bytes()+h.Lease() != h.Limit().Use() {
+		t.Fatalf("bytes %d + lease %d != use %d", h.Bytes(), h.Lease(), h.Limit().Use())
+	}
+	// Subsequent small allocations are served from the lease.
+	w.alloc(t, h)
+	st := h.Stats()
+	if st.FastMisses != 1 || st.FastHits != 1 {
+		t.Errorf("fastpath hits=%d misses=%d, want 1/1", st.FastHits, st.FastMisses)
+	}
+	// Collect flushes the lease: the accounting invariant tightens to
+	// exactly the live bytes.
+	h.Collect(rootsOf(o))
+	if h.Lease() != 0 {
+		t.Errorf("lease %d after collect, want 0", h.Lease())
+	}
+	if h.Bytes() != h.Limit().Use() {
+		t.Errorf("bytes %d != use %d after collect", h.Bytes(), h.Limit().Use())
+	}
+}
+
+func TestLeaseDisabled(t *testing.T) {
+	w := newWorld(t, Config{LeaseBatch: -1})
+	h := w.userHeap(t, "p", memlimit.Unlimited)
+	w.alloc(t, h)
+	w.alloc(t, h)
+	if h.Lease() != 0 {
+		t.Errorf("lease %d with leasing disabled", h.Lease())
+	}
+	if h.Bytes() != h.Limit().Use() {
+		t.Errorf("bytes %d != use %d", h.Bytes(), h.Limit().Use())
+	}
+	if st := h.Stats(); st.FastHits != 0 || st.FastMisses != 2 {
+		t.Errorf("fastpath hits=%d misses=%d, want 0/2", st.FastHits, st.FastMisses)
+	}
+}
+
+func TestChunkRecyclingBoundsAddressSpace(t *testing.T) {
+	w := newWorld(t, Config{PagesPerChunk: 1})
+	h := w.userHeap(t, "p", memlimit.Unlimited)
+	baseline := w.reg.Space.Pages()
+	// Each round allocates ~8 one-page chunks of garbage; the heap may keep
+	// maxFreeChunks of them on its free list and must release the rest, so
+	// the page table stays bounded instead of growing by 8 pages per round.
+	const perRound = 1024 // 1024 * 32 B = 8 pages
+	for round := 0; round < 8; round++ {
+		for i := 0; i < perRound; i++ {
+			w.alloc(t, h)
+		}
+		if res := h.Collect(rootsOf()); res.Swept != perRound {
+			t.Fatalf("round %d: swept %d, want %d", round, res.Swept, perRound)
+		}
+	}
+	if extra := w.reg.Space.Pages() - baseline; extra > maxFreeChunks {
+		t.Errorf("heap retains %d pages after collecting everything, want <= %d", extra, maxFreeChunks)
+	}
+	if h.Stats().PagesReleased == 0 {
+		t.Error("no pages released to the address space")
+	}
+	// The free list must actually be reused: a fresh allocation must not
+	// grow the page table.
+	pages := w.reg.Space.Pages()
+	w.alloc(t, h)
+	if w.reg.Space.Pages() != pages {
+		t.Error("allocation reserved fresh pages despite a populated free list")
+	}
+}
+
+func TestHasExitsToCounter(t *testing.T) {
+	w := newWorld(t, Config{})
+	h := w.userHeap(t, "p", memlimit.Unlimited)
+	ko, _ := w.kernel.Alloc(w.node)
+	uo := w.alloc(t, h)
+	uo.SetRef(0, ko)
+	if err := h.RecordCrossRef(ko); err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasExitsTo(w.kernel.ID) {
+		t.Fatal("HasExitsTo(kernel) = false with a live exit")
+	}
+	if h.HasExitsTo(h.ID) {
+		t.Fatal("HasExitsTo reports exits to self")
+	}
+	// Dropping the reference and collecting releases the exit and its
+	// counter.
+	uo.SetRef(0, nil)
+	h.Collect(rootsOf(uo))
+	if h.HasExitsTo(w.kernel.ID) {
+		t.Error("exit counter survived the collection that released the exit")
+	}
+}
+
+func TestExitCounterFollowsTargetMerge(t *testing.T) {
+	w := newWorld(t, Config{})
+	shLim := w.root.MustChild("sh", memlimit.Unlimited, false)
+	sh := w.reg.NewHeap(KindShared, "sh", shLim)
+	user := w.userHeap(t, "p", memlimit.Unlimited)
+	so, err := sh.Alloc(w.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uo := w.alloc(t, user)
+	uo.SetRef(0, so)
+	if err := user.RecordCrossRef(so); err != nil {
+		t.Fatal(err)
+	}
+	shID := sh.ID
+	if err := sh.MergeInto(w.kernel); err != nil {
+		t.Fatal(err)
+	}
+	// The exit's target now lives in the kernel heap; the O(1) counter
+	// must have been remapped with it.
+	if user.HasExitsTo(shID) {
+		t.Error("exit counter still aimed at the dead heap")
+	}
+	if !user.HasExitsTo(w.kernel.ID) {
+		t.Error("exit counter did not follow the merged target")
+	}
+}
+
+func TestAllocateBlackSurvivesInFlightGC(t *testing.T) {
+	w := newWorld(t, Config{})
+	h := w.userHeap(t, "p", memlimit.Unlimited)
+	// White-box: open the allocate-black window as a collection's window 1
+	// does, then allocate. The object must be born marked, survive the
+	// sweep of "its" collection, and carry no stale mark into the next.
+	h.mu.Lock()
+	h.gcActive = true
+	h.mu.Unlock()
+	born := w.alloc(t, h)
+	if !born.Marked() {
+		t.Fatal("object not allocated black during an active collection")
+	}
+	h.mu.Lock()
+	h.gcActive = false
+	h.mu.Unlock()
+	// First collection: the stale-looking mark makes it a survivor, and
+	// sweep must clear the bit.
+	if res := h.Collect(rootsOf()); res.Swept != 0 || born.Dead() {
+		t.Fatal("allocate-black object swept by its own collection")
+	}
+	// Second collection: unrooted, it is collected normally.
+	if res := h.Collect(rootsOf()); res.Swept != 1 || !born.Dead() {
+		t.Error("allocate-black object kept a stale mark bit")
 	}
 }

@@ -1,0 +1,210 @@
+package heap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/memlimit"
+	"repro/internal/object"
+)
+
+// TestConcurrentHeapStress exercises the phased locking under -race:
+// 8 worker goroutines each own a user heap and concurrently allocate,
+// record cross-heap references into the kernel heap, collect their own
+// heap, and periodically merge it into the kernel ("kill") and start
+// fresh — while a dedicated goroutine keeps collecting the kernel heap.
+// This is exactly the topology the VM produces (user heaps reference only
+// kernel/shared objects, never each other), with every pair of phases
+// genuinely overlapping.
+func TestConcurrentHeapStress(t *testing.T) {
+	w := newWorld(t, Config{})
+
+	// Pinned kernel targets: created before the workers start and rooted
+	// for the whole test, so cross refs never target collectable objects.
+	const nTargets = 16
+	targets := make([]*object.Object, nTargets)
+	for i := range targets {
+		o, err := w.kernel.Alloc(w.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets[i] = o
+	}
+	kernelRoots := rootsOf(targets...)
+
+	const workers = 8
+	rounds := 60
+	if testing.Short() {
+		rounds = 15
+	}
+
+	stop := make(chan struct{})
+	var collectorWG sync.WaitGroup
+	collectorWG.Add(1)
+	go func() {
+		defer collectorWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w.kernel.Collect(kernelRoots)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(wi) + 1))
+			lim := w.root.MustChild(fmt.Sprintf("w%d", wi), memlimit.Unlimited, false)
+			h := w.reg.NewHeap(KindUser, fmt.Sprintf("w%d", wi), lim)
+			var live []*object.Object
+			for r := 0; r < rounds; r++ {
+				// Allocate a batch, chaining some references.
+				for i := 0; i < 64; i++ {
+					o, err := h.Alloc(w.node)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d alloc: %w", wi, err)
+						return
+					}
+					if n := len(live); n > 0 && i%3 == 0 {
+						o.SetRef(0, live[rng.Intn(n)])
+					}
+					if i%4 == 0 {
+						live = append(live, o)
+					}
+					// Cross-heap reference into the kernel heap, racing the
+					// kernel collector's windows.
+					if i%8 == 0 {
+						tgt := targets[rng.Intn(nTargets)]
+						o.SetRef(1, tgt)
+						if err := h.RecordCrossRef(tgt); err != nil {
+							errs <- fmt.Errorf("worker %d crossref: %w", wi, err)
+							return
+						}
+					}
+				}
+				// Drop some roots and collect our own heap, overlapping the
+				// other workers' collections and the kernel's.
+				if n := len(live); n > 8 {
+					live = live[n/2:]
+				}
+				h.Collect(rootsOf(live...))
+				// Occasionally kill: merge into the kernel and start over.
+				if r%20 == 19 {
+					if err := h.MergeInto(w.kernel); err != nil {
+						errs <- fmt.Errorf("worker %d merge: %w", wi, err)
+						return
+					}
+					live = live[:0]
+					h = w.reg.NewHeap(KindUser, fmt.Sprintf("w%d.%d", wi, r), lim)
+				}
+			}
+			// Final kill so the kernel collector can reclaim everything.
+			if err := h.MergeInto(w.kernel); err != nil {
+				errs <- fmt.Errorf("worker %d final merge: %w", wi, err)
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(stop)
+	collectorWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Everything merged and unrooted must be reclaimable by one last
+	// kernel collection; only the pinned targets survive.
+	w.kernel.Collect(kernelRoots)
+	if n := w.kernel.Objects(); n != nTargets {
+		t.Errorf("kernel holds %d objects after final collection, want %d", n, nTargets)
+	}
+	if got := len(w.reg.Heaps()); got != 1 {
+		t.Errorf("%d live heaps at teardown, want 1 (kernel)", got)
+	}
+	if w.reg.MaxConcurrentGCs() == 0 {
+		t.Error("overlap watermark never recorded a collection")
+	}
+}
+
+// buildTwin populates n user heaps with a deterministic object graph:
+// chains of varying length, some rooted, plus cross refs to pinned kernel
+// objects. It returns the heaps and their root sets.
+func buildTwin(t *testing.T, w *testWorld, n int) ([]*Heap, []RootFunc) {
+	t.Helper()
+	kernelPin := make([]*object.Object, 4)
+	for i := range kernelPin {
+		o, err := w.kernel.Alloc(w.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernelPin[i] = o
+	}
+	heaps := make([]*Heap, n)
+	roots := make([]RootFunc, n)
+	for i := 0; i < n; i++ {
+		h := w.userHeap(t, fmt.Sprintf("h%d", i), memlimit.Unlimited)
+		heaps[i] = h
+		var keep []*object.Object
+		total := 40 + (i*17)%23
+		var prev *object.Object
+		for j := 0; j < total; j++ {
+			o := w.alloc(t, h)
+			if j%3 == 0 && prev != nil {
+				o.SetRef(0, prev)
+			}
+			if j%5 == 0 {
+				keep = append(keep, o) // rooted chain head
+			}
+			if j%7 == 0 {
+				tgt := kernelPin[(i+j)%len(kernelPin)]
+				o.SetRef(1, tgt)
+				if err := h.RecordCrossRef(tgt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prev = o
+		}
+		roots[i] = rootsOf(keep...)
+	}
+	return heaps, roots
+}
+
+// TestConcurrentCollectionDeterminism checks that CollectConcurrent frees
+// exactly what serial collection frees: identical Swept/FreedBytes per
+// heap and identical surviving byte counts, across identically built
+// worlds.
+func TestConcurrentCollectionDeterminism(t *testing.T) {
+	const n = 12
+	serialW := newWorld(t, Config{})
+	concW := newWorld(t, Config{})
+	serialHeaps, serialRoots := buildTwin(t, serialW, n)
+	concHeaps, concRoots := buildTwin(t, concW, n)
+
+	serialRes := make([]GCResult, n)
+	for i, h := range serialHeaps {
+		serialRes[i] = h.Collect(serialRoots[i])
+	}
+	reqs := make([]CollectRequest, n)
+	for i, h := range concHeaps {
+		reqs[i] = CollectRequest{Heap: h, Roots: concRoots[i]}
+	}
+	concRes := concW.reg.CollectConcurrent(reqs, 8)
+
+	for i := 0; i < n; i++ {
+		if serialRes[i].Swept != concRes[i].Swept || serialRes[i].FreedBytes != concRes[i].FreedBytes {
+			t.Errorf("heap %d: serial swept/freed = %d/%d, concurrent = %d/%d",
+				i, serialRes[i].Swept, serialRes[i].FreedBytes, concRes[i].Swept, concRes[i].FreedBytes)
+		}
+		if a, b := serialHeaps[i].Bytes(), concHeaps[i].Bytes(); a != b {
+			t.Errorf("heap %d: surviving bytes %d (serial) != %d (concurrent)", i, a, b)
+		}
+	}
+}

@@ -170,6 +170,58 @@ func (l *Limit) debitLocked(n uint64) error {
 	return nil
 }
 
+// debitQuietLocked is debitLocked without the EvMemFail emission: used for
+// opportunistic over-asks (headroom leases) where a refusal is not an
+// allocation failure, merely a fall back to an exact debit.
+func (l *Limit) debitQuietLocked(n uint64) error {
+	for node := l; node != nil; node = node.propagationParent() {
+		if node.use+n > node.max || node.use+n < node.use {
+			return &ErrExceeded{Limit: node, Need: n}
+		}
+	}
+	for node := l; node != nil; node = node.propagationParent() {
+		node.use += n
+	}
+	return nil
+}
+
+// DebitLease is the allocation fast path's batched debit (the Go runtime's
+// mcache idea applied to memlimits): in one tree-lock acquisition it
+// returns the caller's previous lease (refund), then tries to debit
+// size+batch so the caller can satisfy the next several allocations from
+// the returned headroom without touching the tree at all. If the batched
+// ask does not fit, it falls back to an exact debit of size (which emits
+// EvMemFail on refusal, exactly like Debit).
+//
+// On success the tree has been charged size+lease and the returned lease
+// is the caller's new standing headroom. On failure the refund has still
+// been consumed (the caller's lease is gone) and nothing else is charged —
+// so a heap's invariant "tree use == live bytes + lease" holds on every
+// path. batch is clamped to max/8 so a small limit is never dominated by
+// its own headroom.
+func (l *Limit) DebitLease(size, batch, refund uint64) (lease uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return 0, errReleased
+	}
+	if refund > 0 {
+		l.creditLocked(refund)
+	}
+	if clamp := l.max / 8; batch > clamp {
+		batch = clamp
+	}
+	if batch > 0 && size+batch > size {
+		if err := l.debitQuietLocked(size + batch); err == nil {
+			return batch, nil
+		}
+	}
+	if err := l.debitLocked(size); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
 // Credit returns n bytes to l and every soft ancestor up to the nearest
 // hard boundary. Crediting more than the current use panics: it means the
 // caller's accounting is corrupt, which is a kernel bug in paper terms.

@@ -63,6 +63,12 @@ const (
 	// EvSharedDetach: a process' charge for a shared heap was credited
 	// back. Detail = heap name.
 	EvSharedDetach
+	// EvGCFastPath: allocation fast-path counters flushed at GC/merge.
+	// A = lease hits since last flush, B = misses. Detail = heap name.
+	EvGCFastPath
+	// EvGCOverlap: a new maximum of simultaneously running collections.
+	// A = the new maximum.
+	EvGCOverlap
 
 	kindMax
 )
@@ -83,6 +89,8 @@ var kindNames = [kindMax]string{
 	EvSharedFreeze:     "shared-freeze",
 	EvSharedAttach:     "shared-attach",
 	EvSharedDetach:     "shared-detach",
+	EvGCFastPath:       "gc-fastpath",
+	EvGCOverlap:        "gc-overlap",
 }
 
 func (k Kind) String() string {
@@ -103,6 +111,8 @@ var fieldNames = [kindMax][2]string{
 	EvMemFail:      {"need_bytes", "use_bytes"},
 	EvSharedFreeze: {"size_bytes", ""},
 	EvSharedAttach: {"size_bytes", ""},
+	EvGCFastPath:   {"hits", "misses"},
+	EvGCOverlap:    {"max_active", ""},
 }
 
 // FieldNames reports the JSON key names of an event kind's A and B words

@@ -89,5 +89,17 @@ func (h *Hub) route(e Event) {
 		h.Reg.kernel.Counter(MSharedAttached).Inc()
 	case EvSharedDetach:
 		h.Reg.kernel.Counter(MSharedDetached).Inc()
+	case EvGCFastPath:
+		s := h.Reg.Proc(e.Pid)
+		s.Counter(MGCFastHits).Add(e.A)
+		s.Counter(MGCFastMisses).Add(e.B)
+		if e.Pid != 0 {
+			// Keep a kernel-wide aggregate so `top` can summarize the
+			// allocation fast path without walking every scope.
+			h.Reg.kernel.Counter(MGCFastHits).Add(e.A)
+			h.Reg.kernel.Counter(MGCFastMisses).Add(e.B)
+		}
+	case EvGCOverlap:
+		h.Reg.kernel.Gauge(MGCOverlap).Set(e.A)
 	}
 }

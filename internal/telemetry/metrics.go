@@ -338,6 +338,10 @@ const (
 	MGCCharged      = "gc.charged"       // counter: GC cycles charged to the process
 	MGCFreedBytes   = "gc.freed_bytes"   // counter: bytes freed by GC
 	MGCPause        = "gc.pause_cycles"  // histogram: one observation per collection
+	MGCFastHits     = "gc.fastpath.hits"   // counter: allocations served from the memlimit lease
+	MGCFastMisses   = "gc.fastpath.misses" // counter: allocations that debited the memlimit tree
+	MGCOverlap      = "gc.overlap"         // kernel gauge: max simultaneous collections
+	MGCAdaptive     = "gc.adaptive"        // counter: collections started by the growth trigger
 	MDispatches     = "sched.dispatches" // counter: quanta dispatched
 	MQuantum        = "sched.quantum"    // histogram: cycles actually used per quantum
 	MYields         = "sched.yields"     // counter: voluntary yields

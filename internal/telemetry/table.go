@@ -32,6 +32,12 @@ type Snapshot struct {
 	Procs     []ProcRow `json:"procs"`
 	KernelGCs uint64    `json:"kernel_gc_count"`
 	Events    uint64    `json:"events_traced"`
+	// Kernel-wide GC scaling counters (see MGCFastHits/MGCFastMisses/
+	// MGCOverlap): allocation fast-path totals across all processes and
+	// the maximum number of collections that ever ran simultaneously.
+	GCFastHits   uint64 `json:"gc_fastpath_hits"`
+	GCFastMisses uint64 `json:"gc_fastpath_misses"`
+	GCOverlap    uint64 `json:"gc_overlap"`
 }
 
 // SnapshotFunc supplies a live Snapshot; the VM layer provides one to the
@@ -92,6 +98,10 @@ func RenderTable(w io.Writer, snap Snapshot) {
 			p.CPUCycles/CyclesPerMs, p.IOBytes, p.GCs, p.GCCycles/CyclesPerMs,
 			p.GCPauseP50, p.GCPauseMax)
 	}
+	// GC-scaling summary, appended after the table so existing column
+	// consumers are unaffected.
+	fmt.Fprintf(w, "gc: fastpath %d hits / %d misses, max %d concurrent collections\n",
+		snap.GCFastHits, snap.GCFastMisses, snap.GCOverlap)
 }
 
 func clip(s string, n int) string {

@@ -95,16 +95,38 @@ func (s *Space) Reserve(h HeapID, n int) (uint64, error) {
 	return base, nil
 }
 
-// Release returns a leased page range to the space. The pages become
-// unmapped: HeapOf reports false for addresses inside them. Addresses are
-// not recycled, which preserves the invariant that a dangling simulated
-// address never aliases a live object.
-func (s *Space) Release(base uint64, n int) {
+// Release returns a leased page range to the space on behalf of heap h.
+// The pages become unmapped: HeapOf reports false for addresses inside
+// them. Releasing a page that is mapped to a different heap panics — it
+// means heap chunk accounting is corrupt, which is a kernel bug. Fresh
+// reservations never reuse released addresses (next is monotonic), so a
+// dangling simulated address can only alias an object if the owning heap
+// itself recycled the chunk — which the heap layer only does within one
+// heap, where the collector has already proven the chunk dead.
+func (s *Space) Release(h HeapID, base uint64, n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := 0; i < n; i++ {
-		delete(s.table, (base>>PageShift)+uint64(i))
+		page := (base >> PageShift) + uint64(i)
+		owner, ok := s.table[page]
+		if !ok {
+			continue
+		}
+		if owner != h {
+			panic(fmt.Sprintf("vmaddr: heap %d releasing page %#x owned by heap %d", h, page<<PageShift, owner))
+		}
+		delete(s.table, page)
 	}
+}
+
+// Pages reports the total number of mapped pages in the space. It is the
+// soak-test observable for address-space leaks: with chunk recycling and
+// release, it must stay bounded under process churn instead of growing
+// monotonically.
+func (s *Space) Pages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.table)
 }
 
 // Reassign transfers ownership of a leased page range to heap h. It is the

@@ -67,13 +67,28 @@ func TestReleaseUnmaps(t *testing.T) {
 	s := NewSpace()
 	h := s.NewHeapID()
 	base, _ := s.Reserve(h, 3)
-	s.Release(base, 3)
+	s.Release(h, base, 3)
 	if _, ok := s.HeapOf(base); ok {
 		t.Error("released page still mapped")
 	}
 	if n := s.PagesOwned(h); n != 0 {
 		t.Errorf("PagesOwned = %d after release, want 0", n)
 	}
+	if n := s.Pages(); n != 0 {
+		t.Errorf("Pages = %d after release, want 0", n)
+	}
+}
+
+func TestReleaseWrongOwnerPanics(t *testing.T) {
+	s := NewSpace()
+	a, b := s.NewHeapID(), s.NewHeapID()
+	base, _ := s.Reserve(a, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("release by non-owner did not panic")
+		}
+	}()
+	s.Release(b, base, 1)
 }
 
 func TestReassignTransfersOwnership(t *testing.T) {
@@ -96,7 +111,7 @@ func TestReassignSkipsUnmapped(t *testing.T) {
 	s := NewSpace()
 	a, b := s.NewHeapID(), s.NewHeapID()
 	base, _ := s.Reserve(a, 2)
-	s.Release(base, 2)
+	s.Release(a, base, 2)
 	s.Reassign(base, 2, b)
 	if _, ok := s.HeapOf(base); ok {
 		t.Error("reassign resurrected an unmapped page")

@@ -75,6 +75,9 @@ type Config struct {
 	TotalMemory uint64
 	// KernelMemory is reserved for the kernel heap (default 32 MiB).
 	KernelMemory uint64
+	// GCWorkers bounds the pool used to collect independent process heaps
+	// concurrently (0 = GOMAXPROCS).
+	GCWorkers int
 	// Stdout receives process output by default.
 	Stdout io.Writer
 }
@@ -127,6 +130,7 @@ func New(cfg Config) (*VM, error) {
 		Barrier:      bar,
 		TotalMemory:  cfg.TotalMemory,
 		KernelMemory: cfg.KernelMemory,
+		GCWorkers:    cfg.GCWorkers,
 		Stdout:       cfg.Stdout,
 	})
 	if err != nil {
@@ -190,6 +194,11 @@ func (vm *VM) SetTracing(on bool) { vm.inner.Tel.SetTracing(on) }
 // Snapshot captures a point-in-time view of every process (reclaimed ones
 // included) plus kernel totals. Safe to call from any goroutine.
 func (vm *VM) Snapshot() telemetry.Snapshot { return vm.inner.Snapshot() }
+
+// GCAll collects every live process heap on the VM's GC worker pool
+// (Config.GCWorkers wide), then the kernel heap. It must be called
+// between Run calls, while no thread executes.
+func (vm *VM) GCAll() { vm.inner.CollectAll() }
 
 // ServeTelemetry starts an HTTP introspection endpoint on addr (":0"
 // picks a free port) and returns the bound address. Routes: /procs
