@@ -9,9 +9,11 @@
 //	kaffeos run -stats prog.kasm             resource accounting at exit
 //	kaffeos run -trace out.jsonl prog.kasm   dump the kernel event trace
 //	kaffeos run -http :8080 prog.kasm        HTTP introspection endpoint
+//	kaffeos run -faults spec prog.kasm       run under fault injection + audit
 //	kaffeos ps [flags] prog.kasm ...         run, then print the process table
 //	kaffeos top -interval 50 prog.kasm ...   re-render the table as the VM runs
 //	kaffeos check prog.kasm                  assemble + verify only
+//	kaffeos check -seeds 32 [prog.kasm ...]  fault-injection sweep + invariant audit
 //	kaffeos dis prog.kasm                    disassemble round-trip
 //
 // Each program must contain a class with a static main()V or main()I.
@@ -21,6 +23,14 @@
 // bound the run to N virtual milliseconds (0 = run to completion). The
 // table includes reclaimed processes: per-process accounting survives
 // reclamation in the telemetry registry.
+//
+// With -faults, run arms the deterministic fault-injection plane with the
+// given plan (e.g. "seed=7,all=0.01" or "heap.alloc=0.02,sched.kill=@100";
+// see repro/internal/faults) and audits every kernel invariant after the
+// run; processes dying of injected faults is expected, broken bookkeeping
+// is not. check -seeds=N runs its workload once per seed 1..N under
+// "all=0.01" (override with -faults) and fails if any seed leaves a single
+// invariant violated.
 package main
 
 import (
@@ -73,6 +83,7 @@ type runFlags struct {
 	gcWorkers *int
 	trace     *string
 	httpAddr  *string
+	faults    *string
 }
 
 func addRunFlags(fs *flag.FlagSet) *runFlags {
@@ -85,6 +96,7 @@ func addRunFlags(fs *flag.FlagSet) *runFlags {
 		gcWorkers: fs.Int("gcworkers", 0, "GC worker pool for collecting process heaps concurrently (0 = GOMAXPROCS)"),
 		trace:     fs.String("trace", "", "dump the kernel event trace to this file as JSON lines at exit"),
 		httpAddr:  fs.String("http", "", "serve the telemetry HTTP endpoint on this address (e.g. :8080)"),
+		faults:    fs.String("faults", "", `arm deterministic fault injection with this plan (e.g. "seed=7,all=0.01")`),
 	}
 }
 
@@ -106,6 +118,7 @@ func setup(rf *runFlags, files []string) (*kaffeos.VM, []job, error) {
 		Barrier:   kaffeos.WriteBarrier(*rf.barrier),
 		GCWorkers: *rf.gcWorkers,
 		Stdout:    os.Stdout,
+		Faults:    *rf.faults,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -231,6 +244,19 @@ func runCmd(args []string) error {
 			fmt.Fprintln(os.Stderr)
 		default:
 			fmt.Fprintf(os.Stderr, "kaffeos: %s: died: %s\n", j.file, j.proc.FailureClass())
+			if *rf.faults == "" {
+				// Under fault injection, dying processes are the point;
+				// only broken invariants (below) fail the run.
+				exitCode = 1
+			}
+		}
+	}
+	if *rf.faults != "" {
+		vm.GCAll()
+		rep := vm.Audit(true)
+		fmt.Fprintf(os.Stderr, "kaffeos: %s\n", vm.FaultSummary())
+		fmt.Fprintf(os.Stderr, "kaffeos: %s\n", rep)
+		if !rep.OK() {
 			exitCode = 1
 		}
 	}
@@ -304,10 +330,24 @@ func findMain(mod *bytecode.Module) string {
 }
 
 func checkCmd(args []string) error {
-	if len(args) == 0 {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	seeds := fs.Int("seeds", 0, "sweep this many fault-injection seeds through a full run + audit (0 = assemble/verify only)")
+	spec := fs.String("faults", "all=0.01", "fault plan template applied to every seed in the sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seeds <= 0 {
+		return checkStatic(fs.Args())
+	}
+	return checkSweep(*seeds, *spec, fs.Args())
+}
+
+// checkStatic is the classic mode: assemble + verify each file.
+func checkStatic(files []string) error {
+	if len(files) == 0 {
 		return fmt.Errorf("no files")
 	}
-	for _, file := range args {
+	for _, file := range files {
 		src, err := os.ReadFile(file)
 		if err != nil {
 			return err
@@ -329,6 +369,161 @@ func checkCmd(args []string) error {
 		}
 		fmt.Printf("%s: ok (%d classes, %d instructions)\n", file, len(mod.Classes), total)
 	}
+	return nil
+}
+
+// checkWorkload is the built-in sweep program when no files are given:
+// two threads churning linked lists, so a run exercises allocation, GC,
+// write barriers, thread spawn/join, and process reclamation.
+const checkWorkload = `
+.class app/Node
+.field next Lapp/Node;
+.field v I
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Object.<init> ()V
+	return
+.end
+.end
+.class app/Churn extends java/lang/Thread
+.method <init> ()V
+.locals 1
+.stack 1
+	aload 0
+	invokespecial java/lang/Thread.<init> ()V
+	return
+.end
+.method run ()V
+.locals 4
+.stack 3
+	iconst 0
+	istore 1
+ROUND:	iload 1
+	ldc 40
+	if_icmpge DONE
+	aconst_null
+	astore 2
+	iconst 0
+	istore 3
+LIST:	iload 3
+	ldc 64
+	if_icmpge NEXTR
+	new app/Node
+	dup
+	invokespecial app/Node.<init> ()V
+	dup
+	aload 2
+	putfield app/Node.next Lapp/Node;
+	dup
+	iload 3
+	putfield app/Node.v I
+	astore 2
+	iinc 3 1
+	goto LIST
+NEXTR:	aconst_null
+	astore 2
+	iinc 1 1
+	goto ROUND
+DONE:	return
+.end
+.end
+.class app/Main
+.method main ()I static
+.locals 2
+.stack 2
+	new app/Churn
+	dup
+	invokespecial app/Churn.<init> ()V
+	astore 0
+	new app/Churn
+	dup
+	invokespecial app/Churn.<init> ()V
+	astore 1
+	aload 0
+	invokevirtual java/lang/Thread.start ()V
+	aload 1
+	invokevirtual java/lang/Thread.start ()V
+	aload 0
+	invokevirtual java/lang/Thread.join ()V
+	aload 1
+	invokevirtual java/lang/Thread.join ()V
+	iconst 1
+	ireturn
+.end
+.end`
+
+// checkSweep runs the workload once per seed 1..n with the fault plane
+// armed, then audits every kernel invariant. Processes dying of injected
+// faults is the expected outcome; any bookkeeping violation fails the
+// sweep.
+func checkSweep(n int, spec string, files []string) error {
+	type prog struct {
+		name string
+		mod  *bytecode.Module
+	}
+	var progs []prog
+	if len(files) == 0 {
+		mod, err := bytecode.Assemble(checkWorkload)
+		if err != nil {
+			return fmt.Errorf("built-in workload: %w", err)
+		}
+		progs = []prog{{"churn-1", mod}, {"churn-2", mod}}
+	} else {
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			mod, err := bytecode.Assemble(string(src))
+			if err != nil {
+				return fmt.Errorf("%s: %w", file, err)
+			}
+			progs = append(progs, prog{file, mod})
+		}
+	}
+	badSeeds := 0
+	for seed := 1; seed <= n; seed++ {
+		plan := fmt.Sprintf("seed=%d,%s", seed, spec)
+		vm, err := kaffeos.New(kaffeos.Config{Faults: plan})
+		if err != nil {
+			return err
+		}
+		for _, pr := range progs {
+			entry := findMain(pr.mod)
+			if entry == "" {
+				return fmt.Errorf("%s: no class with a static main method", pr.name)
+			}
+			p, err := vm.NewProcess(pr.name, kaffeos.ProcessConfig{MemLimit: 16 << 20})
+			if err != nil {
+				continue // injected allocation failure at creation: fine
+			}
+			if err := p.LoadModule(pr.mod); err != nil {
+				continue // process killed by a fault mid-load: fine
+			}
+			if _, err := p.Start(entry); err != nil {
+				continue // ditto at main-thread spawn
+			}
+		}
+		if err := vm.Run(); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		vm.GCAll()
+		rep := vm.Audit(true)
+		fmt.Printf("seed %3d: %s; %s\n", seed, vm.FaultSummary(), rep)
+		if !rep.OK() {
+			badSeeds++
+			for _, v := range rep.Violations {
+				fmt.Printf("    %s: %s\n", v.Rule, v.Detail)
+			}
+		}
+	}
+	if badSeeds > 0 {
+		fmt.Printf("check: %d/%d seeds left invariants violated\n", badSeeds, n)
+		os.Exit(1)
+	}
+	fmt.Printf("check: %d seeds, all invariants held\n", n)
 	return nil
 }
 

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/object"
 	"repro/internal/telemetry"
@@ -68,6 +69,12 @@ type Stats struct {
 	// The success path never touches it, so the per-store cost stays at
 	// the two counter bumps above.
 	Sink telemetry.Sink
+
+	// Faults, when set, lets the injection plane refuse stores at
+	// SiteBarrierStore: the store fails with a segmentation violation even
+	// though it is legal, exercising the engines' violation unwind paths
+	// at arbitrary stores.
+	Faults *faults.Plane
 }
 
 // violate counts and traces a segmentation violation, then returns it.
@@ -130,6 +137,13 @@ func (b *checking) Write(reg *heap.Registry, holder, ref *object.Object, kernelM
 	st.Executed.Add(1)
 	st.Cycles.Add(b.cycles)
 
+	if st.Faults.Fire(faults.SiteBarrierStore) {
+		return st.violate(&Violation{
+			HolderHeap: heapName(reg, b.heapOf(reg, holder)),
+			RefHeap:    refHeapName(reg, b.heapOf, ref),
+			Reason:     "injected barrier fault",
+		})
+	}
 	if holder.Frozen() {
 		return st.violate(&Violation{
 			HolderHeap: heapName(reg, b.heapOf(reg, holder)),

@@ -1,0 +1,81 @@
+package barrier
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/heap"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+	"repro/internal/vmaddr"
+)
+
+// FuzzBarrierStore drives byte-decoded store sequences through every real
+// barrier implementation — applying exactly the stores each barrier
+// accepts, as the interpreter does — interleaved with fresh allocations
+// and a shared-heap freeze. After the sequence, the whole-kernel auditor
+// must find a fully consistent world: legal reference graph, symmetric
+// entry/exit items, exact page/chunk agreement, reconciled memlimits.
+func FuzzBarrierStore(f *testing.F) {
+	f.Add([]byte{0, 0x00, 0x10, 0, 0x01, 0x20, 0, 0x20, 0x00})
+	f.Add([]byte{15, 0, 0, 0, 0x30, 0x31, 2, 0x30, 0x00}) // freeze, then poke the shared heap
+	f.Add([]byte{14, 1, 0, 14, 3, 0, 0, 0x00, 0x30, 1, 0x20, 0x01})
+	f.Add([]byte{7, 0x00, 0x00, 3, 0x10, 0x01, 5, 0x01, 0x11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, b := range realBarriers() {
+			w := newWorld(t, b)
+			var st Stats
+			heaps := []*heap.Heap{w.userA, w.userB, w.kernel, w.shared}
+			objs := make([][]*object.Object, len(heaps))
+			for i, h := range heaps {
+				for j := 0; j < 4; j++ {
+					o, err := h.Alloc(w.node)
+					if err != nil {
+						t.Fatal(err)
+					}
+					objs[i] = append(objs[i], o)
+				}
+			}
+			pick := func(sel byte) *object.Object {
+				pool := objs[int(sel>>4)%len(objs)]
+				return pool[int(sel&0xf)%len(pool)]
+			}
+			for i := 0; i+2 < len(data); i += 3 {
+				op, a, b2 := data[i], data[i+1], data[i+2]
+				switch op % 16 {
+				case 15:
+					w.shared.Freeze()
+				case 14:
+					hi := int(a) % len(heaps)
+					if o, err := heaps[hi].Alloc(w.node); err == nil {
+						objs[hi] = append(objs[hi], o)
+					} // frozen shared heap: ErrFrozen is the contract
+				default:
+					holder := pick(a)
+					ref := pick(b2)
+					if op%8 == 7 {
+						ref = nil
+					}
+					if err := b.Write(w.reg, holder, ref, op&1 == 1, &st); err == nil {
+						holder.SetRef(0, ref)
+					}
+				}
+			}
+			var limits *memlimit.Node
+			var pages map[uint64]vmaddr.HeapID
+			views := w.reg.SnapshotAll(func() {
+				limits = w.root.Snapshot()
+				pages = w.reg.Space.Dump()
+			})
+			rep := audit.Check(audit.World{
+				Heaps:    views,
+				Limits:   limits,
+				Pages:    pages,
+				KernelID: w.kernel.ID,
+			}, audit.Options{Graph: true})
+			if !rep.OK() {
+				t.Fatalf("%s: invariants violated after store sequence:\n%s", b.Name(), rep)
+			}
+		}
+	})
+}

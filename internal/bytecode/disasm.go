@@ -32,7 +32,13 @@ func Disassemble(code *Code) string {
 		}
 		b.WriteByte('\t')
 		b.WriteString(in.Op.Name())
-		switch ops[in.Op].operand {
+		// Undefined opcodes (possible in unreachable code, which the
+		// verifier does not judge) render as bare "op(N)" mnemonics.
+		var kind opnd
+		if int(in.Op) < len(ops) {
+			kind = ops[in.Op].operand
+		}
+		switch kind {
 		case opndInt, opndLocal:
 			fmt.Fprintf(&b, " %d", in.A)
 		case opndIinc:

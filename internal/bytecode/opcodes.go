@@ -248,8 +248,10 @@ func (op Op) Cycles() int {
 	return ops[op].cycles
 }
 
-// IsBranch reports whether op's A operand is a branch target.
-func (op Op) IsBranch() bool { return ops[op].branch }
+// IsBranch reports whether op's A operand is a branch target. Undefined
+// opcodes — which can reach here from unreachable code, since the verifier
+// only judges reachable instructions — are not branches.
+func (op Op) IsBranch() bool { return int(op) < len(ops) && ops[op].branch }
 
 var opByName = func() map[string]Op {
 	m := make(map[string]Op, numOps)

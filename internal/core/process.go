@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bytecode"
+	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/loader"
@@ -67,6 +68,10 @@ type ProcessOptions struct {
 // ErrCPULimit is the exit reason of a process that exceeded its CPU limit.
 var ErrCPULimit = errors.New("core: CPU limit exceeded")
 
+// ErrInjectedFault is the exit reason of a process killed by the fault-
+// injection plane (Config.Faults).
+var ErrInjectedFault = errors.New("core: injected fault")
+
 // Process is one KaffeOS process.
 type Process struct {
 	ID   Pid
@@ -81,8 +86,9 @@ type Process struct {
 	// state is atomic and nthreads mirrors len(threads) so that external
 	// pollers (kaffeos top, the HTTP introspection endpoint) can read
 	// State/Threads/CPUCycles/IOBytes without racing the running VM. The
-	// threads/threadFor maps themselves are only touched on the
-	// scheduling goroutine; mu orders the state/exitErr/uncaught writes.
+	// threads/threadFor maps are mutated only on the scheduling goroutine
+	// but read by Kill, which may run on any goroutine — mu guards every
+	// map access and orders the state/exitErr/uncaught writes.
 	mu        sync.Mutex
 	state     atomic.Uint32 // holds a ProcState
 	exitErr   error
@@ -303,10 +309,17 @@ func (p *Process) Spawn(cls, methodKey string, args ...interp.Slot) (*interp.Thr
 	if err := t.PushFrame(m, args); err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
 	p.threads[t] = struct{}{}
+	p.mu.Unlock()
 	p.nthreads.Add(1)
 	p.VM.Sched.Add(t)
 	p.emit(telemetry.EvThreadSpawn, uint64(t.ID), 0, cls+"."+methodKey)
+	if p.VM.Cfg.Faults.Fire(faults.SiteProcSpawn) {
+		// Race a kill against the newborn thread: it must die at its first
+		// safepoint and the process must still reclaim fully.
+		p.Kill(ErrInjectedFault)
+	}
 	return t, nil
 }
 
@@ -324,17 +337,27 @@ func (p *Process) spawnThreadObject(threadObj *object.Object) error {
 	if df, ok := threadObj.Class.FieldByName("daemon"); ok && !df.Ref {
 		t.Daemon = threadObj.Prims[df.Slot] != 0
 	}
+	p.mu.Lock()
 	p.threads[t] = struct{}{}
 	p.threadFor[threadObj] = t
+	p.mu.Unlock()
 	p.nthreads.Add(1)
 	p.VM.Sched.Add(t)
 	p.emit(telemetry.EvThreadSpawn, uint64(t.ID), 0, threadObj.Class.Name+".run()V")
+	if p.VM.Cfg.Faults.Fire(faults.SiteProcSpawn) {
+		p.Kill(ErrInjectedFault)
+	}
 	return nil
 }
 
 // Kill requests termination of every thread. User-mode code dies at its
 // next safepoint; kernel-mode sections finish first (§2, "Safe termination
 // of processes"). Reclamation happens when the last thread exits.
+//
+// Kill is idempotent and safe to call from any goroutine, concurrently
+// with itself: the state CAS admits exactly one caller, so exactly one
+// EvProcKill is emitted per process, and the thread set is snapshotted
+// under mu so a concurrent spawn or exit cannot race the iteration.
 func (p *Process) Kill(reason error) {
 	if !p.transition(ProcRunning, ProcKilled, reason, nil) {
 		return
@@ -344,7 +367,13 @@ func (p *Process) Kill(reason error) {
 		why = reason.Error()
 	}
 	p.emit(telemetry.EvProcKill, 0, 0, why)
+	p.mu.Lock()
+	ts := make([]*interp.Thread, 0, len(p.threads))
 	for t := range p.threads {
+		ts = append(ts, t)
+	}
+	p.mu.Unlock()
+	for _, t := range ts {
 		t.Kill()
 	}
 }
@@ -369,13 +398,22 @@ func (p *Process) transition(from, to ProcState, reason error, uncaught *object.
 
 // threadExited is called by the scheduler's exit hook.
 func (p *Process) threadExited(t *interp.Thread, res interp.StepResult) {
+	if p.VM.Cfg.Faults.Fire(faults.SiteProcTerminate) {
+		// Race a kill against this thread's own exit: if it was the last
+		// thread, the process reclaims as killed rather than exited, and
+		// either way every invariant must hold.
+		p.Kill(ErrInjectedFault)
+	}
+	p.mu.Lock()
 	delete(p.threads, t)
-	p.nthreads.Add(-1)
 	for obj, th := range p.threadFor {
 		if th == t {
 			delete(p.threadFor, obj)
 		}
 	}
+	remaining := len(p.threads)
+	p.mu.Unlock()
+	p.nthreads.Add(-1)
 	if res == interp.StepKilled && p.transition(ProcRunning, ProcKilled, t.Err, t.Uncaught) {
 		// An uncaught throwable (or VM fault) in any thread kills the
 		// whole process, like an uncaught signal.
@@ -384,11 +422,17 @@ func (p *Process) threadExited(t *interp.Thread, res interp.StepResult) {
 			why = t.Err.Error()
 		}
 		p.emit(telemetry.EvProcKill, uint64(t.ID), 0, why)
+		p.mu.Lock()
+		others := make([]*interp.Thread, 0, len(p.threads))
 		for other := range p.threads {
+			others = append(others, other)
+		}
+		p.mu.Unlock()
+		for _, other := range others {
 			other.Kill()
 		}
 	}
-	if len(p.threads) == 0 {
+	if remaining == 0 {
 		if p.transition(ProcRunning, ProcExited, nil, nil) {
 			p.emit(telemetry.EvProcExit, 0, 0, "")
 		}

@@ -172,6 +172,13 @@ L0:	goto L0
 			}
 		}
 		live = keep
+		// Periodically audit every kernel invariant mid-churn. The
+		// scheduler is paused between slices, so the graph walk is safe.
+		if round%50 == 49 {
+			if rep := vm.Audit(true); !rep.OK() {
+				t.Fatalf("round %d: %s", round, rep)
+			}
+		}
 	}
 
 	// Teardown: kill everything and drain.
@@ -216,5 +223,8 @@ L0:	goto L0
 	}
 	if got := vm.Tel.Trace.Total(); got == 0 {
 		t.Error("tracing was on but no events reached the ring")
+	}
+	if rep := vm.Audit(true); !rep.OK() {
+		t.Errorf("post-teardown audit: %s", rep)
 	}
 }

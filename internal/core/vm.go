@@ -22,6 +22,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/bytecode"
 	"repro/internal/classlib"
+	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/loader"
@@ -90,6 +91,11 @@ type Config struct {
 	// callers that want a custom trace-ring size or shared registry pass
 	// one in. The VM always has a hub; tracing defaults to off.
 	Telemetry *telemetry.Hub
+	// Faults, when set, arms the deterministic fault-injection plane across
+	// every subsystem (heap allocation, GC mid-mark, barrier stores,
+	// memlimit debits, scheduler dispatch, spawn/terminate races). Nil —
+	// the default — injects nothing and costs one nil check per site.
+	Faults *faults.Plane
 }
 
 func (c *Config) fill() {
@@ -171,6 +177,16 @@ func NewVM(cfg Config) (*VM, error) {
 	vm.Stats.Sink = vm.Tel
 	vm.RootLimit = memlimit.NewRoot("vm", cfg.TotalMemory)
 	vm.RootLimit.SetSink(vm.Tel)
+	if cfg.Faults != nil {
+		vm.Reg.Faults = cfg.Faults
+		vm.Reg.OnFaultKill = func(h *heap.Heap) {
+			if p, ok := h.Owner.(*Process); ok {
+				p.Kill(ErrInjectedFault)
+			}
+		}
+		vm.Stats.Faults = cfg.Faults
+		vm.RootLimit.SetFaults(cfg.Faults)
+	}
 	kernelLimit, err := vm.RootLimit.NewChild("kernel", cfg.KernelMemory, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: kernel reservation: %w", err)
@@ -209,6 +225,14 @@ func NewVM(cfg Config) (*VM, error) {
 	vm.Sched.Quantum = cfg.Quantum
 	vm.Sched.OnExit = vm.onThreadExit
 	vm.Sched.Telemetry = vm.Tel
+	if cfg.Faults != nil {
+		vm.Sched.Faults = cfg.Faults
+		vm.Sched.FaultKill = func(t *interp.Thread) {
+			if p, ok := t.Owner.(*Process); ok {
+				p.Kill(ErrInjectedFault)
+			}
+		}
+	}
 	vm.Tel.SetClock(vm.Sched.Now)
 	vm.Sched.Charge = func(t *interp.Thread, cycles uint64) {
 		if p, ok := t.Owner.(*Process); ok {
@@ -229,6 +253,10 @@ func NewVM(cfg Config) (*VM, error) {
 			}
 		}
 	}
+
+	// Advisory invariant audits over HTTP (/audit); numeric checks only,
+	// since a served VM may be mid-mutation.
+	vm.Tel.SetAuditor(func() any { return vm.Audit(false) })
 
 	vm.Env = vm.buildEnv()
 

@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42,heap.alloc=0.01,barrier.store=@3,mem.debit=0.5/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	if r := p.Rules[SiteHeapAlloc]; r.Prob != 0.01 || r.Nth != 0 {
+		t.Errorf("heap.alloc rule = %+v", r)
+	}
+	if r := p.Rules[SiteBarrierStore]; r.Nth != 3 {
+		t.Errorf("barrier.store rule = %+v", r)
+	}
+	if r := p.Rules[SiteMemDebit]; r.Prob != 0.5 || r.Limit != 2 {
+		t.Errorf("mem.debit rule = %+v", r)
+	}
+	if _, ok := p.Rules[SiteSchedKill]; ok {
+		t.Error("sched.kill should be unarmed")
+	}
+}
+
+func TestParsePlanAll(t *testing.T) {
+	p, err := ParsePlan("seed=7,all=0.005,heap.alloc=@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := p.Rules[SiteHeapAlloc]; r.Nth != 2 || r.Prob != 0 {
+		t.Errorf("explicit clause should win over all=: %+v", r)
+	}
+	for s := Site(0); s < numSites; s++ {
+		if s == SiteHeapAlloc {
+			continue
+		}
+		if r := p.Rules[s]; r.Prob != 0.005 {
+			t.Errorf("site %s rule = %+v, want prob 0.005", s, r)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus.site=0.1", "heap.alloc", "heap.alloc=2.0", "heap.alloc=@0",
+		"seed=xyz", "heap.alloc=0.1/x",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p, err := ParsePlan("seed=9,heap.alloc=0.25,sched.kill=@17/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", p.String(), err)
+	}
+	if q.Seed != p.Seed || len(q.Rules) != len(p.Rules) {
+		t.Fatalf("round trip lost data: %q vs %q", p.String(), q.String())
+	}
+	for s, r := range p.Rules {
+		if q.Rules[s] != r {
+			t.Errorf("site %s: %+v vs %+v", s, r, q.Rules[s])
+		}
+	}
+}
+
+func TestNilAndDisabledPlaneNeverFire(t *testing.T) {
+	var nilPlane *Plane
+	if nilPlane.Fire(SiteHeapAlloc) || nilPlane.Enabled() {
+		t.Error("nil plane fired")
+	}
+	empty := NewPlane(Plan{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		for s := Site(0); s < numSites; s++ {
+			if empty.Fire(s) {
+				t.Fatalf("empty plane fired at %s", s)
+			}
+		}
+	}
+	if empty.Enabled() {
+		t.Error("empty plane reports enabled")
+	}
+}
+
+func TestFireDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		p := NewPlane(Plan{Seed: 123, Rules: map[Site]Rule{
+			SiteHeapAlloc:    {Prob: 0.1},
+			SiteBarrierStore: {Prob: 0.02},
+		}})
+		var firedAt []uint64
+		for i := uint64(0); i < 5000; i++ {
+			if p.Fire(SiteHeapAlloc) {
+				firedAt = append(firedAt, i)
+			}
+			p.Fire(SiteBarrierStore) // interleaved site must not perturb the first
+		}
+		return firedAt
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("p=0.1 over 5000 hits never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic: %d vs %d firings", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing %d at hit %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFireCrossSiteIndependence(t *testing.T) {
+	// The same site must fire at the same hit indices whether or not other
+	// sites are being consulted in between.
+	fire := func(interleave bool) []uint64 {
+		p := NewPlane(Plan{Seed: 5, Rules: map[Site]Rule{
+			SiteMemDebit:  {Prob: 0.05},
+			SiteSchedKill: {Prob: 0.5},
+		}})
+		var at []uint64
+		for i := uint64(0); i < 2000; i++ {
+			if interleave {
+				p.Fire(SiteSchedKill)
+			}
+			if p.Fire(SiteMemDebit) {
+				at = append(at, i)
+			}
+		}
+		return at
+	}
+	a, b := fire(false), fire(true)
+	if len(a) != len(b) {
+		t.Fatalf("interleaving another site changed firings: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestNthAndLimit(t *testing.T) {
+	p := NewPlane(Plan{Seed: 1, Rules: map[Site]Rule{
+		SiteSchedKill: {Nth: 7},
+		SiteHeapAlloc: {Prob: 1.0, Limit: 3},
+	}})
+	for i := uint64(1); i <= 20; i++ {
+		fired := p.Fire(SiteSchedKill)
+		if fired != (i == 7) {
+			t.Errorf("sched.kill hit %d: fired=%v", i, fired)
+		}
+	}
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if p.Fire(SiteHeapAlloc) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Errorf("limit 3 produced %d firings", fires)
+	}
+	if p.Fires(SiteHeapAlloc) != 3 || p.Hits(SiteHeapAlloc) != 10 {
+		t.Errorf("counters: fires=%d hits=%d", p.Fires(SiteHeapAlloc), p.Hits(SiteHeapAlloc))
+	}
+}
+
+func TestPlaneConcurrentSafe(t *testing.T) {
+	p := NewPlane(Plan{Seed: 3, Rules: map[Site]Rule{SiteMemDebit: {Prob: 0.1}}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				p.Fire(SiteMemDebit)
+				p.Fire(SiteHeapAlloc)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Hits(SiteMemDebit); got != 80000 {
+		t.Errorf("hits = %d, want 80000", got)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	p := NewPlane(Plan{Seed: 1, Rules: map[Site]Rule{SiteHeapAlloc: {Prob: 1}}})
+	if !p.Fire(SiteHeapAlloc) {
+		t.Fatal("armed p=1 site did not fire")
+	}
+	p.SetEnabled(false)
+	if p.Fire(SiteHeapAlloc) {
+		t.Error("disabled plane fired")
+	}
+	p.SetEnabled(true)
+	if !p.Fire(SiteHeapAlloc) {
+		t.Error("re-enabled plane did not fire")
+	}
+}

@@ -1,0 +1,181 @@
+// Fault-plane churn for the heap suite. Lives in an external test package:
+// the auditor imports heap, so heap's own test package cannot import it —
+// but an external _test package can, and the auditor is the oracle here.
+package heap_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/bytecode"
+	"repro/internal/faults"
+	"repro/internal/heap"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+	"repro/internal/vmaddr"
+)
+
+// faultWorld is a registry with a kernel heap, a node class, and an armed
+// fault plane.
+type faultWorld struct {
+	space  *vmaddr.Space
+	reg    *heap.Registry
+	root   *memlimit.Limit
+	kernel *heap.Heap
+	node   *object.Class
+}
+
+func newFaultWorld(t *testing.T, plane *faults.Plane) *faultWorld {
+	t.Helper()
+	w := &faultWorld{space: vmaddr.NewSpace()}
+	w.reg = heap.NewRegistry(w.space, heap.Config{})
+	w.reg.Faults = plane
+	w.root = memlimit.NewRoot("root", memlimit.Unlimited)
+	w.root.SetFaults(plane)
+	w.kernel = w.reg.NewHeap(heap.KindKernel, "kernel", w.root.MustChild("kernel", memlimit.Unlimited, false))
+
+	mod := bytecode.MustAssemble(`
+.class java/lang/Object
+.end
+.class t/FNode
+.field next Lt/FNode;
+.field v I
+.end`)
+	objDef, _ := mod.Class("java/lang/Object")
+	obj, err := object.NewClass(objDef, nil, "test", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeDef, _ := mod.Class("t/FNode")
+	w.node, err = object.NewClass(nodeDef, obj, "test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// audit snapshots the whole world and runs every invariant rule.
+func (w *faultWorld) audit(t *testing.T) {
+	t.Helper()
+	var limits *memlimit.Node
+	var pages map[uint64]vmaddr.HeapID
+	views := w.reg.SnapshotAll(func() {
+		limits = w.root.Snapshot()
+		pages = w.space.Dump()
+	})
+	rep := audit.Check(audit.World{
+		Heaps:    views,
+		Limits:   limits,
+		Pages:    pages,
+		KernelID: w.kernel.ID,
+	}, audit.Options{Graph: true})
+	if !rep.OK() {
+		t.Fatalf("invariants violated:\n%s", rep)
+	}
+}
+
+// TestHeapChurnUnderFaultPlane arms heap.alloc, heap.mark, and mem.debit
+// at the acceptance probabilities and churns allocation, collection,
+// mark-phase kills, and heap merges across several seeds. Injected
+// failures are tolerated wherever a real exhaustion would be; the auditor
+// must find consistent books after every merge and at the end.
+func TestHeapChurnUnderFaultPlane(t *testing.T) {
+	for seed := 1; seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			plan, err := faults.ParsePlan(fmt.Sprintf("seed=%d,heap.alloc=0.01,heap.mark=0.05,mem.debit=0.01", seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plane := faults.NewPlane(plan)
+			w := newFaultWorld(t, plane)
+			rng := rand.New(rand.NewSource(int64(seed)))
+
+			// A mark-phase fault marks the collecting heap for death, the
+			// way the VM kills the owning process mid-GC.
+			killed := map[*heap.Heap]bool{}
+			w.reg.OnFaultKill = func(h *heap.Heap) { killed[h] = true }
+
+			type proc struct {
+				h     *heap.Heap
+				roots []*object.Object
+			}
+			var live []*proc
+			nextID := 0
+			spawn := func() {
+				lim, err := w.root.NewChild(fmt.Sprintf("proc-%d", nextID), 1<<20, false)
+				if err != nil {
+					return // injected debit refusal at creation: fine
+				}
+				live = append(live, &proc{h: w.reg.NewHeap(heap.KindUser, lim.Name(), lim)})
+				nextID++
+			}
+			reap := func(p *proc) {
+				if err := p.h.MergeInto(w.kernel); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+				p.h.Limit().Release()
+				w.kernel.Collect(func(func(*object.Object)) {})
+			}
+			spawn()
+			spawn()
+
+			for round := 0; round < 400; round++ {
+				if len(live) == 0 {
+					spawn()
+					continue
+				}
+				p := live[rng.Intn(len(live))]
+				// Build a short intra-heap list; injected alloc/debit
+				// failures abandon the list mid-build, which the collector
+				// must clean up without confusing the books.
+				var head *object.Object
+				for i := 0; i < 8; i++ {
+					o, err := p.h.Alloc(w.node)
+					if err != nil {
+						head = nil
+						break
+					}
+					o.SetRef(0, head)
+					head = o
+				}
+				if head != nil && rng.Intn(2) == 0 {
+					p.roots = append(p.roots, head)
+				}
+				if round%16 == 15 {
+					if len(p.roots) > 4 {
+						p.roots = p.roots[len(p.roots)/2:]
+					}
+					roots := p.roots
+					p.h.Collect(func(visit func(*object.Object)) {
+						for _, o := range roots {
+							visit(o)
+						}
+					})
+					if killed[p.h] {
+						reap(p)
+						for i, q := range live {
+							if q == p {
+								live = append(live[:i], live[i+1:]...)
+								break
+							}
+						}
+						spawn()
+						w.audit(t)
+					}
+				}
+			}
+
+			// Teardown: merge every survivor and audit the final world.
+			for _, p := range live {
+				reap(p)
+			}
+			w.audit(t)
+			if total, kernel := w.space.Pages(), w.space.PagesOwned(w.kernel.ID); total != kernel {
+				t.Errorf("page table holds %d pages but kernel owns %d — dead heaps leaked pages", total, kernel)
+			}
+		})
+	}
+}

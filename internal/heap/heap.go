@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/memlimit"
 	"repro/internal/object"
 	"repro/internal/telemetry"
@@ -146,6 +147,16 @@ type Registry struct {
 	// Telemetry, when set, receives EvGCStart/EvGCEnd events for every
 	// collection of every heap in the registry.
 	Telemetry telemetry.Sink
+
+	// Faults, when set, is the injection plane: SiteHeapAlloc makes adopt
+	// refuse an allocation as if the memlimit were exhausted, SiteHeapMark
+	// interrupts a collection between its mark and re-check windows.
+	Faults *faults.Plane
+	// OnFaultKill is invoked (outside all heap locks' critical mutations,
+	// but with the collection in flight) when SiteHeapMark fires during a
+	// collection of h; the VM wires it to kill the heap's owning process,
+	// provoking the paper's kill-during-GC corner.
+	OnFaultKill func(h *Heap)
 }
 
 // NewRegistry creates a registry over an address space.
@@ -424,6 +435,11 @@ func (h *Heap) adopt(o *object.Object, size uint64) error {
 	if h.frozen {
 		return ErrFrozen
 	}
+	if h.reg.Faults.Fire(faults.SiteHeapAlloc) {
+		// Injected allocation failure: refuse before any charge, exactly as
+		// an exhausted memlimit would surface (OutOfMemoryError upstream).
+		return &memlimit.ErrExceeded{Limit: h.limit, Need: size}
+	}
 	if h.lease >= size {
 		h.lease -= size
 		h.stats.FastHits++
@@ -659,6 +675,13 @@ func (h *Heap) Collect(roots RootFunc) GCResult {
 	}
 	mark()
 	h.mu.Unlock()
+
+	// Fault site: kill the owner between the mark and the entry re-check
+	// windows — the collection must still complete and every invariant must
+	// survive the process dying mid-GC (paper §2, safe termination).
+	if reg.Faults.Fire(faults.SiteHeapMark) && reg.OnFaultKill != nil {
+		reg.OnFaultKill(h)
+	}
 
 	// Window 2 (crossMu + h.mu): entry items created while marking ran (a
 	// concurrent RecordCrossRef targeting this heap) are roots this

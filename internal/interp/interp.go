@@ -65,7 +65,7 @@ func runLoop(t *Thread, exec func(*Thread, *Frame) (StepResult, bool)) StepResul
 // checkKill is the safepoint test: a user-mode thread with a pending kill
 // terminates here; kernel mode defers.
 func checkKill(t *Thread) bool {
-	if t.KillRequested && !t.InKernel() {
+	if t.KillPending() && !t.InKernel() {
 		t.unwindAll()
 		t.State = StateKilled
 		t.Err = errKilled
@@ -620,7 +620,7 @@ func dbits(v float64) int64   { return int64(math.Float64bits(v)) }
 // atBranch is the safepoint at calls: kill requests are honoured here. It
 // reports (result, stop).
 func (t *Thread) atBranch() (StepResult, bool) {
-	if t.KillRequested && !t.InKernel() {
+	if t.KillPending() && !t.InKernel() {
 		t.unwindAll()
 		t.State = StateKilled
 		t.Err = errKilled
@@ -632,7 +632,7 @@ func (t *Thread) atBranch() (StepResult, bool) {
 // safepoint is the check after a completed branch (PC already points at the
 // next instruction): kill requests and quantum expiry are honoured here.
 func (t *Thread) safepoint() (StepResult, bool) {
-	if t.KillRequested && !t.InKernel() {
+	if t.KillPending() && !t.InKernel() {
 		t.unwindAll()
 		t.State = StateKilled
 		t.Err = errKilled

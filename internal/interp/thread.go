@@ -13,6 +13,7 @@ package interp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/heap"
 	"repro/internal/object"
@@ -119,10 +120,12 @@ type Thread struct {
 	// Cycles is the total simulated cycles this thread has consumed.
 	Cycles uint64
 
-	// KillRequested asks the thread to terminate. User-mode code honours
+	// killRequested asks the thread to terminate. User-mode code honours
 	// it at the next safepoint; kernel-mode code defers it until the
 	// kernel nesting unwinds (paper §2, "Safe termination of processes").
-	KillRequested bool
+	// Atomic: Process.Kill may be called from any goroutine, concurrently
+	// with itself, while only the scheduling goroutine reads the flag.
+	killRequested atomic.Bool
 	// KernelDepth counts nested kernel-mode sections.
 	KernelDepth int
 
@@ -175,13 +178,15 @@ func (t *Thread) AllocHeap() *heap.Heap {
 
 // Kill requests termination. The engine honours it at the next user-mode
 // safepoint; a thread stuck in kernel mode finishes the kernel section
-// first. Killing an already-dead thread is a no-op.
+// first. Killing an already-dead thread is harmless (the flag is only
+// consulted at dispatch), and Kill is safe to call from any goroutine,
+// concurrently with itself — double kills are idempotent.
 func (t *Thread) Kill() {
-	if t.State == StateFinished || t.State == StateKilled {
-		return
-	}
-	t.KillRequested = true
+	t.killRequested.Store(true)
 }
+
+// KillPending reports whether a kill has been requested.
+func (t *Thread) KillPending() bool { return t.killRequested.Load() }
 
 // ForcePark terminates a parked (blocked or sleeping) thread in place:
 // frames unwind, monitors release, and the thread is killed. The scheduler

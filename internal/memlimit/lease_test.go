@@ -1,0 +1,138 @@
+package memlimit
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestDebitLeaseGrantsHeadroom: a successful batched debit charges
+// size+batch and hands the batch back as the caller's standing lease.
+func TestDebitLeaseGrantsHeadroom(t *testing.T) {
+	root := NewRoot("root", 1000)
+	lease, err := root.DebitLease(100, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease != 64 {
+		t.Fatalf("lease = %d, want 64", lease)
+	}
+	if got := root.Use(); got != 164 {
+		t.Fatalf("use = %d, want size+lease = 164", got)
+	}
+}
+
+// TestDebitLeaseBatchClampedToMaxEighth: the headroom batch never exceeds
+// max/8, so a small limit is not dominated by its own lease.
+func TestDebitLeaseBatchClampedToMaxEighth(t *testing.T) {
+	root := NewRoot("root", 800)
+	lease, err := root.DebitLease(8, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease != 100 {
+		t.Fatalf("lease = %d, want clamp max/8 = 100", lease)
+	}
+	if got := root.Use(); got != 108 {
+		t.Fatalf("use = %d, want 108", got)
+	}
+}
+
+// TestDebitLeaseRefundConsumedOnFailure: when a batched debit fails, the
+// refunded lease must already be gone — the caller's lease is zero and the
+// limit's use reflects only live bytes. Without this, the heap invariant
+// "limit use == bytes + lease" would break on the failure path.
+func TestDebitLeaseRefundConsumedOnFailure(t *testing.T) {
+	root := NewRoot("root", 200)
+	lease, err := root.DebitLease(100, 64, 0)
+	if err != nil || lease != 25 { // clamp: 200/8
+		t.Fatalf("first DebitLease = (%d, %v), want (25, nil)", lease, err)
+	}
+	if got := root.Use(); got != 125 {
+		t.Fatalf("use = %d, want 125", got)
+	}
+	// 150 more cannot fit even without headroom: 100+150 > 200.
+	lease2, err := root.DebitLease(150, 64, lease)
+	if err == nil {
+		t.Fatal("oversized DebitLease succeeded")
+	}
+	var ex *ErrExceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("error type %T, want *ErrExceeded", err)
+	}
+	if lease2 != 0 {
+		t.Fatalf("failed DebitLease returned lease %d, want 0", lease2)
+	}
+	// The refund was consumed: use dropped from 125 to the 100 live bytes.
+	if got := root.Use(); got != 100 {
+		t.Fatalf("use after failed debit = %d, want 100 (refund consumed, nothing charged)", got)
+	}
+}
+
+// TestMidLeaseFlushReturnsRemainderToParent walks the books a process heap
+// keeps when it is killed mid-lease: the hard reservation is charged to
+// the parent up front, the standing lease is flushed back, live bytes are
+// transferred to the kernel's limit, and Release returns the reservation.
+// The parent must end up charged for exactly the surviving bytes.
+func TestMidLeaseFlushReturnsRemainderToParent(t *testing.T) {
+	root := NewRoot("root", Unlimited)
+	kernel := root.MustChild("kernel", Unlimited, false)
+	proc := root.MustChild("proc", 4096, true)
+	if got := root.Use(); got != 4096 {
+		t.Fatalf("hard reservation not charged: root use = %d, want 4096", got)
+	}
+	lease, err := proc.DebitLease(256, 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease != 512 {
+		t.Fatalf("lease = %d, want 512", lease)
+	}
+	if got := proc.Use(); got != 768 {
+		t.Fatalf("proc use = %d, want 768", got)
+	}
+	// Kill mid-lease: flush the unflushed remainder, move live bytes to
+	// the kernel, release the reservation — the merge path in order.
+	proc.Credit(lease)
+	if err := proc.Transfer(256, kernel); err != nil {
+		t.Fatal(err)
+	}
+	proc.Release()
+	if got := root.Use(); got != 256 {
+		t.Errorf("root use = %d after mid-lease kill, want only the 256 merged bytes", got)
+	}
+	if got := kernel.Use(); got != 256 {
+		t.Errorf("kernel use = %d, want 256", got)
+	}
+}
+
+// TestDebitLeaseInjectedRefusalKeepsBooks: an injected mem.debit fault
+// refuses the debit but must still consume the refund, exactly like a real
+// exhaustion — the books stay at live bytes on every path.
+func TestDebitLeaseInjectedRefusalKeepsBooks(t *testing.T) {
+	plan, err := faults.ParsePlan("seed=1,mem.debit=@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := NewRoot("root", 100000)
+	root.SetFaults(faults.NewPlane(plan))
+	lease, err := root.DebitLease(100, 64, 0)
+	if err != nil {
+		t.Fatalf("first hit should not fire: %v", err)
+	}
+	if got := root.Use(); got != 100+lease {
+		t.Fatalf("use = %d, want %d", got, 100+lease)
+	}
+	var ex *ErrExceeded
+	if _, err := root.DebitLease(50, 64, lease); !errors.As(err, &ex) {
+		t.Fatalf("second hit should fire the injected fault as *ErrExceeded, got %v", err)
+	}
+	if got := root.Use(); got != 100 {
+		t.Errorf("use after injected refusal = %d, want 100 (refund consumed)", got)
+	}
+	// The @2 plan is one-shot: the third hit goes through untouched.
+	if _, err := root.DebitLease(50, 0, 0); err != nil {
+		t.Fatalf("plane must be one-shot at @2, got %v", err)
+	}
+}

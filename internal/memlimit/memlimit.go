@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -66,6 +67,9 @@ type Limit struct {
 	// sink, when set, receives a telemetry event for every refused debit
 	// (a reserve failure). Inherited from the parent at creation.
 	sink telemetry.Sink
+	// faults, when set, lets the injection plane refuse debits that would
+	// otherwise succeed (SiteMemDebit). Inherited like sink.
+	faults *faults.Plane
 }
 
 // NewRoot creates a root memlimit with the given maximum. The root is a
@@ -104,6 +108,7 @@ func (l *Limit) NewChild(name string, max uint64, hard bool) (*Limit, error) {
 		max:      max,
 		hard:     hard,
 		sink:     l.sink,
+		faults:   l.faults,
 	}
 	l.children[c] = struct{}{}
 	return c, nil
@@ -131,6 +136,9 @@ func (l *Limit) Debit(n uint64) error {
 	if l.released {
 		return errReleased
 	}
+	if l.faults.Fire(faults.SiteMemDebit) {
+		return &ErrExceeded{Limit: l, Need: n}
+	}
 	return l.debitLocked(n)
 }
 
@@ -147,6 +155,22 @@ func (l *Limit) setSinkLocked(s telemetry.Sink) {
 	l.sink = s
 	for c := range l.children {
 		c.setSinkLocked(s)
+	}
+}
+
+// SetFaults arms the fault-injection plane on l and its whole subtree;
+// future children inherit it. Armed SiteMemDebit rules then refuse debits
+// below l exactly as a genuine reservation failure would.
+func (l *Limit) SetFaults(p *faults.Plane) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.setFaultsLocked(p)
+}
+
+func (l *Limit) setFaultsLocked(p *faults.Plane) {
+	l.faults = p
+	for c := range l.children {
+		c.setFaultsLocked(p)
 	}
 }
 
@@ -207,6 +231,11 @@ func (l *Limit) DebitLease(size, batch, refund uint64) (lease uint64, err error)
 	}
 	if refund > 0 {
 		l.creditLocked(refund)
+	}
+	if l.faults.Fire(faults.SiteMemDebit) {
+		// The refund has been consumed, nothing new is charged: the heap's
+		// "use == bytes + lease" invariant holds across injected refusals.
+		return 0, &ErrExceeded{Limit: l, Need: size}
 	}
 	if clamp := l.max / 8; batch > clamp {
 		batch = clamp
@@ -354,6 +383,39 @@ func (l *Limit) SetMax(max uint64) error {
 	}
 	l.max = max
 	return nil
+}
+
+// Node is a point-in-time copy of one limit, captured by Snapshot for the
+// invariant auditor. Limit identifies the live node (for matching heaps to
+// tree positions); the numeric fields are copies from the capture instant.
+type Node struct {
+	Name     string
+	Max      uint64
+	Use      uint64
+	Hard     bool
+	Limit    *Limit
+	Children []*Node
+}
+
+// Snapshot copies the subtree rooted at l in one tree-lock acquisition, so
+// the returned uses and maxima are mutually consistent.
+func (l *Limit) Snapshot() *Node {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+func (l *Limit) snapshotLocked() *Node {
+	n := &Node{Name: l.name, Max: l.max, Use: l.use, Hard: l.hard, Limit: l}
+	kids := make([]*Limit, 0, len(l.children))
+	for c := range l.children {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
+	for _, c := range kids {
+		n.Children = append(n.Children, c.snapshotLocked())
+	}
+	return n
 }
 
 // String renders the subtree rooted at l, one node per line, for

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/telemetry"
 )
@@ -49,6 +50,15 @@ type Scheduler struct {
 	// Telemetry, when set, receives one EvDispatch event per dispatched
 	// quantum (feeding the quantum-latency histogram) and EvYield events.
 	Telemetry telemetry.Sink
+	// Faults, when set, is the injection plane. SiteSchedPreempt dispatches
+	// the chosen thread with a one-cycle quantum (forced preemption at its
+	// next safepoint); SiteSchedKill invokes FaultKill on the chosen thread
+	// just before dispatch, so the Nth dispatch is the Nth kill point —
+	// "kill at safepoint N" in plan terms.
+	Faults *faults.Plane
+	// FaultKill is the SiteSchedKill action (the VM wires it to kill the
+	// thread's owning process).
+	FaultKill func(t *interp.Thread)
 
 	runq     []*interp.Thread
 	blocked  []*interp.Thread
@@ -187,11 +197,17 @@ func (s *Scheduler) Step() (bool, error) {
 
 	// A kill posted while the thread was queued and parked is honoured
 	// here without running it.
-	if t.KillRequested && !t.InKernel() && len(t.Frames) == 0 {
+	if t.KillPending() && !t.InKernel() && len(t.Frames) == 0 {
 		t.Kill()
 	}
 
+	if s.Faults.Fire(faults.SiteSchedKill) && s.FaultKill != nil {
+		s.FaultKill(t)
+	}
 	t.Fuel = s.quantum()
+	if s.Faults.Fire(faults.SiteSchedPreempt) {
+		t.Fuel = 1
+	}
 	before := t.Cycles
 	res := s.engineFor(t).Step(t)
 	consumed := t.Cycles - before
@@ -232,7 +248,7 @@ func (s *Scheduler) wake() {
 		keep := s.blocked[:0]
 		for _, t := range s.blocked {
 			switch {
-			case t.KillRequested && !t.InKernel():
+			case t.KillPending() && !t.InKernel():
 				// Killing a parked thread unwinds it immediately; it never
 				// acquires the monitor it was waiting for.
 				t.ForcePark()
@@ -253,7 +269,7 @@ func (s *Scheduler) wake() {
 		keep := s.sleeping[:0]
 		for _, t := range s.sleeping {
 			switch {
-			case t.KillRequested && !t.InKernel():
+			case t.KillPending() && !t.InKernel():
 				t.ForcePark()
 				if s.OnExit != nil {
 					s.OnExit(t, interp.StepKilled)
@@ -271,7 +287,7 @@ func (s *Scheduler) wake() {
 		keep := s.waiting[:0]
 		for _, t := range s.waiting {
 			switch {
-			case t.KillRequested && !t.InKernel():
+			case t.KillPending() && !t.InKernel():
 				interp.CancelWait(t)
 				t.ForcePark()
 				if s.OnExit != nil {

@@ -210,6 +210,44 @@ func (m *Manager) Heaps() []*Heap {
 	return out
 }
 
+// ChargeInfo is a point-in-time copy of one shared heap's charge state,
+// captured by Snapshot for the invariant auditor.
+type ChargeInfo struct {
+	Name   string
+	Size   uint64
+	Frozen bool
+	Heap   *heap.Heap
+	// Sharers are the memlimits currently charged Size each.
+	Sharers []*memlimit.Limit
+	// CreateLimit is the population-phase soft limit (nil once frozen).
+	CreateLimit *memlimit.Limit
+}
+
+// Snapshot invokes fn with the charge table while holding the manager lock,
+// so no attach, detach, create, or freeze can run while fn captures the rest
+// of the world. The established lock order is Manager.mu → heap locks →
+// memlimit tree, so fn may snapshot heaps and limits.
+func (m *Manager) Snapshot(fn func([]ChargeInfo)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	infos := make([]ChargeInfo, 0, len(m.heaps))
+	for _, sh := range m.heaps {
+		ci := ChargeInfo{
+			Name:        sh.Name,
+			Size:        sh.Size,
+			Frozen:      sh.frozen,
+			Heap:        sh.H,
+			CreateLimit: sh.createLimit,
+		}
+		for _, lim := range sh.sharers {
+			ci.Sharers = append(ci.Sharers, lim)
+		}
+		infos = append(infos, ci)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	fn(infos)
+}
+
 // ReclaimOrphans merges every orphaned shared heap (frozen, zero sharers)
 // into the kernel heap; the kernel collector then reclaims the memory.
 // "The kernel garbage collector checks for orphaned shared heaps at the

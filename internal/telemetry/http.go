@@ -12,6 +12,8 @@ import (
 //	/metrics  JSON array of every scope's metrics (kernel first)
 //	/trace    the current trace ring as JSON lines
 //	/ps       the process table rendered as plain text
+//	/audit    JSON invariant report (requires SetAuditor; advisory while
+//	          the VM runs — authoritative audits need a quiescent VM)
 //
 // snap may be nil, in which case /procs and /ps serve registry data only.
 func (h *Hub) Handler(snap SnapshotFunc) http.Handler {
@@ -41,6 +43,14 @@ func (h *Hub) Handler(snap SnapshotFunc) http.Handler {
 	mux.HandleFunc("/ps", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		RenderTable(w, takeSnap())
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		if h.auditor == nil {
+			http.Error(w, "no auditor installed", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h.auditor())
 	})
 	return mux
 }

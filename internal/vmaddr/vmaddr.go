@@ -152,6 +152,19 @@ func (s *Space) HeapOf(addr uint64) (HeapID, bool) {
 	return h, ok
 }
 
+// Dump copies the page table (page index → owning heap) for the invariant
+// auditor. The copy is consistent: no reservation, release, or reassignment
+// is in flight while it is taken.
+func (s *Space) Dump() map[uint64]HeapID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[uint64]HeapID, len(s.table))
+	for page, h := range s.table {
+		out[page] = h
+	}
+	return out
+}
+
 // PagesOwned reports how many pages heap h currently owns. It exists for
 // tests and introspection; it is O(pages in the space).
 func (s *Space) PagesOwned(h HeapID) int {

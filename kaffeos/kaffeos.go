@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/audit"
 	"repro/internal/barrier"
 	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/telemetry"
 )
@@ -80,6 +82,14 @@ type Config struct {
 	GCWorkers int
 	// Stdout receives process output by default.
 	Stdout io.Writer
+	// Faults, when non-empty, arms the deterministic fault-injection plane
+	// with a plan spec such as "seed=7,heap.alloc=0.01,sched.kill=@50" or
+	// "all=0.005" (see repro/internal/faults for the grammar). Injected
+	// faults surface only through paths real failures use — allocation
+	// failures, segmentation violations, kills at safepoints — so the VM
+	// must stay fully consistent under them (verify with Audit). Empty
+	// disables injection at zero cost.
+	Faults string
 }
 
 // ProcessConfig parameterizes process creation.
@@ -125,6 +135,14 @@ func New(cfg Config) (*VM, error) {
 	default:
 		return nil, fmt.Errorf("kaffeos: unknown engine %q", cfg.Engine)
 	}
+	var plane *faults.Plane
+	if cfg.Faults != "" {
+		plan, perr := faults.ParsePlan(cfg.Faults)
+		if perr != nil {
+			return nil, fmt.Errorf("kaffeos: %w", perr)
+		}
+		plane = faults.NewPlane(plan)
+	}
 	inner, err := core.NewVM(core.Config{
 		Engine:       eng,
 		Barrier:      bar,
@@ -132,6 +150,7 @@ func New(cfg Config) (*VM, error) {
 		KernelMemory: cfg.KernelMemory,
 		GCWorkers:    cfg.GCWorkers,
 		Stdout:       cfg.Stdout,
+		Faults:       plane,
 	})
 	if err != nil {
 		return nil, err
@@ -206,6 +225,24 @@ func (vm *VM) GCAll() { vm.inner.CollectAll() }
 // /ps (plain-text table).
 func (vm *VM) ServeTelemetry(addr string) (string, error) {
 	return vm.inner.Tel.Serve(addr, vm.inner.Snapshot)
+}
+
+// Audit re-derives the kernel's accounting books from a globally
+// consistent snapshot — heaps, entry/exit items, the memlimit tree, the
+// page table, and shared-heap charges — and reports every invariant that
+// does not hold. graph additionally checks the object graph (cross-heap
+// legality, exit-item backing, no dangling references) and requires the
+// scheduler to be idle. A healthy VM reports no violations no matter what
+// the fault plane has injected.
+func (vm *VM) Audit(graph bool) *audit.Report { return vm.inner.Audit(graph) }
+
+// FaultSummary renders the fault plane's per-site hit/fire counters, or ""
+// when injection is disabled.
+func (vm *VM) FaultSummary() string {
+	if vm.inner.Cfg.Faults == nil {
+		return ""
+	}
+	return vm.inner.Cfg.Faults.Summary()
 }
 
 // KernelHeapBytes reports live bytes on the kernel heap.
