@@ -1,0 +1,176 @@
+// Command benchgate is the CI benchmark regression gate: it compares two
+// `go test -bench` outputs and fails when any benchmark's ns/op regressed
+// beyond a threshold.
+//
+// It exists because the gate must be hermetic — no tool installation on
+// the critical path — and deterministic: for each benchmark name the
+// median across -count repetitions is compared, which damps scheduler
+// noise without hiding real regressions. benchstat (when available) is a
+// nice display on top; benchgate is the arbiter.
+//
+// Usage:
+//
+//	go test -run '^$' -bench <tier1> -count=6 . > new.txt
+//	benchgate -baseline BENCH_baseline.txt -candidate new.txt -threshold 15
+//
+// Exit status 1 means at least one regression above the threshold.
+// Benchmarks present in only one file are reported but never fail the
+// gate (they are new or retired, not regressed). The trailing -N
+// GOMAXPROCS suffix is stripped so baselines are portable across runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects ns/op samples per benchmark name from one
+// `go test -bench` output file.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark results in %s", path)
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Row is one benchmark's comparison, also emitted to the -json artifact.
+type Row struct {
+	Name     string  `json:"name"`
+	OldNs    float64 `json:"old_ns"`
+	NewNs    float64 `json:"new_ns"`
+	DeltaPct float64 `json:"delta_pct"`
+	Verdict  string  `json:"verdict"` // ok | regression | new | retired
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.txt", "committed baseline bench output")
+	candidate := flag.String("candidate", "", "fresh bench output to gate")
+	threshold := flag.Float64("threshold", 15, "fail when ns/op grows more than this percent")
+	jsonPath := flag.String("json", "", "write the comparison (with host info) to this file")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		os.Exit(2)
+	}
+	old, err := parseBench(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	fresh, err := parseBench(*candidate)
+	if err != nil {
+		fail(err)
+	}
+
+	names := make([]string, 0, len(old)+len(fresh))
+	seen := make(map[string]bool)
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range fresh {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var rows []Row
+	regressions := 0
+	for _, name := range names {
+		o, haveOld := old[name]
+		n, haveNew := fresh[name]
+		switch {
+		case !haveOld:
+			rows = append(rows, Row{Name: name, NewNs: median(n), Verdict: "new"})
+		case !haveNew:
+			rows = append(rows, Row{Name: name, OldNs: median(o), Verdict: "retired"})
+		default:
+			om, nm := median(o), median(n)
+			delta := (nm - om) / om * 100
+			verdict := "ok"
+			if delta > *threshold {
+				verdict = "regression"
+				regressions++
+			}
+			rows = append(rows, Row{Name: name, OldNs: om, NewNs: nm, DeltaPct: delta, Verdict: verdict})
+		}
+	}
+
+	fmt.Printf("%-55s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	for _, r := range rows {
+		fmt.Printf("%-55s %14.2f %14.2f %+7.1f%%  %s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, r.Verdict)
+	}
+
+	if *jsonPath != "" {
+		artifact := struct {
+			Host         telemetry.HostInfo `json:"host"`
+			ThresholdPct float64            `json:"threshold_pct"`
+			Regressions  int                `json:"regressions"`
+			Rows         []Row              `json:"rows"`
+		}{telemetry.Host(), *threshold, regressions, rows}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(artifact); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (%d benchmarks within %.0f%%)\n", len(rows), *threshold)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}

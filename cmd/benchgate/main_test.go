@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchStripsProcsSuffix(t *testing.T) {
+	p := writeTemp(t, "b.txt", `
+goos: linux
+BenchmarkFoo/sub-case-8         	 1000	  100.0 ns/op
+BenchmarkFoo/sub-case-8         	 1000	  110.0 ns/op
+BenchmarkBar                    	  200	 2000 ns/op	 12 model-cycles
+PASS
+`)
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkFoo/sub-case"]) != 2 {
+		t.Errorf("BenchmarkFoo/sub-case samples = %v, want 2 (procs suffix stripped, counts merged)", got["BenchmarkFoo/sub-case"])
+	}
+	if len(got["BenchmarkBar"]) != 1 || got["BenchmarkBar"][0] != 2000 {
+		t.Errorf("BenchmarkBar = %v", got["BenchmarkBar"])
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	p := writeTemp(t, "empty.txt", "no benchmarks here\n")
+	if _, err := parseBench(p); err == nil {
+		t.Fatal("want error for file with no benchmark lines")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	// median must not reorder the caller's slice
+	xs := []float64{3, 1, 2}
+	median(xs)
+	if xs[0] != 3 {
+		t.Errorf("median mutated its input: %v", xs)
+	}
+}

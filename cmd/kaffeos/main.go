@@ -10,6 +10,7 @@
 //	kaffeos run -trace out.jsonl prog.kasm   dump the kernel event trace
 //	kaffeos run -http :8080 prog.kasm        HTTP introspection endpoint
 //	kaffeos run -faults spec prog.kasm       run under fault injection + audit
+//	kaffeos serve -addr :8080 -routes spec   HTTP serving plane, one process per route
 //	kaffeos ps [flags] prog.kasm ...         run, then print the process table
 //	kaffeos top -interval 50 prog.kasm ...   re-render the table as the VM runs
 //	kaffeos check prog.kasm                  assemble + verify only
@@ -55,6 +56,8 @@ func main() {
 		err = psCmd(os.Args[2:])
 	case "top":
 		err = topCmd(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
 	case "check":
 		err = checkCmd(os.Args[2:])
 	case "dis":
@@ -69,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kaffeos run|ps|top|check|dis [flags] file.kasm ...")
+	fmt.Fprintln(os.Stderr, "usage: kaffeos run|ps|top|serve|check|dis [flags] [file.kasm ...]")
 	os.Exit(2)
 }
 

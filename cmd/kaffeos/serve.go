@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/serve"
+)
+
+// serveCmd runs the network serving plane: each route is an isolated
+// KaffeOS process with its own heap and memlimit, fed by real HTTP
+// traffic. Ctrl-C shuts down, prints per-tenant statistics, and audits
+// the kernel's books.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "TCP listen address")
+	routes := fs.String("routes", "/zone0,/zone1,/zone2,/memhog:hog:1024",
+		"route spec: path[:hog|servlet][:memKiB][:norestart], comma-separated")
+	work := fs.Int("work", 100, "per-request servlet work units")
+	queueMax := fs.Int("queue", 0, "per-tenant request queue bound (0 = default 64)")
+	inflight := fs.Int("inflight", 0, "per-tenant concurrent requests (0 = default 8)")
+	engine := fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt")
+	faultSpec := fs.String("faults", "", `arm fault injection (e.g. "seed=7,serve.dispatch=@100")`)
+	telAddr := fs.String("http", "", "also serve the telemetry endpoint on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tenants, err := serve.ParseRoutes(*routes)
+	if err != nil {
+		return err
+	}
+	for i := range tenants {
+		if tenants[i].WorkUnits == 0 {
+			tenants[i].WorkUnits = *work
+		}
+		tenants[i].QueueMax = *queueMax
+		tenants[i].MaxInflight = *inflight
+	}
+	var plane *faults.Plane
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			return err
+		}
+		plane = faults.NewPlane(plan)
+	}
+	vm, err := core.NewVM(core.Config{Engine: core.EngineKind(*engine), Faults: plane})
+	if err != nil {
+		return err
+	}
+	if *telAddr != "" {
+		bound, err := vm.Tel.Serve(*telAddr, vm.Snapshot)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "kaffeos: telemetry on http://%s (/procs /metrics /trace /ps)\n", bound)
+	}
+	srv, err := serve.New(vm, serve.Config{}, tenants)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kaffeos: serving on http://%s (/serve for stats)\n", bound)
+	for _, tc := range tenants {
+		role := "servlet"
+		if tc.Hog {
+			role = "memhog"
+		}
+		fmt.Fprintf(os.Stderr, "kaffeos:   %-16s %s\n", tc.Route, role)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "kaffeos: shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%-16s %-8s %8s %8s %8s %8s %8s %10s %10s\n",
+		"ROUTE", "ROLE", "REQS", "OK", "SHED", "ERRS", "RESTARTS", "P50", "P99")
+	for _, row := range srv.Rows() {
+		fmt.Fprintf(os.Stderr, "%-16s %-8s %8d %8d %8d %8d %8d %9dus %9dus\n",
+			row.Route, row.Role, row.Requests, row.OK, row.Shed, row.Errors,
+			row.Restarts, row.P50Ns/1000, row.P99Ns/1000)
+	}
+	if rep := vm.Audit(true); !rep.OK() {
+		return fmt.Errorf("post-shutdown audit failed:\n%s", rep)
+	}
+	fmt.Fprintln(os.Stderr, "kaffeos: post-shutdown audit ok")
+	return nil
+}

@@ -8,6 +8,10 @@
 //	servbench -real      # the isolation property on the real KaffeOS VM
 //	servbench -real -http :8080   # with the telemetry HTTP endpoint
 //	servbench -csv       # machine-readable output
+//	servbench -net -requests 10000 -clients 32   # real HTTP load against a
+//	                     # self-hosted serving plane (one process per route)
+//	servbench -net -target http://host:8080      # aim at a running `kaffeos serve`
+//	servbench -net -json out.json                # self-describing JSON artifact
 package main
 
 import (
@@ -21,22 +25,46 @@ import (
 
 func main() {
 	real := flag.Bool("real", false, "run the real-VM servlet demonstration instead of the host simulation")
+	net := flag.Bool("net", false, "generate real HTTP load against a serving plane (self-hosted unless -target)")
 	csv := flag.Bool("csv", false, "CSV output")
-	requests := flag.Uint64("requests", 60, "requests per servlet in -real mode")
+	requests := flag.Uint64("requests", 60, "requests per servlet (-real) or total requests (-net; default 10000 there)")
 	httpAddr := flag.String("http", "", "serve the telemetry HTTP endpoint on this address in -real mode")
 	gcWorkers := flag.Int("gcworkers", 0, "GC worker pool for collecting process heaps concurrently in -real mode (0 = GOMAXPROCS)")
+	target := flag.String("target", "", "-net: base URL of a running server (empty = self-host)")
+	routes := flag.String("routes", "/zone0,/zone1,/zone2,/memhog:hog:1024", "-net: route spec (see kaffeos serve)")
+	clients := flag.Int("clients", 32, "-net: concurrent client connections")
+	bodyBytes := flag.Int("body", 64, "-net: request body size in bytes")
+	jsonPath := flag.String("json", "", "-net: write the run report (with host info) to this file")
 	flag.Parse()
 
 	var err error
-	if *real {
+	switch {
+	case *net:
+		n := *requests
+		if n == 60 && !flagSet("requests") {
+			n = 10000
+		}
+		err = netBench(*target, *routes, *clients, n, *bodyBytes, *jsonPath)
+	case *real:
 		err = realDemo(*requests, *httpAddr, *gcWorkers)
-	} else {
+	default:
 		err = figure4(*csv)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// flagSet reports whether the user passed a flag explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func figure4(csv bool) error {

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// routeStats aggregates the client side of one route's traffic. Counters
+// and the latency histogram are atomic: all client goroutines share them.
+type routeStats struct {
+	Route    string `json:"route"`
+	Sent     uint64 `json:"sent"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	P50Ns    uint64 `json:"p50_ns"`
+	P90Ns    uint64 `json:"p90_ns"`
+	P99Ns    uint64 `json:"p99_ns"`
+	sent     atomic.Uint64
+	ok       atomic.Uint64
+	shed     atomic.Uint64
+	errs     atomic.Uint64
+	lat      telemetry.Histogram
+}
+
+// netReport is the -json artifact: self-describing (host shape embedded)
+// and comparable across runs.
+type netReport struct {
+	Host       telemetry.HostInfo `json:"host"`
+	Target     string             `json:"target"`
+	SelfHosted bool               `json:"self_hosted"`
+	Clients    int                `json:"clients"`
+	Requests   uint64             `json:"requests"`
+	BodyBytes  int                `json:"body_bytes"`
+	ElapsedMS  int64              `json:"elapsed_ms"`
+	Throughput float64            `json:"requests_per_sec"`
+	Routes     []*routeStats      `json:"routes"`
+	Server     []serve.TenantRow  `json:"server,omitempty"`
+}
+
+// netBench drives real HTTP load at a serving plane: -target aims at an
+// already-running server, otherwise a server is spun up in-process (one
+// KaffeOS process per route) and load is generated against its socket.
+func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes int, jsonPath string) error {
+	tenants, err := serve.ParseRoutes(routeSpec)
+	if err != nil {
+		return err
+	}
+
+	var (
+		srv  *serve.Server
+		vm   *core.VM
+		base string
+	)
+	if target != "" {
+		base = strings.TrimSuffix(target, "/")
+	} else {
+		vm, err = core.NewVM(core.Config{Engine: core.EngineJITOpt})
+		if err != nil {
+			return err
+		}
+		srv, err = serve.New(vm, serve.Config{}, tenants)
+		if err != nil {
+			return err
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		base = "http://" + addr
+		fmt.Fprintf(os.Stderr, "servbench: self-hosted serving plane on %s (%d tenants)\n", base, len(tenants))
+	}
+
+	stats := make([]*routeStats, len(tenants))
+	for i, tc := range tenants {
+		stats[i] = &routeStats{Route: tc.Route}
+	}
+	body := strings.Repeat("x", bodyBytes)
+
+	start := time.Now()
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			for {
+				i := next.Add(1) - 1
+				if i >= requests {
+					return
+				}
+				st := stats[int(i)%len(stats)]
+				st.sent.Add(1)
+				t0 := time.Now()
+				resp, err := client.Post(base+st.Route, "text/plain", strings.NewReader(body))
+				if err != nil {
+					st.errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.lat.Observe(uint64(time.Since(t0).Nanoseconds()))
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					st.ok.Add(1)
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					st.shed.Add(1)
+				default:
+					st.errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := netReport{
+		Host:       telemetry.Host(),
+		Target:     base,
+		SelfHosted: srv != nil,
+		Clients:    clients,
+		Requests:   requests,
+		BodyBytes:  bodyBytes,
+		ElapsedMS:  elapsed.Milliseconds(),
+		Throughput: float64(requests) / elapsed.Seconds(),
+		Routes:     stats,
+	}
+	for _, st := range stats {
+		st.Sent, st.OK, st.Shed, st.Errors = st.sent.Load(), st.ok.Load(), st.shed.Load(), st.errs.Load()
+		st.P50Ns, st.P90Ns, st.P99Ns = st.lat.Quantile(0.5), st.lat.Quantile(0.9), st.lat.Quantile(0.99)
+	}
+	if srv != nil {
+		rep.Server = srv.Rows()
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		if audit := vm.Audit(true); !audit.OK() {
+			return fmt.Errorf("post-run audit failed:\n%s", audit)
+		}
+	}
+
+	fmt.Printf("net: %d requests, %d clients, %d-byte bodies against %s\n", requests, clients, bodyBytes, base)
+	fmt.Printf("  %.0f req/s over %v (host: %d cores, GOMAXPROCS %d)\n",
+		rep.Throughput, elapsed.Round(time.Millisecond), rep.Host.Cores, rep.Host.GOMAXPROCS)
+	fmt.Printf("  %-16s %8s %8s %8s %8s %10s %10s %10s\n",
+		"route", "sent", "ok", "shed", "errors", "p50", "p90", "p99")
+	for _, st := range stats {
+		fmt.Printf("  %-16s %8d %8d %8d %8d %9dus %9dus %9dus\n",
+			st.Route, st.Sent, st.OK, st.Shed, st.Errors,
+			st.P50Ns/1000, st.P90Ns/1000, st.P99Ns/1000)
+	}
+	for _, row := range rep.Server {
+		if row.Restarts > 0 {
+			fmt.Printf("  server: %s (%s) died and was restarted %d times; neighbours unaffected\n",
+				row.Route, row.Role, row.Restarts)
+		}
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "servbench: wrote %s\n", jsonPath)
+	}
+	return nil
+}

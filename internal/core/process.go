@@ -294,6 +294,19 @@ func (p *Process) LoadProgram(name string) error {
 // Spawn starts a thread executing cls.method (a static method taking no
 // arguments or a single int).
 func (p *Process) Spawn(cls, methodKey string, args ...interp.Slot) (*interp.Thread, error) {
+	return p.spawn(cls, methodKey, false, args)
+}
+
+// SpawnDaemon is Spawn for daemon threads: the thread belongs to the
+// process (it is killed and reclaimed with it) but does not keep the
+// scheduler running on its own. The serving plane uses it for per-tenant
+// keep-alive threads, so an idle server leaves the VM with no runnable
+// work instead of a spinning sleep loop.
+func (p *Process) SpawnDaemon(cls, methodKey string, args ...interp.Slot) (*interp.Thread, error) {
+	return p.spawn(cls, methodKey, true, args)
+}
+
+func (p *Process) spawn(cls, methodKey string, daemon bool, args []interp.Slot) (*interp.Thread, error) {
 	if s := p.State(); s != ProcRunning {
 		return nil, fmt.Errorf("core: spawn in %s process", s)
 	}
@@ -306,6 +319,7 @@ func (p *Process) Spawn(cls, methodKey string, args ...interp.Slot) (*interp.Thr
 		return nil, fmt.Errorf("core: no method %s.%s", cls, methodKey)
 	}
 	t := p.VM.newThread(p)
+	t.Daemon = daemon
 	if err := t.PushFrame(m, args); err != nil {
 		return nil, err
 	}

@@ -59,6 +59,11 @@ const (
 	// SiteProcTerminate: a normally-exiting thread races a process kill
 	// against its own exit transition.
 	SiteProcTerminate
+	// SiteServeDispatch: the network serving plane kills the tenant's
+	// process right after dispatching a request into it, so the Nth
+	// dispatched request (`serve.dispatch=@N`) deterministically exercises
+	// the killed-mid-request degradation path.
+	SiteServeDispatch
 
 	numSites
 )
@@ -75,6 +80,7 @@ var siteNames = [numSites]string{
 	SiteSchedKill:     "sched.kill",
 	SiteProcSpawn:     "proc.spawn",
 	SiteProcTerminate: "proc.terminate",
+	SiteServeDispatch: "serve.dispatch",
 }
 
 func (s Site) String() string {

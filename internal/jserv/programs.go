@@ -1,0 +1,132 @@
+package jserv
+
+import "repro/internal/bytecode"
+
+// This file holds the request-driven servlet programs used by the network
+// serving plane (internal/serve). Unlike servletSource/memHogSource above —
+// which loop forever and are driven by virtual time — these export a static
+// handle method the serving plane invokes once per HTTP request, on a fresh
+// green thread of the tenant's process. The request body is marshalled into
+// the tenant's heap as an int array (charged to its memlimit) and passed as
+// the first argument; the second argument is the tenant's configured
+// per-request work, in abstract units.
+
+// NetHandleKey is the method key every request-driven servlet exports.
+const NetHandleKey = "handle([II)I"
+
+// NetServletClass / NetHogClass / KeeperClass name the entry classes.
+const (
+	NetServletClass = "jserv/NetServlet"
+	NetHogClass     = "jserv/NetHog"
+	KeeperClass     = "jserv/Keeper"
+)
+
+// netServletSource is the well-behaved request handler: fold the request
+// array into a checksum, burn the configured work units, allocate a
+// response buffer on this process' heap (charged to the tenant), and
+// return the checksum.
+const netServletSource = `
+.class jserv/NetServlet
+.method handle ([II)I static
+.locals 5
+.stack 4
+# locals: 0=request array, 1=work units, 2=i, 3=acc, 4=response
+	iconst 0
+	istore 3
+	iconst 0
+	istore 2
+# fold the marshalled request into the checksum
+RLOOP:	iload 2
+	aload 0
+	arraylength
+	if_icmpge WORK
+	iload 3
+	aload 0
+	iload 2
+	iaload
+	iadd
+	ldc 16777215
+	iand
+	istore 3
+	iinc 2 1
+	goto RLOOP
+# burn the configured compute units
+WORK:	iconst 0
+	istore 2
+WLOOP:	iload 2
+	iload 1
+	if_icmpge RESP
+	iload 3
+	ldc 31
+	imul
+	iload 2
+	iadd
+	ldc 16777215
+	iand
+	istore 3
+	iinc 2 1
+	goto WLOOP
+# build a response buffer on this heap and retire it with the reply
+RESP:	ldc 64
+	newarray [I
+	astore 4
+	aload 4
+	iconst 0
+	iload 3
+	iastore
+	iload 3
+	ireturn
+.end
+.end`
+
+// netHogSource is the request-driven MemHog: every request appends a
+// 16 KiB array to a static vector, so sustained traffic walks the tenant
+// straight into its memlimit — the allocation that crosses the line throws
+// OutOfMemoryError, the uncaught throwable kills the process, and the
+// serving plane's degradation path takes over.
+const netHogSource = `
+.class jserv/NetHog
+.static keep Ljava/util/Vector;
+.method handle ([II)I static
+.locals 2
+.stack 4
+	getstatic jserv/NetHog.keep Ljava/util/Vector;
+	ifnonnull HAVE
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	putstatic jserv/NetHog.keep Ljava/util/Vector;
+HAVE:	getstatic jserv/NetHog.keep Ljava/util/Vector;
+	ldc 4096
+	newarray [I
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	aload 0
+	arraylength
+	ireturn
+.end
+.end`
+
+// keeperSource is the per-tenant resident thread: it only sleeps, keeping
+// the process alive between requests (a process whose last thread exits is
+// reclaimed by the kernel). The serving plane spawns it as a daemon thread
+// so an idle server leaves the scheduler with no runnable work.
+const keeperSource = `
+.class jserv/Keeper
+.method main ()V static
+.locals 0
+.stack 1
+LOOP:	ldc 1000
+	invokestatic java/lang/Thread.sleep (I)V
+	goto LOOP
+.end
+.end`
+
+// NetServletModule returns the request-driven servlet program.
+func NetServletModule() *bytecode.Module { return bytecode.MustAssemble(netServletSource) }
+
+// NetHogModule returns the request-driven MemHog program.
+func NetHogModule() *bytecode.Module { return bytecode.MustAssemble(netHogSource) }
+
+// KeeperModule returns the keep-alive program the serving plane loads into
+// every tenant process alongside its handler.
+func KeeperModule() *bytecode.Module { return bytecode.MustAssemble(keeperSource) }

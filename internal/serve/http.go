@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// handler builds the HTTP front end: tenant routes plus the /serve
+// introspection endpoint and a /healthz probe.
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/serve", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Rows())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", s.serveRequest)
+	return mux
+}
+
+// serveRequest is the per-request path: route to a tenant, hand off to
+// the engine loop, wait for the single guaranteed response. The handler
+// goroutine never touches the VM.
+func (s *Server) serveRequest(w http.ResponseWriter, r *http.Request) {
+	tn := s.byRoute[r.URL.Path]
+	if tn == nil {
+		http.NotFound(w, r)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	now := time.Now()
+	req := &request{
+		tn:       tn,
+		body:     body,
+		resp:     make(chan response, 1),
+		enq:      now,
+		deadline: now.Add(s.cfg.RequestTimeout),
+	}
+	select {
+	case s.submit <- req:
+	default:
+		// The engine's intake is saturated: shed at the socket layer.
+		tn.shed.Inc()
+		s.kShed.Inc()
+		writeResponse(w, tn, response{status: http.StatusServiceUnavailable, body: "shed: submit queue full\n"})
+		return
+	}
+	select {
+	case resp := <-req.resp:
+		writeResponse(w, tn, resp)
+	case <-time.After(time.Until(req.deadline) + 5*time.Second):
+		// Defence in depth: the engine's expire pass answers every request
+		// by its deadline, so this fires only if the engine loop itself is
+		// gone. Still: never hang a client.
+		writeResponse(w, tn, response{status: http.StatusServiceUnavailable, body: "shed: engine unresponsive\n"})
+	}
+}
+
+func writeResponse(w http.ResponseWriter, tn *tenant, resp response) {
+	w.Header().Set("X-Kaffeos-Tenant", tn.cfg.Name)
+	if resp.pid != 0 {
+		w.Header().Set("X-Kaffeos-Pid", strconv.Itoa(int(resp.pid)))
+	}
+	w.WriteHeader(resp.status)
+	_, _ = io.WriteString(w, resp.body)
+}
+
+// TenantRow is one tenant's lifetime serving statistics, aggregated
+// across process restarts. Latency quantiles come from the tenant's
+// power-of-two-bucket histogram (nanoseconds).
+type TenantRow struct {
+	Route    string `json:"route"`
+	Name     string `json:"name"`
+	Role     string `json:"role"`
+	Pid      int32  `json:"pid"`
+	Up       bool   `json:"up"`
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	Restarts uint64 `json:"restarts"`
+	Queue    uint64 `json:"queue"`
+	Inflight uint64 `json:"inflight"`
+	MemUse   uint64 `json:"mem_use"`
+	MemLimit uint64 `json:"mem_limit"`
+	P50Ns    uint64 `json:"p50_ns"`
+	P99Ns    uint64 `json:"p99_ns"`
+}
+
+// Rows snapshots every tenant. Safe to call from any goroutine at any
+// time: it reads only atomics and the mutex-guarded process pointer.
+func (s *Server) Rows() []TenantRow {
+	rows := make([]TenantRow, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		role := "servlet"
+		if tn.cfg.Hog {
+			role = "memhog"
+		}
+		row := TenantRow{
+			Route:    tn.cfg.Route,
+			Name:     tn.cfg.Name,
+			Role:     role,
+			Requests: tn.reqs.Value(),
+			OK:       tn.okCount.Value(),
+			Shed:     tn.shed.Value(),
+			Errors:   tn.errs.Value(),
+			Restarts: tn.restarts.Value(),
+			Queue:    tn.qdepth.Value(),
+			Inflight: tn.infl.Value(),
+			MemLimit: uint64(tn.cfg.MemKB) << 10,
+			P50Ns:    tn.latency.Quantile(0.5),
+			P99Ns:    tn.latency.Quantile(0.99),
+		}
+		if p := tn.currentProc(); p != nil {
+			row.Pid = int32(p.ID)
+			row.Up = p.State() == core.ProcRunning
+			row.MemUse = p.MemUse()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRoutes turns a command-line route spec into tenant configs. The
+// grammar is comma-separated entries of the form
+//
+//	path[:attr[:attr...]]
+//
+// where each attr is "hog" or "servlet" (role), "norestart", or an
+// integer memlimit in KiB. Examples:
+//
+//	/zone0,/zone1,/zone2
+//	/a,/b:8192,/memhog:hog:1024
+//	/once:hog:512:norestart
+func ParseRoutes(spec string) ([]TenantConfig, error) {
+	var out []TenantConfig
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		tc := TenantConfig{Route: parts[0]}
+		for _, attr := range parts[1:] {
+			switch attr {
+			case "hog":
+				tc.Hog = true
+			case "servlet":
+				tc.Hog = false
+			case "norestart":
+				tc.NoRestart = true
+			default:
+				kb, err := strconv.Atoi(attr)
+				if err != nil || kb <= 0 {
+					return nil, fmt.Errorf("serve: route %q: unknown attribute %q", parts[0], attr)
+				}
+				tc.MemKB = kb
+			}
+		}
+		out = append(out, tc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: empty route spec")
+	}
+	return out, nil
+}

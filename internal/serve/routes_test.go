@@ -1,0 +1,33 @@
+package serve
+
+import "testing"
+
+func TestParseRoutes(t *testing.T) {
+	got, err := ParseRoutes("/a, /b:8192 ,/memhog:hog:1024,/once:hog:512:norestart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	if got[0].Route != "/a" || got[0].Hog || got[0].MemKB != 0 {
+		t.Errorf("plain route parsed as %+v", got[0])
+	}
+	if got[1].Route != "/b" || got[1].MemKB != 8192 {
+		t.Errorf("mem attr parsed as %+v", got[1])
+	}
+	if !got[2].Hog || got[2].MemKB != 1024 {
+		t.Errorf("hog attr parsed as %+v", got[2])
+	}
+	if !got[3].NoRestart || !got[3].Hog || got[3].MemKB != 512 {
+		t.Errorf("norestart attr parsed as %+v", got[3])
+	}
+}
+
+func TestParseRoutesErrors(t *testing.T) {
+	for _, spec := range []string{"", " , ", "/a:bogus", "/a:-5"} {
+		if _, err := ParseRoutes(spec); err == nil {
+			t.Errorf("ParseRoutes(%q): want error", spec)
+		}
+	}
+}

@@ -1,0 +1,797 @@
+// Package serve is the network serving plane: a TCP/HTTP front end that
+// multiplexes real client traffic onto KaffeOS processes, one servlet
+// process per tenant.
+//
+// The paper's servlet experiment (§5.2, Figure 4) drives requests
+// in-process; here the same isolation story is told over an actual socket.
+// Each URL route maps to a tenant: an isolated KaffeOS process with its own
+// heap and memlimit running a request-driven servlet. An HTTP request is
+// marshalled into the tenant's heap (the bytes are charged to its
+// memlimit), handled by a fresh green thread of the tenant's process, and
+// answered from the thread's result. Admission control sheds load with
+// HTTP 503 when a tenant's request queue or memlimit is saturated; a
+// tenant killed by its memlimit (the MemHog case) fails only its own
+// in-flight requests, is restarted with exponential backoff, and never
+// disturbs its neighbours.
+//
+// Concurrency model: the VM's green-thread scheduler is single-threaded by
+// design (deterministic CPU accounting), so one engine goroutine owns the
+// VM exclusively. OS-side socket goroutines talk to it through a bounded
+// submit channel and per-request response channels; nothing else touches
+// the scheduler, processes, or heaps. Every accepted request is guaranteed
+// a response — completion, 5xx on tenant death, or 503 shed — so clients
+// never hang on a killed servlet.
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/interp"
+	"repro/internal/jserv"
+	"repro/internal/object"
+	"repro/internal/telemetry"
+)
+
+// TenantConfig describes one route → servlet-process mapping.
+type TenantConfig struct {
+	// Route is the URL path served by this tenant (e.g. "/zone0").
+	Route string
+	// Name is the process name (defaults to the route without the slash).
+	Name string
+	// Hog selects the request-driven MemHog program instead of the
+	// well-behaved servlet.
+	Hog bool
+	// MemKB is the tenant process' memlimit in KiB (default 4096).
+	MemKB int
+	// QueueMax bounds the tenant's request queue; arrivals beyond it are
+	// shed with 503 (default 64).
+	QueueMax int
+	// MaxInflight bounds the requests executing concurrently inside the
+	// tenant process, one green thread each (default 8).
+	MaxInflight int
+	// WorkUnits is the per-request compute passed to the servlet's handle
+	// method (default 100).
+	WorkUnits int
+	// ShedFraction sheds new requests once the tenant's accounted memory
+	// exceeds this fraction of its memlimit (default 0.9). Negative
+	// disables the high-water check entirely, leaving the memlimit kill
+	// as the only backstop — the paper's MemHog scenario.
+	ShedFraction float64
+	// NoRestart disables the supervisor: a dead tenant stays dead and its
+	// route sheds until the server closes.
+	NoRestart bool
+}
+
+func (c *TenantConfig) fill() error {
+	if c.Route == "" || c.Route[0] != '/' || c.Route == "/serve" || c.Route == "/healthz" {
+		return fmt.Errorf("serve: invalid route %q", c.Route)
+	}
+	if c.Name == "" {
+		c.Name = c.Route[1:]
+	}
+	if c.MemKB <= 0 {
+		c.MemKB = 4096
+	}
+	if c.QueueMax <= 0 {
+		c.QueueMax = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	if c.WorkUnits <= 0 {
+		c.WorkUnits = 100
+	}
+	if c.ShedFraction == 0 {
+		c.ShedFraction = 0.9
+	}
+	return nil
+}
+
+// Config parameterizes the server.
+type Config struct {
+	// SliceCycles is the scheduler budget per engine-loop iteration
+	// (default one quantum, 100k cycles = 0.2 virtual ms): small enough
+	// that new arrivals are admitted promptly while requests execute.
+	SliceCycles uint64
+	// SubmitBuffer bounds the socket→engine handoff channel; a full
+	// buffer sheds with 503 at the HTTP layer (default 256).
+	SubmitBuffer int
+	// RequestTimeout is the per-request wall-clock deadline. Whatever
+	// happens to the tenant, the client hears back within it
+	// (default 30s).
+	RequestTimeout time.Duration
+	// RestartBackoff is the supervisor's initial restart delay, doubled
+	// per consecutive death up to MaxBackoff (defaults 10ms / 2s).
+	RestartBackoff time.Duration
+	MaxBackoff     time.Duration
+	// MaxBody caps the request body size (default 1 MiB).
+	MaxBody int64
+}
+
+func (c *Config) fill() {
+	if c.SliceCycles == 0 {
+		c.SliceCycles = 100_000
+	}
+	if c.SubmitBuffer <= 0 {
+		c.SubmitBuffer = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+}
+
+// response is what the engine loop sends back to a waiting HTTP handler.
+type response struct {
+	status int
+	body   string
+	pid    int32
+}
+
+// request is one in-flight HTTP request crossing the socket/engine
+// boundary. The engine loop owns every field except resp, which the HTTP
+// handler drains; resp is buffered so the single send never blocks.
+type request struct {
+	tn       *tenant
+	body     []byte
+	resp     chan response
+	enq      time.Time
+	deadline time.Time
+	th       *interp.Thread
+	done     bool
+}
+
+// tenant is one route's servlet process plus its supervisor state. Queue
+// and process fields belong to the engine goroutine; the aggregate
+// counters are atomic so the HTTP introspection side reads them freely.
+type tenant struct {
+	cfg TenantConfig
+
+	mu   sync.Mutex // guards proc swap (engine writes, HTTP reads)
+	proc *core.Process
+
+	queue    []*request
+	inflight []*request
+	arrCls   *object.Class // "[I" in the current incarnation's namespace
+
+	down        bool
+	deaths      int // consecutive deaths (resets on first OK after restart)
+	nextRestart time.Time
+
+	// Lifetime aggregates across restarts.
+	reqs, okCount, shed, errs, restarts telemetry.Counter
+	latency                             telemetry.Histogram
+	qdepth, infl                        telemetry.Gauge
+
+	// Mirrors into the current process incarnation's telemetry scope, so
+	// `kaffeos ps`/`top` and /metrics show serving stats per pid.
+	scope *telemetry.Scope
+}
+
+func (t *tenant) handlerClass() string {
+	if t.cfg.Hog {
+		return jserv.NetHogClass
+	}
+	return jserv.NetServletClass
+}
+
+// Server is the serving plane: listener, HTTP front end, engine loop.
+type Server struct {
+	vm      *core.VM
+	cfg     Config
+	tenants []*tenant
+	byRoute map[string]*tenant
+
+	submit   chan *request
+	quit     chan struct{}
+	loopDone chan struct{}
+
+	ln   net.Listener
+	hsrv *http.Server
+
+	// Kernel-scope totals plus socket-layer counters.
+	kReqs, kShed, kErrs, kOK *telemetry.Counter
+	runErrs                  telemetry.Counter
+}
+
+// New builds a server over vm. The VM must be otherwise idle: once Start
+// is called the engine loop owns its scheduler exclusively.
+func New(vm *core.VM, cfg Config, tenants []TenantConfig) (*Server, error) {
+	cfg.fill()
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("serve: no tenants")
+	}
+	k := vm.Tel.Reg.Kernel()
+	s := &Server{
+		vm:       vm,
+		cfg:      cfg,
+		byRoute:  make(map[string]*tenant),
+		submit:   make(chan *request, cfg.SubmitBuffer),
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		kReqs:    k.Counter(telemetry.MServeRequests),
+		kShed:    k.Counter(telemetry.MServeShed),
+		kErrs:    k.Counter(telemetry.MServeErrors),
+		kOK:      k.Counter(telemetry.MServeOK),
+	}
+	for _, tc := range tenants {
+		if err := tc.fill(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.byRoute[tc.Route]; dup {
+			return nil, fmt.Errorf("serve: duplicate route %q", tc.Route)
+		}
+		tn := &tenant{cfg: tc}
+		s.tenants = append(s.tenants, tn)
+		s.byRoute[tc.Route] = tn
+	}
+	return s, nil
+}
+
+// Start spawns every tenant process, binds addr (":0" picks a free port),
+// and launches the accept and engine loops. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	for _, tn := range s.tenants {
+		if err := s.startTenant(tn); err != nil {
+			return "", err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.handler()}
+	go s.loop()
+	go func() { _ = s.hsrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, fails every pending request, kills and reclaims
+// every tenant process, and waits for the engine loop to exit. The VM is
+// quiescent afterwards, so callers may run authoritative audits.
+func (s *Server) Close() error {
+	if s.hsrv != nil {
+		_ = s.hsrv.Close()
+	}
+	close(s.quit)
+	<-s.loopDone
+	return nil
+}
+
+// startTenant (re)creates the tenant's process: fresh memlimit, heap and
+// namespace, the handler program, and a daemon keep-alive thread (a
+// process whose last thread exits is reclaimed, and request threads come
+// and go).
+func (s *Server) startTenant(tn *tenant) error {
+	p, err := s.vm.NewProcess(tn.cfg.Name, core.ProcessOptions{MemLimit: uint64(tn.cfg.MemKB) << 10})
+	if err != nil {
+		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+	}
+	mod := jserv.NetServletModule()
+	if tn.cfg.Hog {
+		mod = jserv.NetHogModule()
+	}
+	if err := p.Load(mod); err != nil {
+		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+	}
+	if err := p.Load(jserv.KeeperModule()); err != nil {
+		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+	}
+	if _, err := p.SpawnDaemon(jserv.KeeperClass, "main()V"); err != nil {
+		return fmt.Errorf("serve: tenant %s keeper: %w", tn.cfg.Name, err)
+	}
+	arrCls, err := p.Loader.Class("[I")
+	if err != nil {
+		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+	}
+	scope := s.vm.Tel.Reg.Proc(int32(p.ID))
+	scope.SetMeta("serve.route", tn.cfg.Route)
+	role := "servlet"
+	if tn.cfg.Hog {
+		role = "memhog"
+	}
+	scope.SetMeta("serve.role", role)
+
+	tn.mu.Lock()
+	tn.proc = p
+	tn.mu.Unlock()
+	tn.arrCls = arrCls
+	tn.scope = scope
+	tn.down = false
+	s.publish(tn)
+	return nil
+}
+
+// proc reads the tenant's current process (HTTP-side safe).
+func (t *tenant) currentProc() *core.Process {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.proc
+}
+
+// publish mirrors the tenant's lifetime aggregates into the current
+// incarnation's telemetry scope.
+func (s *Server) publish(tn *tenant) {
+	sc := tn.scope
+	if sc == nil {
+		return
+	}
+	sc.Counter(telemetry.MServeRequests) // ensure presence even when idle
+	sc.Gauge(telemetry.MServeQueueDepth).Set(uint64(len(tn.queue)))
+	sc.Gauge(telemetry.MServeInflight).Set(uint64(len(tn.inflight)))
+}
+
+// ---- engine loop ------------------------------------------------------
+
+// loop is the engine goroutine: the only code that touches the VM after
+// Start. It alternates between admitting submissions, dispatching queued
+// requests into tenant processes, advancing the scheduler one slice, and
+// reaping completions and deaths.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		s.drainSubmit()
+		now := time.Now()
+		s.checkRestarts(now)
+		running := s.dispatchAll()
+		if running > 0 {
+			if err := s.vm.Run(s.cfg.SliceCycles); err != nil {
+				s.runErrs.Inc()
+			}
+		} else {
+			s.drainKilled()
+		}
+		s.reapAll(time.Now())
+		s.expire(time.Now())
+		select {
+		case <-s.quit:
+			s.shutdown()
+			return
+		default:
+		}
+		if s.idle() {
+			s.idleWait()
+		}
+	}
+}
+
+func (s *Server) drainSubmit() {
+	for {
+		select {
+		case r := <-s.submit:
+			s.admit(r)
+		default:
+			return
+		}
+	}
+}
+
+// admit applies admission control: bounded queue, memlimit high-water.
+func (s *Server) admit(r *request) {
+	tn := r.tn
+	tn.reqs.Inc()
+	s.kReqs.Inc()
+	if tn.scope != nil {
+		tn.scope.Counter(telemetry.MServeRequests).Inc()
+	}
+	if tn.down && tn.cfg.NoRestart {
+		s.shed(r, "tenant down")
+		return
+	}
+	if len(tn.queue) >= tn.cfg.QueueMax {
+		s.shed(r, "queue full")
+		return
+	}
+	if !tn.down && tn.cfg.ShedFraction > 0 {
+		p := tn.proc
+		if p != nil && p.State() == core.ProcRunning {
+			high := tn.cfg.ShedFraction * float64(uint64(tn.cfg.MemKB)<<10)
+			if float64(p.MemUse()) > high {
+				// Distinguish garbage from live data before refusing: a
+				// collection (charged to the tenant) saves a well-behaved
+				// neighbour; a hog's vector stays live and the shed stands.
+				p.Collect()
+				if float64(p.MemUse()) > high {
+					s.shed(r, "memlimit saturated")
+					return
+				}
+			}
+		}
+	}
+	tn.queue = append(tn.queue, r)
+	tn.qdepth.Set(uint64(len(tn.queue)))
+	s.publish(tn)
+}
+
+// shed refuses a request with 503 — the only answer admission control
+// ever gives; shed requests never hang.
+func (s *Server) shed(r *request, reason string) {
+	if r.done {
+		return
+	}
+	tn := r.tn
+	tn.shed.Inc()
+	s.kShed.Inc()
+	if tn.scope != nil {
+		tn.scope.Counter(telemetry.MServeShed).Inc()
+	}
+	s.vm.Tel.Emit(telemetry.Event{
+		Kind: telemetry.EvServeShed, Pid: tn.pid(),
+		A: uint64(len(tn.queue)), Detail: tn.cfg.Route + ": " + reason,
+	})
+	s.respond(r, http.StatusServiceUnavailable, "shed: "+reason+"\n")
+}
+
+func (t *tenant) pid() int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.proc == nil {
+		return 0
+	}
+	return int32(t.proc.ID)
+}
+
+// respond delivers the single response for r. The channel is buffered, so
+// the engine never blocks on a client that gave up.
+func (s *Server) respond(r *request, status int, body string) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.resp <- response{status: status, body: body, pid: r.tn.pid()}
+}
+
+// dispatchAll starts queued requests on every tenant with capacity and
+// returns the total number of requests executing in the VM.
+func (s *Server) dispatchAll() int {
+	running := 0
+	for _, tn := range s.tenants {
+		s.dispatch(tn)
+		running += len(tn.inflight)
+	}
+	return running
+}
+
+// dispatch starts queued requests until the tenant is saturated: marshal
+// the body into the tenant's heap, spawn a green thread on the handler.
+func (s *Server) dispatch(tn *tenant) {
+	p := tn.proc
+	if tn.down || p == nil || p.State() != core.ProcRunning {
+		return
+	}
+	for len(tn.queue) > 0 && len(tn.inflight) < tn.cfg.MaxInflight {
+		r := tn.queue[0]
+		tn.queue = tn.queue[1:]
+		if r.done { // expired while queued
+			continue
+		}
+		arr, err := s.marshal(tn, r.body)
+		if err != nil {
+			// The request wouldn't fit in the tenant's memlimit: that is
+			// saturation, not failure — shed it.
+			s.shed(r, "request does not fit memlimit")
+			continue
+		}
+		th, err := p.Spawn(tn.handlerClass(), jserv.NetHandleKey,
+			interp.RefSlot(arr), interp.IntSlot(int64(tn.cfg.WorkUnits)))
+		if err != nil {
+			s.shed(r, "tenant not accepting requests")
+			continue
+		}
+		r.th = th
+		tn.inflight = append(tn.inflight, r)
+		if s.vm.Cfg.Faults.Fire(faults.SiteServeDispatch) {
+			// The fault plane kills the tenant mid-request — the
+			// deterministic handle for testing the degradation path.
+			p.Kill(core.ErrInjectedFault)
+		}
+	}
+	tn.qdepth.Set(uint64(len(tn.queue)))
+	tn.infl.Set(uint64(len(tn.inflight)))
+	s.publish(tn)
+}
+
+// marshal copies the request body into the tenant's heap as an int array:
+// element 0 is the byte length, the rest the bytes packed four per int.
+// The allocation is charged to the tenant's memlimit; a refusal is
+// retried once after collecting the tenant's heap (the GC cycles are
+// charged to the tenant too).
+func (s *Server) marshal(tn *tenant, body []byte) (*object.Object, error) {
+	n := 1 + (len(body)+3)/4
+	arr, err := tn.proc.Heap.AllocArray(tn.arrCls, n)
+	if err != nil {
+		tn.proc.Collect()
+		arr, err = tn.proc.Heap.AllocArray(tn.arrCls, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	arr.Prims[0] = int64(len(body))
+	for i, b := range body {
+		arr.Prims[1+i/4] |= int64(b) << uint(8*(i%4))
+	}
+	return arr, nil
+}
+
+// reapAll collects finished request threads and detects tenant deaths.
+func (s *Server) reapAll(now time.Time) {
+	for _, tn := range s.tenants {
+		s.reap(tn, now)
+	}
+}
+
+func (s *Server) reap(tn *tenant, now time.Time) {
+	if len(tn.inflight) > 0 {
+		keep := tn.inflight[:0]
+		for _, r := range tn.inflight {
+			if r.th.Alive() {
+				keep = append(keep, r)
+				continue
+			}
+			if r.done { // already expired/shed; drop silently
+				continue
+			}
+			if r.th.Err != nil || r.th.Uncaught != nil {
+				s.fail(r, "tenant died mid-request")
+				continue
+			}
+			tn.okCount.Inc()
+			s.kOK.Inc()
+			lat := uint64(now.Sub(r.enq).Nanoseconds())
+			tn.latency.Observe(lat)
+			if tn.scope != nil {
+				tn.scope.Counter(telemetry.MServeOK).Inc()
+				tn.scope.Histogram(telemetry.MServeLatency).Observe(lat)
+			}
+			tn.deaths = 0 // healthy again: reset the backoff ladder
+			s.respond(r, http.StatusOK, fmt.Sprintf("%s result=%d\n", tn.cfg.Name, r.th.Result.I))
+		}
+		tn.inflight = keep
+		tn.infl.Set(uint64(len(tn.inflight)))
+	}
+	p := tn.proc
+	if !tn.down && p != nil && p.State() != core.ProcRunning {
+		s.markDown(tn, now)
+	}
+}
+
+// fail answers a request whose tenant died under it.
+func (s *Server) fail(r *request, reason string) {
+	tn := r.tn
+	tn.errs.Inc()
+	s.kErrs.Inc()
+	if tn.scope != nil {
+		tn.scope.Counter(telemetry.MServeErrors).Inc()
+	}
+	s.respond(r, http.StatusBadGateway, "error: "+reason+"\n")
+}
+
+// markDown records a tenant death: queued requests are shed immediately
+// (they never hang waiting on a corpse), in-flight ones fail as their
+// threads die, and the supervisor schedules a restart with exponential
+// backoff — the paper's administrator, automated.
+func (s *Server) markDown(tn *tenant, now time.Time) {
+	tn.down = true
+	tn.deaths++
+	for _, r := range tn.queue {
+		s.shed(r, "tenant down")
+	}
+	tn.queue = tn.queue[:0]
+	tn.qdepth.Set(0)
+	if !tn.cfg.NoRestart {
+		backoff := s.cfg.RestartBackoff << uint(tn.deaths-1)
+		if backoff > s.cfg.MaxBackoff || backoff <= 0 {
+			backoff = s.cfg.MaxBackoff
+		}
+		tn.nextRestart = now.Add(backoff)
+	}
+	s.publish(tn)
+}
+
+// checkRestarts restarts dead tenants whose backoff expired.
+func (s *Server) checkRestarts(now time.Time) {
+	for _, tn := range s.tenants {
+		if !tn.down || tn.cfg.NoRestart || now.Before(tn.nextRestart) {
+			continue
+		}
+		deaths := tn.deaths
+		if err := s.startTenant(tn); err != nil {
+			// Could not restart (e.g. memory still held by the dying
+			// incarnation): back off again.
+			tn.nextRestart = now.Add(s.cfg.MaxBackoff)
+			continue
+		}
+		tn.restarts.Inc()
+		if tn.scope != nil {
+			tn.scope.Counter(telemetry.MServeRestarts).Inc()
+		}
+		s.vm.Tel.Emit(telemetry.Event{
+			Kind: telemetry.EvServeRestart, Pid: tn.pid(),
+			A: uint64(deaths), Detail: tn.cfg.Route,
+		})
+	}
+}
+
+// expire guarantees liveness: any request past its wall-clock deadline is
+// answered now, whatever state it is in.
+func (s *Server) expire(now time.Time) {
+	for _, tn := range s.tenants {
+		if len(tn.queue) > 0 {
+			keep := tn.queue[:0]
+			for _, r := range tn.queue {
+				if now.After(r.deadline) {
+					s.shed(r, "deadline exceeded before dispatch")
+					continue
+				}
+				keep = append(keep, r)
+			}
+			tn.queue = keep
+			tn.qdepth.Set(uint64(len(tn.queue)))
+		}
+		for _, r := range tn.inflight {
+			if !r.done && now.After(r.deadline) {
+				// Still executing at the deadline is overload, not tenant
+				// failure: answer 503 like any other shed. 502 stays
+				// reserved for "the tenant died under this request".
+				s.shed(r, "deadline exceeded")
+			}
+		}
+	}
+}
+
+// drainKilled steps the scheduler while dead tenants still have threads
+// to unwind (a killed keeper must die for its process to reclaim). Only
+// called when no requests are executing, so the steps are cheap.
+func (s *Server) drainKilled() {
+	if !s.unreclaimedDead() {
+		return
+	}
+	for i := 0; i < 1024 && s.vm.Sched.Live() > 0; i++ {
+		progressed, err := s.vm.Sched.Step()
+		if err != nil || !progressed {
+			return
+		}
+		if !s.unreclaimedDead() {
+			return
+		}
+	}
+}
+
+// unreclaimedDead reports whether any tenant's dead incarnation has not
+// finished reclaiming.
+func (s *Server) unreclaimedDead() bool {
+	for _, tn := range s.tenants {
+		p := tn.proc
+		if p != nil && p.State() != core.ProcRunning && p.State() != core.ProcReclaimed {
+			return true
+		}
+	}
+	return false
+}
+
+// idle reports whether the engine has nothing actionable right now.
+// Requests queued on a down tenant are not actionable — they wait on the
+// restart timer, which idleWait turns into a timed sleep, not a spin.
+func (s *Server) idle() bool {
+	if s.unreclaimedDead() {
+		return false
+	}
+	for _, tn := range s.tenants {
+		if len(tn.inflight) > 0 {
+			return false
+		}
+		if len(tn.queue) > 0 && !tn.down {
+			return false
+		}
+	}
+	return true
+}
+
+// idleWait blocks until a submission, shutdown, or the next timed
+// obligation: a down tenant's restart, or the deadline of a request
+// queued behind one.
+func (s *Server) idleWait() {
+	var timer <-chan time.Time
+	if d, ok := s.nextWake(); ok {
+		timer = time.After(d)
+	}
+	select {
+	case r := <-s.submit:
+		s.admit(r)
+	case <-s.quit:
+	case <-timer:
+	}
+}
+
+// nextWake computes the earliest supervisor or expiry deadline.
+func (s *Server) nextWake() (time.Duration, bool) {
+	var at time.Time
+	earlier := func(t time.Time) {
+		if at.IsZero() || t.Before(at) {
+			at = t
+		}
+	}
+	for _, tn := range s.tenants {
+		if !tn.down {
+			continue
+		}
+		if !tn.cfg.NoRestart {
+			earlier(tn.nextRestart)
+		}
+		for _, r := range tn.queue {
+			earlier(r.deadline)
+		}
+	}
+	if at.IsZero() {
+		return 0, false
+	}
+	d := time.Until(at)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// shutdown fails everything pending, kills every tenant, and steps the
+// scheduler until all processes reclaim — leaving the VM quiescent for
+// post-teardown audits.
+func (s *Server) shutdown() {
+	for {
+		select {
+		case r := <-s.submit:
+			s.respond(r, http.StatusServiceUnavailable, "shed: server shutting down\n")
+			continue
+		default:
+		}
+		break
+	}
+	for _, tn := range s.tenants {
+		for _, r := range tn.queue {
+			s.respond(r, http.StatusServiceUnavailable, "shed: server shutting down\n")
+		}
+		tn.queue = nil
+		for _, r := range tn.inflight {
+			s.respond(r, http.StatusServiceUnavailable, "shed: server shutting down\n")
+		}
+		if p := tn.proc; p != nil && p.State() == core.ProcRunning {
+			p.Kill(nil)
+		}
+		tn.down = true
+	}
+	// Step every killed thread to its end; in-flight request threads and
+	// keepers all die at their next safepoint.
+	for i := 0; i < 1_000_000 && s.vm.Sched.Live() > 0; i++ {
+		progressed, err := s.vm.Sched.Step()
+		if err != nil || !progressed {
+			break
+		}
+	}
+	for _, tn := range s.tenants {
+		tn.inflight = nil
+		tn.infl.Set(0)
+		tn.qdepth.Set(0)
+	}
+}

@@ -69,6 +69,12 @@ const (
 	// EvGCOverlap: a new maximum of simultaneously running collections.
 	// A = the new maximum.
 	EvGCOverlap
+	// EvServeShed: the serving plane refused a request with 503.
+	// A = queue depth at refusal. Detail = tenant route and reason.
+	EvServeShed
+	// EvServeRestart: the serving plane restarted a dead tenant process.
+	// A = consecutive deaths before this restart. Detail = tenant route.
+	EvServeRestart
 
 	kindMax
 )
@@ -91,6 +97,8 @@ var kindNames = [kindMax]string{
 	EvSharedDetach:     "shared-detach",
 	EvGCFastPath:       "gc-fastpath",
 	EvGCOverlap:        "gc-overlap",
+	EvServeShed:        "serve-shed",
+	EvServeRestart:     "serve-restart",
 }
 
 func (k Kind) String() string {
@@ -113,6 +121,8 @@ var fieldNames = [kindMax][2]string{
 	EvSharedAttach: {"size_bytes", ""},
 	EvGCFastPath:   {"hits", "misses"},
 	EvGCOverlap:    {"max_active", ""},
+	EvServeShed:    {"queue_depth", ""},
+	EvServeRestart: {"deaths", ""},
 }
 
 // FieldNames reports the JSON key names of an event kind's A and B words

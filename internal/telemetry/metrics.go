@@ -357,4 +357,16 @@ const (
 	MSharedFrozen   = "shared.frozen"
 	MSharedAttached = "shared.attached"
 	MSharedDetached = "shared.detached"
+
+	// Network serving plane (internal/serve). Per-tenant metrics live in
+	// the scope of the tenant's current process incarnation; the kernel
+	// scope carries server-wide totals.
+	MServeRequests   = "serve.requests"    // counter: requests admitted
+	MServeOK         = "serve.ok"          // counter: 200 responses
+	MServeShed       = "serve.shed"        // counter: 503s (queue/memlimit saturation)
+	MServeErrors     = "serve.errors"      // counter: 5xx from a dying/dead tenant
+	MServeRestarts   = "serve.restarts"    // counter: tenant process restarts
+	MServeQueueDepth = "serve.queue_depth" // gauge: requests waiting for dispatch
+	MServeInflight   = "serve.inflight"    // gauge: requests executing in the VM
+	MServeLatency    = "serve.latency_ns"  // histogram: wall-clock request latency
 )
