@@ -30,7 +30,9 @@ import (
 	"repro/internal/jserv"
 	"repro/internal/memlimit"
 	"repro/internal/object"
+	"repro/internal/serve"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/vmaddr"
 )
 
@@ -591,6 +593,93 @@ func BenchmarkAllocParallel(b *testing.B) {
 				wg.Wait()
 			})
 		}
+	}
+}
+
+// BenchmarkSpanEmission prices the telemetry side of request tracing:
+// "off" is the hot-path guard alone (one atomic load, the cost every
+// accepted request pays when spans are disabled), "on" is the full
+// finalization — mint an id, fill the ledger, record into the ring, and
+// observe the five kernel phase histograms.
+func BenchmarkSpanEmission(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			rec := telemetry.NewSpanRecorder(0)
+			rec.SetEnabled(on)
+			k := telemetry.NewHub(0).Reg.Kernel()
+			queue := k.Histogram(telemetry.MSpanQueueNs)
+			marshal := k.Histogram(telemetry.MSpanMarshalNs)
+			exec := k.Histogram(telemetry.MSpanExecCycles)
+			gc := k.Histogram(telemetry.MSpanGCCycles)
+			total := k.Histogram(telemetry.MSpanTotalNs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !rec.Enabled() {
+					continue
+				}
+				sp := telemetry.Span{
+					ID:         rec.NextID(),
+					Route:      "/bench",
+					Pid:        1,
+					Status:     200,
+					QueueNs:    120,
+					MarshalNs:  40,
+					ExecCycles: 2000,
+					GCCycles:   500,
+					GCNs:       telemetry.CyclesToNs(500),
+					Quanta:     2,
+					TotalNs:    5000,
+				}
+				rec.Record(sp)
+				queue.Observe(uint64(sp.QueueNs))
+				marshal.Observe(uint64(sp.MarshalNs))
+				exec.Observe(sp.ExecCycles)
+				gc.Observe(sp.GCCycles)
+				total.Observe(uint64(sp.TotalNs))
+			}
+		})
+	}
+}
+
+// BenchmarkServeThroughput measures one request through the serving
+// plane's engine path (admission, dispatch, execution, reply — no TCP),
+// with span recording off and on. The off/on gap is the end-to-end cost
+// of tracing; the gate holds the off variant to the baseline.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, spans := range []bool{false, true} {
+		name := "spans-off"
+		if spans {
+			name = "spans-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			vm.Tel.Spans.SetEnabled(spans)
+			srv, err := serve.New(vm, serve.Config{}, []serve.TenantConfig{{Route: "/b", WorkUnits: 20}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			body := []byte("bench-payload")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if status, _ := srv.Do("/b", body); status != 200 {
+					b.Fatalf("status %d", status)
+				}
+			}
+			b.StopTimer()
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

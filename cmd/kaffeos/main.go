@@ -11,6 +11,8 @@
 //	kaffeos run -http :8080 prog.kasm        HTTP introspection endpoint
 //	kaffeos run -faults spec prog.kasm       run under fault injection + audit
 //	kaffeos serve -addr :8080 -routes spec   HTTP serving plane, one process per route
+//	kaffeos trace -spans spans.jsonl         per-phase quantiles + slowest requests
+//	kaffeos trace -url http://host:9090      same, scraped from a live /spans endpoint
 //	kaffeos ps [flags] prog.kasm ...         run, then print the process table
 //	kaffeos top -interval 50 prog.kasm ...   re-render the table as the VM runs
 //	kaffeos check prog.kasm                  assemble + verify only
@@ -58,6 +60,8 @@ func main() {
 		err = topCmd(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	case "check":
 		err = checkCmd(os.Args[2:])
 	case "dis":
@@ -72,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kaffeos run|ps|top|serve|check|dis [flags] [file.kasm ...]")
+	fmt.Fprintln(os.Stderr, "usage: kaffeos run|ps|top|serve|trace|check|dis [flags] [file.kasm ...]")
 	os.Exit(2)
 }
 
@@ -314,6 +318,11 @@ func topCmd(args []string) error {
 		fmt.Printf("--- t=%dms (%d cycles) kernel-gcs=%d ---\n",
 			snap.NowMillis, snap.NowCycles, snap.KernelGCs)
 		telemetry.RenderTable(os.Stdout, snap)
+		if d := vm.Telemetry().Trace.Dropped(); d > 0 {
+			// A wrapped ring means the retained trace is a window, not the
+			// whole run — never let a truncated trace read as complete.
+			fmt.Printf("warning: trace ring overflowed, %d events dropped (trace is truncated)\n", d)
+		}
 		if snap.NowCycles == before {
 			break // no progress: every thread exited
 		}

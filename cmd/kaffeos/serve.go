@@ -27,6 +27,8 @@ func serveCmd(args []string) error {
 	engine := fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt")
 	faultSpec := fs.String("faults", "", `arm fault injection (e.g. "seed=7,serve.dispatch=@100")`)
 	telAddr := fs.String("http", "", "also serve the telemetry endpoint on this address")
+	spans := fs.Bool("spans", false, "record per-request cost spans (view at /spans or with kaffeos trace)")
+	flightDir := fs.String("flight", "", "write flight-recorder post-mortems to this directory on tenant death/shed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,14 +55,22 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *spans {
+		vm.Tel.Spans.SetEnabled(true)
+	}
 	if *telAddr != "" {
 		bound, err := vm.Tel.Serve(*telAddr, vm.Snapshot)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "kaffeos: telemetry on http://%s (/procs /metrics /trace /ps)\n", bound)
+		fmt.Fprintf(os.Stderr, "kaffeos: telemetry on http://%s (/procs /metrics /spans /trace /ps /debug/pprof)\n", bound)
 	}
-	srv, err := serve.New(vm, serve.Config{}, tenants)
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			return err
+		}
+	}
+	srv, err := serve.New(vm, serve.Config{FlightDir: *flightDir}, tenants)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// traceCmd analyzes request spans: per-phase latency quantiles and the
+// top-K slowest requests, read from a /spans JSONL dump, a flight-recorder
+// post-mortem, or scraped live from a running server's telemetry endpoint.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	spansPath := fs.String("spans", "", "read spans from this file (/spans JSONL or a flight-recorder dump)")
+	url := fs.String("url", "", "scrape spans from a live telemetry endpoint (e.g. http://127.0.0.1:9090)")
+	route := fs.String("route", "", "only analyze spans of this route")
+	topK := fs.Int("top", 5, "show the K slowest requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		spans []telemetry.Span
+		err   error
+	)
+	switch {
+	case *url != "":
+		spans, err = scrapeSpans(strings.TrimSuffix(*url, "/") + "/spans")
+	case *spansPath != "":
+		spans, err = readSpans(*spansPath)
+	default:
+		return fmt.Errorf("trace: need -spans file or -url endpoint")
+	}
+	if err != nil {
+		return err
+	}
+	if *route != "" {
+		keep := spans[:0]
+		for _, sp := range spans {
+			if sp.Route == *route {
+				keep = append(keep, sp)
+			}
+		}
+		spans = keep
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace: no spans to analyze")
+	}
+	report(os.Stdout, spans, *topK)
+	return nil
+}
+
+func scrapeSpans(url string) ([]telemetry.Span, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace: GET %s: status %d", url, resp.StatusCode)
+	}
+	return decodeJSONL(resp.Body)
+}
+
+// readSpans loads spans from a file: either /spans JSONL, or a
+// flight-recorder dump (one JSON object with an embedded span list).
+func readSpans(path string) ([]telemetry.Span, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var dump serve.FlightDump
+	if err := json.Unmarshal(data, &dump); err == nil && dump.Reason != "" {
+		fmt.Printf("flight dump: tenant %s (pid %d) %s at %s, deaths=%d, %d events retained\n",
+			dump.Name, dump.Pid, dump.Reason, dump.Time, dump.Deaths, len(dump.Events))
+		return dump.Spans, nil
+	}
+	return decodeJSONL(strings.NewReader(string(data)))
+}
+
+func decodeJSONL(r io.Reader) ([]telemetry.Span, error) {
+	var out []telemetry.Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var sp telemetry.Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			return nil, fmt.Errorf("trace: bad span line: %w", err)
+		}
+		out = append(out, sp)
+	}
+	return out, sc.Err()
+}
+
+// report prints the per-phase quantile table and the top-K slowest
+// requests. Quantiles here are exact (the full span set is in memory),
+// unlike the bucketed upper bounds the live histograms give.
+func report(w io.Writer, spans []telemetry.Span, topK int) {
+	var ok, shed, errs int
+	for _, sp := range spans {
+		switch {
+		case sp.Status == http.StatusOK:
+			ok++
+		case sp.Status == http.StatusServiceUnavailable:
+			shed++
+		default:
+			errs++
+		}
+	}
+	fmt.Fprintf(w, "%d spans: ok=%d shed=%d err=%d\n\n", len(spans), ok, shed, errs)
+
+	phase := func(name, unit string, get func(telemetry.Span) int64) {
+		vals := make([]int64, len(spans))
+		for i, sp := range spans {
+			vals[i] = get(sp)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		q := func(p float64) int64 { return vals[int(p*float64(len(vals)-1))] }
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		fmt.Fprintf(w, "%-12s %12d %12d %12d %12d %12d  %s\n",
+			name, q(0.50), q(0.90), q(0.99), vals[len(vals)-1], sum/int64(len(vals)), unit)
+	}
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s %12s\n", "phase", "p50", "p90", "p99", "max", "mean")
+	phase("accept", "ns", func(sp telemetry.Span) int64 { return sp.AcceptNs })
+	phase("queue", "ns", func(sp telemetry.Span) int64 { return sp.QueueNs })
+	phase("marshal", "ns", func(sp telemetry.Span) int64 { return sp.MarshalNs })
+	phase("exec-wall", "ns", func(sp telemetry.Span) int64 { return sp.ExecNs })
+	phase("exec", "cycles", func(sp telemetry.Span) int64 { return int64(sp.ExecCycles) })
+	phase("gc", "cycles", func(sp telemetry.Span) int64 { return int64(sp.GCCycles) })
+	phase("total", "ns", func(sp telemetry.Span) int64 { return sp.TotalNs })
+
+	if topK <= 0 {
+		return
+	}
+	byTotal := make([]telemetry.Span, len(spans))
+	copy(byTotal, spans)
+	sort.Slice(byTotal, func(i, j int) bool { return byTotal[i].TotalNs > byTotal[j].TotalNs })
+	if topK > len(byTotal) {
+		topK = len(byTotal)
+	}
+	fmt.Fprintf(w, "\ntop %d slowest:\n", topK)
+	for _, sp := range byTotal[:topK] {
+		fmt.Fprintf(w, "  req=%d route=%s pid=%d status=%d total=%dus queue=%dus marshal=%dus exec=%dcy gc=%dcy quanta=%d",
+			sp.ID, sp.Route, sp.Pid, sp.Status, sp.TotalNs/1000, sp.QueueNs/1000,
+			sp.MarshalNs/1000, sp.ExecCycles, sp.GCCycles, sp.Quanta)
+		if sp.Detail != "" {
+			fmt.Fprintf(w, " detail=%q", sp.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,19 +20,99 @@ import (
 // routeStats aggregates the client side of one route's traffic. Counters
 // and the latency histogram are atomic: all client goroutines share them.
 type routeStats struct {
-	Route    string `json:"route"`
-	Sent     uint64 `json:"sent"`
-	OK       uint64 `json:"ok"`
-	Shed     uint64 `json:"shed"`
-	Errors   uint64 `json:"errors"`
-	P50Ns    uint64 `json:"p50_ns"`
-	P90Ns    uint64 `json:"p90_ns"`
-	P99Ns    uint64 `json:"p99_ns"`
-	sent     atomic.Uint64
-	ok       atomic.Uint64
-	shed     atomic.Uint64
-	errs     atomic.Uint64
-	lat      telemetry.Histogram
+	Route  string `json:"route"`
+	Sent   uint64 `json:"sent"`
+	OK     uint64 `json:"ok"`
+	Shed   uint64 `json:"shed"`
+	Errors uint64 `json:"errors"`
+	// Response-class breakdown: every response the clients saw, by status
+	// (Transport counts requests that died before any status arrived), so
+	// a degradation run's artifact says exactly how it degraded.
+	Status200 uint64 `json:"status_200"`
+	Status502 uint64 `json:"status_502"`
+	Status503 uint64 `json:"status_503"`
+	Transport uint64 `json:"transport_errors"`
+	P50Ns     uint64 `json:"p50_ns"`
+	P90Ns     uint64 `json:"p90_ns"`
+	P99Ns     uint64 `json:"p99_ns"`
+	sent      atomic.Uint64
+	c200      atomic.Uint64
+	c502      atomic.Uint64
+	c503      atomic.Uint64
+	cOther    atomic.Uint64
+	transport atomic.Uint64
+	lat       telemetry.Histogram
+}
+
+// phaseQuantiles summarizes one span phase across a route's requests
+// (exact quantiles — the whole span set is in memory).
+type phaseQuantiles struct {
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
+	Mean int64 `json:"mean"`
+}
+
+func quantize(vals []int64) phaseQuantiles {
+	if len(vals) == 0 {
+		return phaseQuantiles{}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	q := func(p float64) int64 { return vals[int(p*float64(len(vals)-1))] }
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return phaseQuantiles{P50: q(0.50), P90: q(0.90), P99: q(0.99),
+		Max: vals[len(vals)-1], Mean: sum / int64(len(vals))}
+}
+
+// routePhases is one route's server-side cost decomposition, computed
+// from the span recorder after a self-hosted run.
+type routePhases struct {
+	Route      string         `json:"route"`
+	Spans      int            `json:"spans"`
+	QueueNs    phaseQuantiles `json:"queue_ns"`
+	MarshalNs  phaseQuantiles `json:"marshal_ns"`
+	ExecCycles phaseQuantiles `json:"exec_cycles"`
+	GCCycles   phaseQuantiles `json:"gc_cycles"`
+	TotalNs    phaseQuantiles `json:"total_ns"`
+}
+
+// phasesFromSpans groups recorded spans by route and summarizes each
+// phase of the request cost ledger.
+func phasesFromSpans(spans []telemetry.Span) []routePhases {
+	byRoute := make(map[string][]telemetry.Span)
+	var order []string
+	for _, sp := range spans {
+		if _, seen := byRoute[sp.Route]; !seen {
+			order = append(order, sp.Route)
+		}
+		byRoute[sp.Route] = append(byRoute[sp.Route], sp)
+	}
+	sort.Strings(order)
+	out := make([]routePhases, 0, len(order))
+	for _, route := range order {
+		group := byRoute[route]
+		collect := func(get func(telemetry.Span) int64) phaseQuantiles {
+			vals := make([]int64, len(group))
+			for i, sp := range group {
+				vals[i] = get(sp)
+			}
+			return quantize(vals)
+		}
+		out = append(out, routePhases{
+			Route:      route,
+			Spans:      len(group),
+			QueueNs:    collect(func(sp telemetry.Span) int64 { return sp.QueueNs }),
+			MarshalNs:  collect(func(sp telemetry.Span) int64 { return sp.MarshalNs }),
+			ExecCycles: collect(func(sp telemetry.Span) int64 { return int64(sp.ExecCycles) }),
+			GCCycles:   collect(func(sp telemetry.Span) int64 { return int64(sp.GCCycles) }),
+			TotalNs:    collect(func(sp telemetry.Span) int64 { return sp.TotalNs }),
+		})
+	}
+	return out
 }
 
 // netReport is the -json artifact: self-describing (host shape embedded)
@@ -46,7 +127,14 @@ type netReport struct {
 	ElapsedMS  int64              `json:"elapsed_ms"`
 	Throughput float64            `json:"requests_per_sec"`
 	Routes     []*routeStats      `json:"routes"`
-	Server     []serve.TenantRow  `json:"server,omitempty"`
+	// Server-side totals (self-hosted runs): sheds and restarts as the
+	// serving plane counted them, so the artifact is self-describing even
+	// when the client side saw only latencies.
+	ServerSheds    uint64            `json:"server_sheds,omitempty"`
+	ServerRestarts uint64            `json:"server_restarts,omitempty"`
+	Phases         []routePhases     `json:"phases,omitempty"`
+	SpanDropped    uint64            `json:"span_dropped,omitempty"`
+	Server         []serve.TenantRow `json:"server,omitempty"`
 }
 
 // netBench drives real HTTP load at a serving plane: -target aims at an
@@ -70,6 +158,9 @@ func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes 
 		if err != nil {
 			return err
 		}
+		// Self-hosted runs record spans so the artifact carries the
+		// server-side phase breakdown of every request.
+		vm.Tel.Spans.SetEnabled(true)
 		srv, err = serve.New(vm, serve.Config{}, tenants)
 		if err != nil {
 			return err
@@ -106,19 +197,21 @@ func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes 
 				t0 := time.Now()
 				resp, err := client.Post(base+st.Route, "text/plain", strings.NewReader(body))
 				if err != nil {
-					st.errs.Add(1)
+					st.transport.Add(1)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				st.lat.Observe(uint64(time.Since(t0).Nanoseconds()))
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					st.ok.Add(1)
-				case resp.StatusCode == http.StatusServiceUnavailable:
-					st.shed.Add(1)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					st.c200.Add(1)
+				case http.StatusServiceUnavailable:
+					st.c503.Add(1)
+				case http.StatusBadGateway:
+					st.c502.Add(1)
 				default:
-					st.errs.Add(1)
+					st.cOther.Add(1)
 				}
 			}
 		}()
@@ -138,11 +231,24 @@ func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes 
 		Routes:     stats,
 	}
 	for _, st := range stats {
-		st.Sent, st.OK, st.Shed, st.Errors = st.sent.Load(), st.ok.Load(), st.shed.Load(), st.errs.Load()
+		st.Sent = st.sent.Load()
+		st.Status200 = st.c200.Load()
+		st.Status502 = st.c502.Load()
+		st.Status503 = st.c503.Load()
+		st.Transport = st.transport.Load()
+		st.OK = st.Status200
+		st.Shed = st.Status503
+		st.Errors = st.Status502 + st.cOther.Load() + st.Transport
 		st.P50Ns, st.P90Ns, st.P99Ns = st.lat.Quantile(0.5), st.lat.Quantile(0.9), st.lat.Quantile(0.99)
 	}
 	if srv != nil {
 		rep.Server = srv.Rows()
+		for _, row := range rep.Server {
+			rep.ServerSheds += row.Shed
+			rep.ServerRestarts += row.Restarts
+		}
+		rep.Phases = phasesFromSpans(vm.Tel.Spans.Snapshot())
+		rep.SpanDropped = vm.Tel.Spans.Dropped()
 		if err := srv.Close(); err != nil {
 			return err
 		}
@@ -165,6 +271,18 @@ func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes 
 		if row.Restarts > 0 {
 			fmt.Printf("  server: %s (%s) died and was restarted %d times; neighbours unaffected\n",
 				row.Route, row.Role, row.Restarts)
+		}
+	}
+	if len(rep.Phases) > 0 {
+		fmt.Printf("  %-16s %8s %12s %12s %12s %12s %12s\n",
+			"phase p50s", "spans", "queue-us", "marshal-us", "exec-cy", "gc-cy", "total-us")
+		for _, ph := range rep.Phases {
+			fmt.Printf("  %-16s %8d %12d %12d %12d %12d %12d\n",
+				ph.Route, ph.Spans, ph.QueueNs.P50/1000, ph.MarshalNs.P50/1000,
+				ph.ExecCycles.P50, ph.GCCycles.P50, ph.TotalNs.P50/1000)
+		}
+		if rep.SpanDropped > 0 {
+			fmt.Printf("  (span ring overflowed: %d spans dropped; breakdown covers the tail)\n", rep.SpanDropped)
 		}
 	}
 

@@ -160,15 +160,18 @@ func (c *checker) checkObjects() {
 		if v.Frozen && v.Lease != 0 {
 			c.fail("frozen-lease", "frozen heap %q holds a %d-byte allocation lease", v.Name, v.Lease)
 		}
-		for _, o := range v.Objects {
+		for _, ov := range v.Objects {
+			o := ov.Obj
 			c.rep.ObjectsChecked++
 			if prev, dup := c.owner[o]; dup {
 				c.fail("object-dup", "object %#x registered in heaps %d and %d", o.Addr, prev, v.ID)
 				continue
 			}
 			c.owner[o] = v.ID
-			if o.Heap != v.ID {
-				c.fail("object-owner", "object %#x in heap %q has header heap ID %d", o.Addr, v.Name, o.Heap)
+			// ov.Heap is the header captured inside the snapshot cut; the
+			// live o.Heap may already have been rewritten by a merge.
+			if ov.Heap != v.ID {
+				c.fail("object-owner", "object %#x in heap %q has header heap ID %d", o.Addr, v.Name, ov.Heap)
 			}
 			if got, ok := c.w.Pages[o.Addr>>vmaddr.PageShift]; !ok {
 				c.fail("object-page", "object %#x in heap %q lies on an unmapped page", o.Addr, v.Name)
@@ -209,9 +212,9 @@ func (c *checker) checkItems() {
 				c.fail("exit-dangling", "heap %q holds an exit item into dead heap %d", v.Name, tid)
 				continue
 			}
-			if target.Heap != tid {
+			if own, live := c.owner[target]; live && own != tid {
 				c.fail("exit-stale", "heap %q exit target %#x moved from heap %d to %d without remap",
-					v.Name, target.Addr, tid, target.Heap)
+					v.Name, target.Addr, tid, own)
 			}
 			if n, ok := tv.Entries[target]; !ok {
 				c.fail("entry-exit-symmetry", "heap %q exit to %#x in %q has no entry item", v.Name, target.Addr, tv.Name)
@@ -410,7 +413,8 @@ func (c *checker) checkPids() {
 func (c *checker) checkGraph() {
 	for i := range c.w.Heaps {
 		v := &c.w.Heaps[i]
-		for _, o := range v.Objects {
+		for _, ov := range v.Objects {
+			o := ov.Obj
 			for _, ref := range o.Refs {
 				if ref == nil {
 					continue

@@ -521,6 +521,18 @@ func (p *Process) Collect() heap.GCResult {
 	return res
 }
 
+// CollectAttributed is Collect with the pause's telemetry stamped with a
+// request id: the serving plane uses it for collections a request forces
+// outside thread execution (admission-pressure and marshal-retry GCs), so
+// those pauses land in the same ledger as trigger-driven ones.
+func (p *Process) CollectAttributed(req uint64) heap.GCResult {
+	if req != 0 {
+		p.Heap.SetRequester(req)
+		defer p.Heap.SetRequester(0)
+	}
+	return p.Collect()
+}
+
 // resetGCTrigger rearms the adaptive collection trigger after a collection
 // of this process' heap: the heap may grow by GCGrowthFactor before the
 // scheduler collects it again, and never below the GCMinHeap floor.

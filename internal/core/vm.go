@@ -425,10 +425,20 @@ func (vm *VM) newString(t *interp.Thread, s string) (*object.Object, error) {
 // triggering thread (and hence its process): precise CPU accounting covers
 // time spent garbage collecting a process' heap.
 func (vm *VM) collectHeapFor(t *interp.Thread, h *heap.Heap) {
+	if t != nil && t.ReqID != 0 {
+		// Attribute the pause to the request whose thread triggered it —
+		// the same full-charging rule process accounting uses (a pause is
+		// never split across overlapping requests; DESIGN.md §11).
+		h.SetRequester(t.ReqID)
+		defer h.SetRequester(0)
+	}
 	res := vm.CollectHeap(h)
 	if t != nil {
 		t.Fuel -= int64(res.Cycles)
 		t.Cycles += res.Cycles
+		if t.Span != nil {
+			t.Span.GCCycles += res.Cycles
+		}
 		// Record who paid: the gc.charged counter of the collected heap's
 		// scope must, in a complete accounting, equal the gc.cycles the
 		// pause histogram saw (asserted by TestGCAccountingComplete).

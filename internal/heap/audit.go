@@ -14,11 +14,21 @@ type PageRange struct {
 	Pages int
 }
 
+// ObjView pairs a live object pointer with the value of its mutable
+// ownership header, captured inside the snapshot cut. Numeric checks must
+// use the captured Heap field, never the live header: a reclaim merge
+// rewrites Object.Heap after the cut's locks are released.
+type ObjView struct {
+	Obj  *object.Object
+	Heap vmaddr.HeapID
+}
+
 // HeapView is a point-in-time copy of one heap's accounting state, captured
 // by Registry.SnapshotAll for the whole-kernel invariant auditor. Numeric
-// fields are copies; Objects and the item maps reference live objects, so
-// graph-level inspection of Object.Refs is only meaningful while the VM is
-// quiescent (no mutator running).
+// fields (including the captured object headers) are copies; the object
+// pointers themselves reference live objects, so graph-level inspection of
+// Object.Refs is only meaningful while the VM is quiescent (no mutator
+// running).
 type HeapView struct {
 	ID     vmaddr.HeapID
 	Kind   Kind
@@ -39,11 +49,11 @@ type HeapView struct {
 	EntryBytes uint64
 	ExitBytes  uint64
 
-	// Objects lists every live object. Entries maps entry-item targets (in
-	// THIS heap) to their reference counts; Exits maps exit-item targets (in
-	// OTHER heaps) to the heap the target lived in at capture; ExitsTo is
-	// the per-target-heap exit counter.
-	Objects []*object.Object
+	// Objects lists every live object with its captured header. Entries maps
+	// entry-item targets (in THIS heap) to their reference counts; Exits maps
+	// exit-item targets (in OTHER heaps) to the heap the target lived in at
+	// capture; ExitsTo is the per-target-heap exit counter.
+	Objects []ObjView
 	Entries map[*object.Object]int
 	Exits   map[*object.Object]vmaddr.HeapID
 	ExitsTo map[vmaddr.HeapID]int
@@ -93,7 +103,7 @@ func (r *Registry) SnapshotAll(extra func()) []HeapView {
 			Limit:      h.limit,
 			EntryBytes: uint64(len(h.entries)) * entryItemBytes,
 			ExitBytes:  uint64(len(h.exits)) * exitItemBytes,
-			Objects:    make([]*object.Object, 0, len(h.objects)),
+			Objects:    make([]ObjView, 0, len(h.objects)),
 			Entries:    make(map[*object.Object]int, len(h.entries)),
 			Exits:      make(map[*object.Object]vmaddr.HeapID, len(h.exits)),
 			ExitsTo:    make(map[vmaddr.HeapID]int, len(h.exitsTo)),
@@ -101,7 +111,7 @@ func (r *Registry) SnapshotAll(extra func()) []HeapView {
 			Free:       make([]PageRange, 0, len(h.free)),
 		}
 		for o := range h.objects {
-			v.Objects = append(v.Objects, o)
+			v.Objects = append(v.Objects, ObjView{Obj: o, Heap: o.Heap})
 			v.SizedBytes += h.sizeOf(o)
 		}
 		for target, e := range h.entries {

@@ -319,7 +319,18 @@ type Heap struct {
 	// Pid tags GC telemetry with the owning process (0 = kernel/shared).
 	// Set by the VM layer when the heap is handed to a process.
 	Pid int32
+
+	// requester is the serving-plane request id (0 = none) to charge the
+	// next collection's telemetry to. The VM layer sets it around the
+	// collections a request triggers so EvGCStart/EvGCEnd carry the
+	// request stamp. Atomic because GC runs under heap locks the setter
+	// does not hold.
+	requester atomic.Uint64
 }
+
+// SetRequester stamps the request id (0 to clear) that subsequent
+// collections of this heap will be attributed to.
+func (h *Heap) SetRequester(req uint64) { h.requester.Store(req) }
 
 type chunk struct {
 	base  uint64
@@ -659,7 +670,7 @@ func (h *Heap) Collect(roots RootFunc) GCResult {
 	h.gcActive = true
 	if reg.Telemetry != nil {
 		reg.Telemetry.Emit(telemetry.Event{
-			Kind: telemetry.EvGCStart, Pid: h.Pid,
+			Kind: telemetry.EvGCStart, Pid: h.Pid, Req: h.requester.Load(),
 			A: h.bytes, B: uint64(len(h.objects)), Detail: h.Name,
 		})
 	}
@@ -753,7 +764,7 @@ func (h *Heap) Collect(roots RootFunc) GCResult {
 	if reg.Telemetry != nil {
 		h.emitFastPathLocked()
 		reg.Telemetry.Emit(telemetry.Event{
-			Kind: telemetry.EvGCEnd, Pid: h.Pid,
+			Kind: telemetry.EvGCEnd, Pid: h.Pid, Req: h.requester.Load(),
 			A: res.Cycles, B: res.FreedBytes, Detail: h.Name,
 		})
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/heap"
 	"repro/internal/object"
+	"repro/internal/telemetry"
 )
 
 // Slot is one operand stack or local variable slot: either a reference or
@@ -149,6 +150,15 @@ type Thread struct {
 
 	// Daemon threads do not keep their process alive.
 	Daemon bool
+
+	// ReqID is the serving-plane request this thread is executing (0 =
+	// none): it stamps dispatch and GC events so their cost can be
+	// attributed to one request. Span, when non-nil, is that request's
+	// live cost ledger; the scheduler adds consumed cycles to it and the
+	// GC trigger adds pause cycles. Both are written before the thread is
+	// spawned and then touched only on the scheduling goroutine.
+	ReqID uint64
+	Span  *telemetry.Span
 
 	// scratch is the spill buffer used by the SpillSim interpreter mode.
 	scratch []Slot

@@ -216,10 +216,18 @@ func (s *Scheduler) Step() (bool, error) {
 	if s.Charge != nil {
 		s.Charge(t, consumed)
 	}
+	if t.Span != nil {
+		// Request-cost attribution: the quantum's cycles are charged to the
+		// request the thread is serving. Nil for every non-serving thread,
+		// so the hot-path cost when spans are off is this one comparison.
+		t.Span.ExecCycles += consumed
+		t.Span.Quanta++
+	}
 	if s.Telemetry != nil {
 		s.Telemetry.Emit(telemetry.Event{
 			Kind: telemetry.EvDispatch,
 			Pid:  telemetry.PidOf(t.Owner),
+			Req:  t.ReqID,
 			A:    consumed,
 			B:    uint64(res),
 		})

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // handler builds the HTTP front end: tenant routes plus the /serve
@@ -37,26 +38,17 @@ func (s *Server) serveRequest(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	t0 := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	now := time.Now()
-	req := &request{
-		tn:       tn,
-		body:     body,
-		resp:     make(chan response, 1),
-		enq:      now,
-		deadline: now.Add(s.cfg.RequestTimeout),
-	}
+	req := s.newRequest(tn, body, t0)
 	select {
 	case s.submit <- req:
 	default:
-		// The engine's intake is saturated: shed at the socket layer.
-		tn.shed.Inc()
-		s.kShed.Inc()
-		writeResponse(w, tn, response{status: http.StatusServiceUnavailable, body: "shed: submit queue full\n"})
+		writeResponse(w, tn, s.socketShed(req))
 		return
 	}
 	select {
@@ -67,6 +59,69 @@ func (s *Server) serveRequest(w http.ResponseWriter, r *http.Request) {
 		// by its deadline, so this fires only if the engine loop itself is
 		// gone. Still: never hang a client.
 		writeResponse(w, tn, response{status: http.StatusServiceUnavailable, body: "shed: engine unresponsive\n"})
+	}
+}
+
+// newRequest builds one engine submission, minting a span when recording
+// is on (the only per-request cost of the spans-off path is the one
+// atomic Enabled load). t0 is the wall-clock accept time, before the body
+// was read; the accept→now gap is the accept phase.
+func (s *Server) newRequest(tn *tenant, body []byte, t0 time.Time) *request {
+	now := time.Now()
+	req := &request{
+		tn:       tn,
+		body:     body,
+		resp:     make(chan response, 1),
+		enq:      now,
+		t0:       t0,
+		deadline: now.Add(s.cfg.RequestTimeout),
+	}
+	if s.spans.Enabled() {
+		req.id = s.spans.NextID()
+		req.span = &telemetry.Span{
+			ID:       req.id,
+			Route:    tn.cfg.Route,
+			Start:    t0.UnixNano(),
+			AcceptNs: now.Sub(t0).Nanoseconds(),
+		}
+	}
+	return req
+}
+
+// socketShed refuses a request whose engine handoff channel is full — the
+// one shed that happens on the socket goroutine. Safe to finalize the
+// span here: the request never reached the engine.
+func (s *Server) socketShed(req *request) response {
+	tn := req.tn
+	tn.shed.Inc()
+	s.kShed.Inc()
+	req.done = true
+	s.finishSpan(req, http.StatusServiceUnavailable, "submit queue full")
+	return response{status: http.StatusServiceUnavailable, body: "shed: submit queue full\n"}
+}
+
+// Do injects one request into the serving plane without a socket: same
+// admission control, dispatch, span accounting, and single-response
+// guarantee as an HTTP request, minus the TCP/HTTP layer. The server must
+// be started. Used by benchmarks and tests to measure the engine path in
+// isolation.
+func (s *Server) Do(route string, body []byte) (status int, respBody string) {
+	tn := s.byRoute[route]
+	if tn == nil {
+		return http.StatusNotFound, ""
+	}
+	req := s.newRequest(tn, body, time.Now())
+	select {
+	case s.submit <- req:
+	default:
+		resp := s.socketShed(req)
+		return resp.status, resp.body
+	}
+	select {
+	case resp := <-req.resp:
+		return resp.status, resp.body
+	case <-time.After(time.Until(req.deadline) + 5*time.Second):
+		return http.StatusServiceUnavailable, "shed: engine unresponsive\n"
 	}
 }
 
@@ -101,36 +156,41 @@ type TenantRow struct {
 	P99Ns    uint64 `json:"p99_ns"`
 }
 
-// Rows snapshots every tenant. Safe to call from any goroutine at any
-// time: it reads only atomics and the mutex-guarded process pointer.
+// rowFor snapshots one tenant. Safe from any goroutine: it reads only
+// atomics and the mutex-guarded process pointer.
+func (s *Server) rowFor(tn *tenant) TenantRow {
+	role := "servlet"
+	if tn.cfg.Hog {
+		role = "memhog"
+	}
+	row := TenantRow{
+		Route:    tn.cfg.Route,
+		Name:     tn.cfg.Name,
+		Role:     role,
+		Requests: tn.reqs.Value(),
+		OK:       tn.okCount.Value(),
+		Shed:     tn.shed.Value(),
+		Errors:   tn.errs.Value(),
+		Restarts: tn.restarts.Value(),
+		Queue:    tn.qdepth.Value(),
+		Inflight: tn.infl.Value(),
+		MemLimit: uint64(tn.cfg.MemKB) << 10,
+		P50Ns:    tn.latency.Quantile(0.5),
+		P99Ns:    tn.latency.Quantile(0.99),
+	}
+	if p := tn.currentProc(); p != nil {
+		row.Pid = int32(p.ID)
+		row.Up = p.State() == core.ProcRunning
+		row.MemUse = p.MemUse()
+	}
+	return row
+}
+
+// Rows snapshots every tenant.
 func (s *Server) Rows() []TenantRow {
 	rows := make([]TenantRow, 0, len(s.tenants))
 	for _, tn := range s.tenants {
-		role := "servlet"
-		if tn.cfg.Hog {
-			role = "memhog"
-		}
-		row := TenantRow{
-			Route:    tn.cfg.Route,
-			Name:     tn.cfg.Name,
-			Role:     role,
-			Requests: tn.reqs.Value(),
-			OK:       tn.okCount.Value(),
-			Shed:     tn.shed.Value(),
-			Errors:   tn.errs.Value(),
-			Restarts: tn.restarts.Value(),
-			Queue:    tn.qdepth.Value(),
-			Inflight: tn.infl.Value(),
-			MemLimit: uint64(tn.cfg.MemKB) << 10,
-			P50Ns:    tn.latency.Quantile(0.5),
-			P99Ns:    tn.latency.Quantile(0.99),
-		}
-		if p := tn.currentProc(); p != nil {
-			row.Pid = int32(p.ID)
-			row.Up = p.State() == core.ProcRunning
-			row.MemUse = p.MemUse()
-		}
-		rows = append(rows, row)
+		rows = append(rows, s.rowFor(tn))
 	}
 	return rows
 }

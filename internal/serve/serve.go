@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -112,6 +113,20 @@ type Config struct {
 	MaxBackoff     time.Duration
 	// MaxBody caps the request body size (default 1 MiB).
 	MaxBody int64
+
+	// FlightDir, when non-empty, enables the flight recorder: on every
+	// tenant death (and on shed storms, throttled to one dump per
+	// FlightMinGap) the engine writes a post-mortem JSON artifact there
+	// with the tenant's last spans, its recent trace events, and its
+	// lifetime counters.
+	FlightDir string
+	// FlightSpans / FlightEvents bound how many spans and events one dump
+	// carries (defaults 256 / 512).
+	FlightSpans  int
+	FlightEvents int
+	// FlightMinGap throttles shed-triggered dumps (default 5s). Death
+	// dumps are never throttled.
+	FlightMinGap time.Duration
 }
 
 func (c *Config) fill() {
@@ -133,6 +148,15 @@ func (c *Config) fill() {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 1 << 20
 	}
+	if c.FlightSpans <= 0 {
+		c.FlightSpans = 256
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = 512
+	}
+	if c.FlightMinGap <= 0 {
+		c.FlightMinGap = 5 * time.Second
+	}
 }
 
 // response is what the engine loop sends back to a waiting HTTP handler.
@@ -153,6 +177,15 @@ type request struct {
 	deadline time.Time
 	th       *interp.Thread
 	done     bool
+
+	// Request-scoped cost attribution (nil/zero when spans are off).
+	// id stamps the thread, its dispatch quanta, and the GC pauses it
+	// triggers; span is the live ledger, owned by the engine goroutine
+	// from submission until finishSpan copies it into the recorder.
+	id           uint64
+	span         *telemetry.Span
+	t0           time.Time // wall-clock accept (body read start)
+	dispatchedAt time.Time // wall-clock entry into the VM
 }
 
 // tenant is one route's servlet process plus its supervisor state. Queue
@@ -179,7 +212,13 @@ type tenant struct {
 
 	// Mirrors into the current process incarnation's telemetry scope, so
 	// `kaffeos ps`/`top` and /metrics show serving stats per pid.
+	// Written in startTenant under mu (finishSpan may read from an HTTP
+	// goroutine on the socket-shed path).
 	scope *telemetry.Scope
+
+	// Flight-recorder state (engine goroutine only).
+	flightSeq      int
+	flightLastShed time.Time
 }
 
 func (t *tenant) handlerClass() string {
@@ -206,6 +245,12 @@ type Server struct {
 	// Kernel-scope totals plus socket-layer counters.
 	kReqs, kShed, kErrs, kOK *telemetry.Counter
 	runErrs                  telemetry.Counter
+
+	// Span plumbing: the VM hub's recorder plus cached kernel-scope phase
+	// histograms (one Observe per completed request when spans are on).
+	spans                                        *telemetry.SpanRecorder
+	kSpanQueue, kSpanMarshal, kSpanExec, kSpanGC *telemetry.Histogram
+	kSpanTotal                                   *telemetry.Histogram
 }
 
 // New builds a server over vm. The VM must be otherwise idle: once Start
@@ -227,6 +272,13 @@ func New(vm *core.VM, cfg Config, tenants []TenantConfig) (*Server, error) {
 		kShed:    k.Counter(telemetry.MServeShed),
 		kErrs:    k.Counter(telemetry.MServeErrors),
 		kOK:      k.Counter(telemetry.MServeOK),
+
+		spans:        vm.Tel.Spans,
+		kSpanQueue:   k.Histogram(telemetry.MSpanQueueNs),
+		kSpanMarshal: k.Histogram(telemetry.MSpanMarshalNs),
+		kSpanExec:    k.Histogram(telemetry.MSpanExecCycles),
+		kSpanGC:      k.Histogram(telemetry.MSpanGCCycles),
+		kSpanTotal:   k.Histogram(telemetry.MSpanTotalNs),
 	}
 	for _, tc := range tenants {
 		if err := tc.fill(); err != nil {
@@ -317,9 +369,9 @@ func (s *Server) startTenant(tn *tenant) error {
 
 	tn.mu.Lock()
 	tn.proc = p
+	tn.scope = scope
 	tn.mu.Unlock()
 	tn.arrCls = arrCls
-	tn.scope = scope
 	tn.down = false
 	s.publish(tn)
 	return nil
@@ -413,7 +465,12 @@ func (s *Server) admit(r *request) {
 				// Distinguish garbage from live data before refusing: a
 				// collection (charged to the tenant) saves a well-behaved
 				// neighbour; a hog's vector stays live and the shed stands.
-				p.Collect()
+				// The pause is attributed to the arriving request that
+				// forced it.
+				res := p.CollectAttributed(r.id)
+				if r.span != nil {
+					r.span.GCCycles += res.Cycles
+				}
 				if float64(p.MemUse()) > high {
 					s.shed(r, "memlimit saturated")
 					return
@@ -443,6 +500,12 @@ func (s *Server) shed(r *request, reason string) {
 		A: uint64(len(tn.queue)), Detail: tn.cfg.Route + ": " + reason,
 	})
 	s.respond(r, http.StatusServiceUnavailable, "shed: "+reason+"\n")
+	if !tn.down {
+		// Shed storms on a live tenant are worth a post-mortem too
+		// (throttled); the sheds of a death's queue drain are covered by
+		// markDown's own dump.
+		s.flightOnShed(tn)
+	}
 }
 
 func (t *tenant) pid() int32 {
@@ -454,6 +517,57 @@ func (t *tenant) pid() int32 {
 	return int32(t.proc.ID)
 }
 
+// currentScope reads the tenant's telemetry scope (safe from any
+// goroutine; the engine swaps it on restart).
+func (t *tenant) currentScope() *telemetry.Scope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.scope
+}
+
+// finishSpan closes the request's cost ledger and publishes it: the span
+// goes to the recorder ring and each phase to the kernel and tenant phase
+// histograms. Engine-goroutine normally; the socket-layer shed path calls
+// it from an HTTP goroutine, which is safe because such a request never
+// reached the engine (and recorder/histogram writes synchronize
+// internally).
+func (s *Server) finishSpan(r *request, status int, detail string) {
+	sp := r.span
+	if sp == nil {
+		return
+	}
+	r.span = nil
+	now := time.Now()
+	tn := r.tn
+	sp.Pid = tn.pid()
+	sp.Status = status
+	if status != http.StatusOK {
+		sp.Detail = detail
+	}
+	if !r.dispatchedAt.IsZero() {
+		sp.ExecNs = now.Sub(r.dispatchedAt).Nanoseconds()
+	} else if sp.QueueNs == 0 {
+		// Never dispatched: its whole post-accept life was queue wait.
+		sp.QueueNs = now.Sub(r.enq).Nanoseconds()
+	}
+	sp.GCNs = telemetry.CyclesToNs(sp.GCCycles)
+	sp.TotalNs = now.Sub(r.t0).Nanoseconds()
+	s.spans.Record(*sp)
+
+	s.kSpanQueue.Observe(uint64(sp.QueueNs))
+	s.kSpanMarshal.Observe(uint64(sp.MarshalNs))
+	s.kSpanExec.Observe(sp.ExecCycles)
+	s.kSpanGC.Observe(sp.GCCycles)
+	s.kSpanTotal.Observe(uint64(sp.TotalNs))
+	if sc := tn.currentScope(); sc != nil {
+		sc.Histogram(telemetry.MSpanQueueNs).Observe(uint64(sp.QueueNs))
+		sc.Histogram(telemetry.MSpanMarshalNs).Observe(uint64(sp.MarshalNs))
+		sc.Histogram(telemetry.MSpanExecCycles).Observe(sp.ExecCycles)
+		sc.Histogram(telemetry.MSpanGCCycles).Observe(sp.GCCycles)
+		sc.Histogram(telemetry.MSpanTotalNs).Observe(uint64(sp.TotalNs))
+	}
+}
+
 // respond delivers the single response for r. The channel is buffered, so
 // the engine never blocks on a client that gave up.
 func (s *Server) respond(r *request, status int, body string) {
@@ -461,6 +575,7 @@ func (s *Server) respond(r *request, status int, body string) {
 		return
 	}
 	r.done = true
+	s.finishSpan(r, status, strings.TrimSuffix(body, "\n"))
 	r.resp <- response{status: status, body: body, pid: r.tn.pid()}
 }
 
@@ -488,12 +603,20 @@ func (s *Server) dispatch(tn *tenant) {
 		if r.done { // expired while queued
 			continue
 		}
-		arr, err := s.marshal(tn, r.body)
+		var m0 time.Time
+		if r.span != nil {
+			m0 = time.Now()
+			r.span.QueueNs = m0.Sub(r.enq).Nanoseconds()
+		}
+		arr, err := s.marshal(tn, r)
 		if err != nil {
 			// The request wouldn't fit in the tenant's memlimit: that is
 			// saturation, not failure — shed it.
 			s.shed(r, "request does not fit memlimit")
 			continue
+		}
+		if r.span != nil {
+			r.span.MarshalNs = time.Since(m0).Nanoseconds()
 		}
 		th, err := p.Spawn(tn.handlerClass(), jserv.NetHandleKey,
 			interp.RefSlot(arr), interp.IntSlot(int64(tn.cfg.WorkUnits)))
@@ -501,7 +624,12 @@ func (s *Server) dispatch(tn *tenant) {
 			s.shed(r, "tenant not accepting requests")
 			continue
 		}
+		// Stamp the thread: the scheduler charges its quanta to the span
+		// and the GC trigger charges pauses to the request id.
+		th.ReqID = r.id
+		th.Span = r.span
 		r.th = th
+		r.dispatchedAt = time.Now()
 		tn.inflight = append(tn.inflight, r)
 		if s.vm.Cfg.Faults.Fire(faults.SiteServeDispatch) {
 			// The fault plane kills the tenant mid-request — the
@@ -519,11 +647,15 @@ func (s *Server) dispatch(tn *tenant) {
 // The allocation is charged to the tenant's memlimit; a refusal is
 // retried once after collecting the tenant's heap (the GC cycles are
 // charged to the tenant too).
-func (s *Server) marshal(tn *tenant, body []byte) (*object.Object, error) {
+func (s *Server) marshal(tn *tenant, r *request) (*object.Object, error) {
+	body := r.body
 	n := 1 + (len(body)+3)/4
 	arr, err := tn.proc.Heap.AllocArray(tn.arrCls, n)
 	if err != nil {
-		tn.proc.Collect()
+		res := tn.proc.CollectAttributed(r.id)
+		if r.span != nil {
+			r.span.GCCycles += res.Cycles
+		}
 		arr, err = tn.proc.Heap.AllocArray(tn.arrCls, n)
 		if err != nil {
 			return nil, err
@@ -601,6 +733,9 @@ func (s *Server) markDown(tn *tenant, now time.Time) {
 	}
 	tn.queue = tn.queue[:0]
 	tn.qdepth.Set(0)
+	// Post-mortem after the queue drain, so the dump carries every span
+	// this death produced (the 502s reaped above and the sheds just made).
+	s.dumpFlight(tn, "death")
 	if !tn.cfg.NoRestart {
 		backoff := s.cfg.RestartBackoff << uint(tn.deaths-1)
 		if backoff > s.cfg.MaxBackoff || backoff <= 0 {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,8 +93,20 @@ func TestServeSingleRequest(t *testing.T) {
 // neighbours must see zero failures — every one of their requests returns
 // 200 — and every hog request is answered (200, 502 on death, or 503
 // shed), never hung. The kernel audit must pass after teardown.
+//
+// The run records spans and writes flight-recorder dumps for every hog
+// death. SERVE_E2E_FLIGHT_DIR overrides the dump directory: CI points it
+// at a workspace path and uploads the dumps as artifacts when the job
+// fails, so a red run ships its own post-mortems.
 func TestServeE2E(t *testing.T) {
 	vm := newVM(t, core.Config{})
+	vm.Tel.Spans.SetEnabled(true)
+	flightDir := os.Getenv("SERVE_E2E_FLIGHT_DIR")
+	if flightDir == "" {
+		flightDir = t.TempDir()
+	} else if err := os.MkdirAll(flightDir, 0o755); err != nil {
+		t.Fatalf("flight dir: %v", err)
+	}
 	tenants := []TenantConfig{
 		{Route: "/a", WorkUnits: 40, MemKB: 8192},
 		{Route: "/b", WorkUnits: 40, MemKB: 8192},
@@ -102,7 +116,7 @@ func TestServeE2E(t *testing.T) {
 		// MemHog scenario the serving plane must degrade around.
 		{Route: "/hog", Hog: true, MemKB: 1024, QueueMax: 32, ShedFraction: -1},
 	}
-	s, base := startServer(t, vm, Config{RequestTimeout: 20 * time.Second}, tenants)
+	s, base := startServer(t, vm, Config{RequestTimeout: 20 * time.Second, FlightDir: flightDir}, tenants)
 
 	const (
 		total   = 10_000
@@ -181,6 +195,14 @@ func TestServeE2E(t *testing.T) {
 		t.Errorf("hog served zero requests successfully; restarts are not effective")
 	}
 	t.Logf("hog: %d ok, %d shed, %d errors, %d restarts", hogRow.OK, hogRow.Shed, hogRow.Errors, hogRow.Restarts)
+	// Every hog death must have left a post-mortem.
+	dumps, err := filepath.Glob(filepath.Join(flightDir, "flight-hog-*.json"))
+	if err != nil {
+		t.Fatalf("glob flight dir: %v", err)
+	}
+	if uint64(len(dumps)) < hogRow.Restarts {
+		t.Errorf("%d flight dumps for %d hog restarts", len(dumps), hogRow.Restarts)
+	}
 	auditOK(t, vm)
 }
 

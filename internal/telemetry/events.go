@@ -146,6 +146,10 @@ type Event struct {
 	Time uint64 // virtual-cycle timestamp
 	Kind Kind
 	Pid  int32
+	// Req is the request id active when the event fired (0 = none): the
+	// stamp that lets dispatch quanta and GC pauses be attributed to one
+	// served request.
+	Req  uint64
 	A, B uint64 // kind-specific payload (see fieldNames)
 	// Detail carries a name or reason on cold paths; hot-path events
 	// leave it empty to avoid allocation.

@@ -4,16 +4,21 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler builds the HTTP introspection surface (stdlib net/http only):
 //
-//	/procs    JSON Snapshot — the live process table
-//	/metrics  JSON array of every scope's metrics (kernel first)
-//	/trace    the current trace ring as JSON lines
-//	/ps       the process table rendered as plain text
-//	/audit    JSON invariant report (requires SetAuditor; advisory while
-//	          the VM runs — authoritative audits need a quiescent VM)
+//	/procs         JSON Snapshot — the live process table
+//	/metrics       Prometheus text exposition of every scope's metrics
+//	/metrics.json  JSON array of every scope's metrics (kernel first)
+//	/trace         the current trace ring as JSON lines
+//	/spans         the completed-request span ring as JSON lines
+//	/ps            the process table rendered as plain text
+//	/audit         JSON invariant report (requires SetAuditor; advisory
+//	               while the VM runs — authoritative audits need a
+//	               quiescent VM)
+//	/debug/pprof/  Go runtime profiling (heap, goroutine, cpu, ...)
 //
 // snap may be nil, in which case /procs and /ps serve registry data only.
 func (h *Hub) Handler(snap SnapshotFunc) http.Handler {
@@ -29,6 +34,11 @@ func (h *Hub) Handler(snap SnapshotFunc) http.Handler {
 		_ = json.NewEncoder(w).Encode(takeSnap())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		h.syncDerived()
 		scopes := []MetricsSnapshot{h.Reg.Kernel().Dump()}
 		for _, s := range h.Reg.Procs() {
 			scopes = append(scopes, s.Dump())
@@ -39,6 +49,10 @@ func (h *Hub) Handler(snap SnapshotFunc) http.Handler {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = h.Trace.WriteJSONL(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = h.Spans.WriteJSONL(w)
 	})
 	mux.HandleFunc("/ps", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -52,6 +66,14 @@ func (h *Hub) Handler(snap SnapshotFunc) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(h.auditor())
 	})
+	// Runtime profiling. http.DefaultServeMux registration from importing
+	// net/http/pprof does not reach this private mux, so wire the handlers
+	// explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -9,6 +9,10 @@ import "sync/atomic"
 type Hub struct {
 	Reg   *Registry
 	Trace *Tracer
+	// Spans records completed request spans from the serving plane. Always
+	// non-nil; recording is gated by its own enabled flag (spans are useful
+	// without full event tracing and vice versa).
+	Spans *SpanRecorder
 
 	tracing atomic.Bool
 	// clock supplies virtual-cycle timestamps. Set once during VM
@@ -23,7 +27,7 @@ type Hub struct {
 // NewHub builds a hub with a fresh registry and a tracer of ringSize
 // events (DefaultRingSize if <= 0).
 func NewHub(ringSize int) *Hub {
-	return &Hub{Reg: NewRegistry(), Trace: NewTracer(ringSize)}
+	return &Hub{Reg: NewRegistry(), Trace: NewTracer(ringSize), Spans: NewSpanRecorder(0)}
 }
 
 // SetClock installs the virtual-cycle clock used to stamp events that

@@ -331,26 +331,26 @@ func (r *Registry) Procs() []*Scope {
 // Canonical metric names. Subsystems and renderers agree on these; tests
 // grep for them, so treat them as a stable interface.
 const (
-	MCPUCycles      = "cpu.cycles"       // counter: cycles charged (incl. GC)
-	MIOBytes        = "io.bytes"         // counter: bytes written to stdout
-	MGCCount        = "gc.count"         // counter: collections of this scope's heap
-	MGCCycles       = "gc.cycles"        // counter: total GC pause cycles
-	MGCCharged      = "gc.charged"       // counter: GC cycles charged to the process
-	MGCFreedBytes   = "gc.freed_bytes"   // counter: bytes freed by GC
-	MGCPause        = "gc.pause_cycles"  // histogram: one observation per collection
+	MCPUCycles      = "cpu.cycles"         // counter: cycles charged (incl. GC)
+	MIOBytes        = "io.bytes"           // counter: bytes written to stdout
+	MGCCount        = "gc.count"           // counter: collections of this scope's heap
+	MGCCycles       = "gc.cycles"          // counter: total GC pause cycles
+	MGCCharged      = "gc.charged"         // counter: GC cycles charged to the process
+	MGCFreedBytes   = "gc.freed_bytes"     // counter: bytes freed by GC
+	MGCPause        = "gc.pause_cycles"    // histogram: one observation per collection
 	MGCFastHits     = "gc.fastpath.hits"   // counter: allocations served from the memlimit lease
 	MGCFastMisses   = "gc.fastpath.misses" // counter: allocations that debited the memlimit tree
 	MGCOverlap      = "gc.overlap"         // kernel gauge: max simultaneous collections
 	MGCAdaptive     = "gc.adaptive"        // counter: collections started by the growth trigger
-	MDispatches     = "sched.dispatches" // counter: quanta dispatched
-	MQuantum        = "sched.quantum"    // histogram: cycles actually used per quantum
-	MYields         = "sched.yields"     // counter: voluntary yields
-	MThreadsSpawned = "threads.spawned"  // counter: threads ever started
-	MMemLimit       = "mem.limit"        // gauge: configured memlimit
-	MProcsCreated   = "proc.created"     // kernel counter
-	MProcsKilled    = "proc.killed"      // kernel counter
-	MProcsExited    = "proc.exited"      // kernel counter
-	MProcsReclaimed = "proc.reclaimed"   // kernel counter
+	MDispatches     = "sched.dispatches"   // counter: quanta dispatched
+	MQuantum        = "sched.quantum"      // histogram: cycles actually used per quantum
+	MYields         = "sched.yields"       // counter: voluntary yields
+	MThreadsSpawned = "threads.spawned"    // counter: threads ever started
+	MMemLimit       = "mem.limit"          // gauge: configured memlimit
+	MProcsCreated   = "proc.created"       // kernel counter
+	MProcsKilled    = "proc.killed"        // kernel counter
+	MProcsExited    = "proc.exited"        // kernel counter
+	MProcsReclaimed = "proc.reclaimed"     // kernel counter
 	MViolations     = "barrier.violations"
 	MMemFailures    = "memlimit.failures"
 	MSharedCreated  = "shared.created"
@@ -369,4 +369,15 @@ const (
 	MServeQueueDepth = "serve.queue_depth" // gauge: requests waiting for dispatch
 	MServeInflight   = "serve.inflight"    // gauge: requests executing in the VM
 	MServeLatency    = "serve.latency_ns"  // histogram: wall-clock request latency
+
+	// Request-scoped cost attribution (spans). Histograms get one
+	// observation per completed request; kernel scope aggregates across
+	// tenants, each tenant scope carries its own.
+	MSpanQueueNs    = "span.queue_ns"    // histogram: submit/queue wait
+	MSpanMarshalNs  = "span.marshal_ns"  // histogram: body marshal into tenant heap
+	MSpanExecCycles = "span.exec_cycles" // histogram: thread cycles per request
+	MSpanGCCycles   = "span.gc_cycles"   // histogram: GC cycles charged per request
+	MSpanTotalNs    = "span.total_ns"    // histogram: accept-to-response wall time
+	MSpanDropped    = "span.dropped"     // kernel gauge: spans that fell off the ring
+	MTraceDropped   = "trace.dropped"    // kernel gauge: events that fell off the ring
 )

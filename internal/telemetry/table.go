@@ -9,17 +9,17 @@ import (
 // live-process state (filled by the VM for running processes) and the
 // registry's accumulated accounting (which survives reclamation).
 type ProcRow struct {
-	Pid       int32  `json:"pid"`
-	Name      string `json:"name"`
-	State     string `json:"state"`
-	Threads   int    `json:"threads"`
-	HeapBytes uint64 `json:"heap_bytes"`
-	MemUse    uint64 `json:"mem_use"`
-	MemLimit  uint64 `json:"mem_limit"`
-	CPUCycles uint64 `json:"cpu_cycles"`
-	IOBytes   uint64 `json:"io_bytes"`
-	GCs       uint64 `json:"gc_count"`
-	GCCycles  uint64 `json:"gc_cycles"`
+	Pid        int32  `json:"pid"`
+	Name       string `json:"name"`
+	State      string `json:"state"`
+	Threads    int    `json:"threads"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+	MemUse     uint64 `json:"mem_use"`
+	MemLimit   uint64 `json:"mem_limit"`
+	CPUCycles  uint64 `json:"cpu_cycles"`
+	IOBytes    uint64 `json:"io_bytes"`
+	GCs        uint64 `json:"gc_count"`
+	GCCycles   uint64 `json:"gc_cycles"`
 	GCPauseP50 uint64 `json:"gc_pause_p50"`
 	GCPauseMax uint64 `json:"gc_pause_max"`
 }

@@ -289,11 +289,24 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 
 	var metrics []MetricsSnapshot
-	if err := json.Unmarshal([]byte(get("/metrics")), &metrics); err != nil {
-		t.Fatalf("/metrics not JSON: %v", err)
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &metrics); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
 	}
 	if len(metrics) != 2 || metrics[0].Name != "kernel" {
-		t.Errorf("/metrics scopes = %d (first %q)", len(metrics), metrics[0].Name)
+		t.Errorf("/metrics.json scopes = %d (first %q)", len(metrics), metrics[0].Name)
+	}
+
+	prom := get("/metrics")
+	for _, frag := range []string{
+		"# TYPE kaffeos_gc_cycles counter",
+		`kaffeos_gc_cycles{pid="1",proc="web"} 500`,
+		"# TYPE kaffeos_gc_pause_cycles histogram",
+		`kaffeos_gc_pause_cycles_count{pid="1",proc="web"} 1`,
+		`kaffeos_trace_dropped{pid="0",proc="kernel"} 0`,
+	} {
+		if !strings.Contains(prom, frag) {
+			t.Errorf("/metrics missing %q:\n%s", frag, prom)
+		}
 	}
 
 	trace := get("/trace")

@@ -91,6 +91,9 @@ func MarshalEvent(e Event) ([]byte, error) {
 		aName:      e.A,
 		bName:      e.B,
 	}
+	if e.Req != 0 {
+		m["req"] = e.Req
+	}
 	if e.Detail != "" {
 		m["detail"] = e.Detail
 	}
