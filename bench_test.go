@@ -20,6 +20,7 @@ package repro
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/barrier"
@@ -678,6 +679,58 @@ func BenchmarkServeThroughput(b *testing.B) {
 			b.StopTimer()
 			if err := srv.Close(); err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkServeShardedThroughput measures the engine path on a sharded
+// plane at 1/2/4 shards: concurrent callers spread over one tenant per
+// shard slot, so with N shards up to N requests execute in parallel on N
+// VMs. The shards-1 case is the old single-engine plane; the scaling gap
+// to shards-4 is what the shard refactor buys on a multi-core host (on a
+// single core the variants should roughly tie — the gate's host line
+// records which case the baseline measured).
+func BenchmarkServeShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			tenants := make([]serve.TenantConfig, 4)
+			routes := make([]string, len(tenants))
+			for i := range tenants {
+				routes[i] = fmt.Sprintf("/b%d", i)
+				tenants[i] = serve.TenantConfig{Route: routes[i], WorkUnits: 20}
+			}
+			srv, err := serve.NewSharded(
+				core.Config{Engine: core.EngineJITOpt},
+				serve.Config{Shards: shards, Place: serve.LeastLoaded},
+				tenants)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			body := []byte("bench-payload")
+			var rr atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				route := routes[int(rr.Add(1)-1)%len(routes)]
+				for pb.Next() {
+					status, _ := srv.Do(route, body)
+					if status != 200 && status != 503 {
+						b.Errorf("status %d", status)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			for i, vm := range srv.VMs() {
+				if rep := vm.Audit(true); !rep.OK() {
+					b.Fatalf("shard %d post-run audit failed:\n%s", i, rep)
+				}
 			}
 		})
 	}

@@ -34,6 +34,50 @@ import (
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// hostLine records the machine a bench file was produced on, e.g.
+//
+//	benchgate-host: cores=4 gomaxprocs=4
+//
+// The baseline carries one so the gate can tell when the runner's shape
+// no longer matches the numbers it is gating against: ns/op measured on
+// one core says nothing binding about a 4-core runner (and vice versa —
+// parallel benchmarks shift with GOMAXPROCS), so on a core-count mismatch
+// regressions are reported as warnings instead of failures.
+var hostLine = regexp.MustCompile(`^benchgate-host:\s+cores=(\d+)\s+gomaxprocs=(\d+)`)
+
+// benchHost is the parsed host line (nil when a file has none — old
+// baselines stay valid and gate strictly).
+type benchHost struct {
+	Cores      int `json:"cores"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// parseHost scans a bench output file for its benchgate-host line.
+func parseHost(path string) (*benchHost, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := hostLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		cores, _ := strconv.Atoi(m[1])
+		procs, _ := strconv.Atoi(m[2])
+		return &benchHost{Cores: cores, GOMAXPROCS: procs}, nil
+	}
+	return nil, sc.Err()
+}
+
+// HostLine renders the host line for appending to a fresh baseline.
+func HostLine() string {
+	h := telemetry.Host()
+	return fmt.Sprintf("benchgate-host: cores=%d gomaxprocs=%d", h.Cores, h.GOMAXPROCS)
+}
+
 // parseBench collects ns/op samples per benchmark name from one
 // `go test -bench` output file.
 func parseBench(path string) (map[string][]float64, error) {
@@ -88,7 +132,12 @@ func main() {
 	candidate := flag.String("candidate", "", "fresh bench output to gate")
 	threshold := flag.Float64("threshold", 15, "fail when ns/op grows more than this percent")
 	jsonPath := flag.String("json", "", "write the comparison (with host info) to this file")
+	printHost := flag.Bool("host-line", false, "print this machine's benchgate-host line and exit (append it to a fresh baseline)")
 	flag.Parse()
+	if *printHost {
+		fmt.Println(HostLine())
+		return
+	}
 	if *candidate == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
 		os.Exit(2)
@@ -101,6 +150,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	baseHost, err := parseHost(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	// Core-count mismatch between the baseline host and this runner means
+	// the baseline's ns/op are not binding here: regressions demote to
+	// warnings. A baseline without a host line gates strictly (legacy).
+	runnerCores := telemetry.Host().Cores
+	hostMismatch := baseHost != nil && baseHost.Cores != runnerCores
 
 	names := make([]string, 0, len(old)+len(fresh))
 	seen := make(map[string]bool)
@@ -145,10 +203,12 @@ func main() {
 	if *jsonPath != "" {
 		artifact := struct {
 			Host         telemetry.HostInfo `json:"host"`
+			BaselineHost *benchHost         `json:"baseline_host,omitempty"`
+			HostMismatch bool               `json:"host_mismatch"`
 			ThresholdPct float64            `json:"threshold_pct"`
 			Regressions  int                `json:"regressions"`
 			Rows         []Row              `json:"rows"`
-		}{telemetry.Host(), *threshold, regressions, rows}
+		}{telemetry.Host(), baseHost, hostMismatch, *threshold, regressions, rows}
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fail(err)
@@ -163,11 +223,18 @@ func main() {
 		}
 	}
 
-	if regressions > 0 {
+	switch {
+	case regressions > 0 && hostMismatch:
+		fmt.Fprintf(os.Stderr,
+			"benchgate: WARNING: %d benchmark(s) over the %.0f%% threshold, but the baseline was recorded on %d core(s) and this runner has %d — numbers are not comparable, warning instead of failing\n",
+			regressions, *threshold, baseHost.Cores, runnerCores)
+		fmt.Fprintln(os.Stderr, "benchgate: refresh the baseline on a matching host (append `benchgate -host-line` output) to re-arm the gate")
+	case regressions > 0:
 		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
 		os.Exit(1)
+	default:
+		fmt.Printf("benchgate: ok (%d benchmarks within %.0f%%)\n", len(rows), *threshold)
 	}
-	fmt.Printf("benchgate: ok (%d benchmarks within %.0f%%)\n", len(rows), *threshold)
 }
 
 func fail(err error) {

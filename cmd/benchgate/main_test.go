@@ -42,6 +42,51 @@ func TestParseBenchRejectsEmpty(t *testing.T) {
 	}
 }
 
+func TestParseHost(t *testing.T) {
+	p := writeTemp(t, "b.txt", `
+benchgate-host: cores=4 gomaxprocs=8
+BenchmarkFoo-4	 1000	  100.0 ns/op
+PASS
+`)
+	h, err := parseHost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil || h.Cores != 4 || h.GOMAXPROCS != 8 {
+		t.Errorf("parseHost = %+v, want cores=4 gomaxprocs=8", h)
+	}
+	// The host line must not be mistaken for a benchmark sample.
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got["BenchmarkFoo"]) != 1 {
+		t.Errorf("parseBench with host line = %v", got)
+	}
+}
+
+func TestParseHostAbsent(t *testing.T) {
+	p := writeTemp(t, "b.txt", "BenchmarkFoo	 1000	  100.0 ns/op\n")
+	h, err := parseHost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != nil {
+		t.Errorf("parseHost = %+v, want nil for a legacy baseline", h)
+	}
+}
+
+func TestHostLineRoundTrips(t *testing.T) {
+	p := writeTemp(t, "b.txt", HostLine()+"\n")
+	h, err := parseHost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil || h.Cores <= 0 || h.GOMAXPROCS <= 0 {
+		t.Errorf("HostLine round-trip = %+v", h)
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if m := median([]float64{3, 1, 2}); m != 2 {
 		t.Errorf("odd median = %v", m)

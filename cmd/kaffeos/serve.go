@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/core"
@@ -14,19 +15,21 @@ import (
 
 // serveCmd runs the network serving plane: each route is an isolated
 // KaffeOS process with its own heap and memlimit, fed by real HTTP
-// traffic. Ctrl-C shuts down, prints per-tenant statistics, and audits
-// the kernel's books.
+// traffic, spread over N engine shards (one VM per shard). Ctrl-C shuts
+// down, prints per-tenant statistics, and audits every shard's books.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "TCP listen address")
 	routes := fs.String("routes", "/zone0,/zone1,/zone2,/memhog:hog:1024",
 		"route spec: path[:hog|servlet][:memKiB][:norestart], comma-separated")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
+		"engine shards, one VM per shard (default GOMAXPROCS); tenants spread least-loaded")
 	work := fs.Int("work", 100, "per-request servlet work units")
 	queueMax := fs.Int("queue", 0, "per-tenant request queue bound (0 = default 64)")
 	inflight := fs.Int("inflight", 0, "per-tenant concurrent requests (0 = default 8)")
 	engine := fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt")
 	faultSpec := fs.String("faults", "", `arm fault injection (e.g. "seed=7,serve.dispatch=@100")`)
-	telAddr := fs.String("http", "", "also serve the telemetry endpoint on this address")
+	telAddr := fs.String("http", "", "also serve the aggregated telemetry endpoint on this address")
 	spans := fs.Bool("spans", false, "record per-request cost spans (view at /spans or with kaffeos trace)")
 	flightDir := fs.String("flight", "", "write flight-recorder post-mortems to this directory on tenant death/shed")
 	if err := fs.Parse(args); err != nil {
@@ -51,40 +54,41 @@ func serveCmd(args []string) error {
 		}
 		plane = faults.NewPlane(plan)
 	}
-	vm, err := core.NewVM(core.Config{Engine: core.EngineKind(*engine), Faults: plane})
-	if err != nil {
-		return err
-	}
-	if *spans {
-		vm.Tel.Spans.SetEnabled(true)
-	}
-	if *telAddr != "" {
-		bound, err := vm.Tel.Serve(*telAddr, vm.Snapshot)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "kaffeos: telemetry on http://%s (/procs /metrics /spans /trace /ps /debug/pprof)\n", bound)
-	}
 	if *flightDir != "" {
 		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
 			return err
 		}
 	}
-	srv, err := serve.New(vm, serve.Config{FlightDir: *flightDir}, tenants)
+	srv, err := serve.NewSharded(
+		core.Config{Engine: core.EngineKind(*engine), Faults: plane},
+		serve.Config{Shards: *shards, Place: serve.LeastLoaded, FlightDir: *flightDir},
+		tenants)
 	if err != nil {
 		return err
+	}
+	if *spans {
+		for _, vm := range srv.VMs() {
+			vm.Tel.Spans.SetEnabled(true)
+		}
+	}
+	if *telAddr != "" {
+		bound, err := srv.ServeTelemetry(*telAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "kaffeos: telemetry on http://%s (/procs /metrics /spans /trace /ps /audit /debug/pprof, shard-labelled)\n", bound)
 	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "kaffeos: serving on http://%s (/serve for stats)\n", bound)
+	fmt.Fprintf(os.Stderr, "kaffeos: serving on http://%s (/serve for stats), %d shard(s)\n", bound, srv.Shards())
 	for _, tc := range tenants {
 		role := "servlet"
 		if tc.Hog {
 			role = "memhog"
 		}
-		fmt.Fprintf(os.Stderr, "kaffeos:   %-16s %s\n", tc.Route, role)
+		fmt.Fprintf(os.Stderr, "kaffeos:   %-16s %-8s shard %d\n", tc.Route, role, srv.ShardOf(tc.Route))
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -94,16 +98,18 @@ func serveCmd(args []string) error {
 	if err := srv.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%-16s %-8s %8s %8s %8s %8s %8s %10s %10s\n",
-		"ROUTE", "ROLE", "REQS", "OK", "SHED", "ERRS", "RESTARTS", "P50", "P99")
+	fmt.Fprintf(os.Stderr, "%-16s %-8s %5s %8s %8s %8s %8s %8s %8s %10s %10s\n",
+		"ROUTE", "ROLE", "SHARD", "REQS", "OK", "SHED", "ERRS", "RESTARTS", "MIGR", "P50", "P99")
 	for _, row := range srv.Rows() {
-		fmt.Fprintf(os.Stderr, "%-16s %-8s %8d %8d %8d %8d %8d %9dus %9dus\n",
-			row.Route, row.Role, row.Requests, row.OK, row.Shed, row.Errors,
-			row.Restarts, row.P50Ns/1000, row.P99Ns/1000)
+		fmt.Fprintf(os.Stderr, "%-16s %-8s %5d %8d %8d %8d %8d %8d %8d %9dus %9dus\n",
+			row.Route, row.Role, row.Shard, row.Requests, row.OK, row.Shed, row.Errors,
+			row.Restarts, row.Migrations, row.P50Ns/1000, row.P99Ns/1000)
 	}
-	if rep := vm.Audit(true); !rep.OK() {
-		return fmt.Errorf("post-shutdown audit failed:\n%s", rep)
+	for i, vm := range srv.VMs() {
+		if rep := vm.Audit(true); !rep.OK() {
+			return fmt.Errorf("post-shutdown audit failed on shard %d:\n%s", i, rep)
+		}
 	}
-	fmt.Fprintln(os.Stderr, "kaffeos: post-shutdown audit ok")
+	fmt.Fprintf(os.Stderr, "kaffeos: post-shutdown audit ok on %d shard(s)\n", srv.Shards())
 	return nil
 }

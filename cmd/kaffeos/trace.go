@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -15,37 +16,74 @@ import (
 	"repro/internal/telemetry"
 )
 
+// spanInputs collects -spans values: the flag repeats and each value may
+// be comma-separated, so a sharded plane's artifacts merge in one call.
+type spanInputs []string
+
+func (f *spanInputs) String() string { return strings.Join(*f, ",") }
+
+func (f *spanInputs) Set(v string) error {
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			*f = append(*f, p)
+		}
+	}
+	return nil
+}
+
 // traceCmd analyzes request spans: per-phase latency quantiles and the
-// top-K slowest requests, read from a /spans JSONL dump, a flight-recorder
-// post-mortem, or scraped live from a running server's telemetry endpoint.
+// top-K slowest requests. Inputs are /spans JSONL dumps, flight-recorder
+// post-mortems, whole flight directories, or a live telemetry endpoint —
+// several may be given (repeat -spans or comma-separate) and their spans
+// are merged in start-time order, which is how a sharded plane's
+// per-shard artifacts become one trace.
 func traceCmd(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	spansPath := fs.String("spans", "", "read spans from this file (/spans JSONL or a flight-recorder dump)")
+	var inputs spanInputs
+	fs.Var(&inputs, "spans",
+		"read spans from file(s): /spans JSONL, a flight-recorder dump, or a flight directory; repeat or comma-separate to merge")
 	url := fs.String("url", "", "scrape spans from a live telemetry endpoint (e.g. http://127.0.0.1:9090)")
 	route := fs.String("route", "", "only analyze spans of this route")
+	shard := fs.Int("shard", -1, "only analyze spans of this shard (-1 = all)")
 	topK := fs.Int("top", 5, "show the K slowest requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var (
-		spans []telemetry.Span
-		err   error
-	)
-	switch {
-	case *url != "":
-		spans, err = scrapeSpans(strings.TrimSuffix(*url, "/") + "/spans")
-	case *spansPath != "":
-		spans, err = readSpans(*spansPath)
-	default:
-		return fmt.Errorf("trace: need -spans file or -url endpoint")
+	var spans []telemetry.Span
+	if *url != "" {
+		got, err := scrapeSpans(strings.TrimSuffix(*url, "/") + "/spans")
+		if err != nil {
+			return err
+		}
+		spans = append(spans, got...)
 	}
-	if err != nil {
-		return err
+	for _, path := range inputs {
+		got, err := readSpansPath(path)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, got...)
 	}
+	if *url == "" && len(inputs) == 0 {
+		return fmt.Errorf("trace: need -spans file(s) or -url endpoint")
+	}
+	// Merge order: wall-clock start. Per-shard recorders each emit in
+	// their own order; interleaving by Start makes the merged stream read
+	// as one timeline.
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 	if *route != "" {
 		keep := spans[:0]
 		for _, sp := range spans {
 			if sp.Route == *route {
+				keep = append(keep, sp)
+			}
+		}
+		spans = keep
+	}
+	if *shard >= 0 {
+		keep := spans[:0]
+		for _, sp := range spans {
+			if sp.Shard == *shard {
 				keep = append(keep, sp)
 			}
 		}
@@ -70,17 +108,51 @@ func scrapeSpans(url string) ([]telemetry.Span, error) {
 	return decodeJSONL(resp.Body)
 }
 
-// readSpans loads spans from a file: either /spans JSONL, or a
+// readSpansPath loads spans from one input path: a directory is read as a
+// flight-recorder artifact dir (every flight-*.json and *.jsonl inside),
+// a file as JSONL or a single flight dump.
+func readSpansPath(path string) ([]telemetry.Span, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return readSpansFile(path)
+	}
+	var paths []string
+	for _, pat := range []string{"flight-*.json", "*.jsonl"} {
+		got, err := filepath.Glob(filepath.Join(path, pat))
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, got...)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("trace: no flight dumps or span files in %s", path)
+	}
+	sort.Strings(paths)
+	var out []telemetry.Span
+	for _, p := range paths {
+		spans, err := readSpansFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spans...)
+	}
+	return out, nil
+}
+
+// readSpansFile loads spans from a file: either /spans JSONL, or a
 // flight-recorder dump (one JSON object with an embedded span list).
-func readSpans(path string) ([]telemetry.Span, error) {
+func readSpansFile(path string) ([]telemetry.Span, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var dump serve.FlightDump
 	if err := json.Unmarshal(data, &dump); err == nil && dump.Reason != "" {
-		fmt.Printf("flight dump: tenant %s (pid %d) %s at %s, deaths=%d, %d events retained\n",
-			dump.Name, dump.Pid, dump.Reason, dump.Time, dump.Deaths, len(dump.Events))
+		fmt.Printf("flight dump: tenant %s (pid %d, shard %d) %s at %s, deaths=%d, %d events retained\n",
+			dump.Name, dump.Pid, dump.Shard, dump.Reason, dump.Time, dump.Deaths, len(dump.Events))
 		return dump.Spans, nil
 	}
 	return decodeJSONL(strings.NewReader(string(data)))
@@ -109,7 +181,9 @@ func decodeJSONL(r io.Reader) ([]telemetry.Span, error) {
 // unlike the bucketed upper bounds the live histograms give.
 func report(w io.Writer, spans []telemetry.Span, topK int) {
 	var ok, shed, errs int
+	shards := make(map[int]int)
 	for _, sp := range spans {
+		shards[sp.Shard]++
 		switch {
 		case sp.Status == http.StatusOK:
 			ok++
@@ -119,7 +193,20 @@ func report(w io.Writer, spans []telemetry.Span, topK int) {
 			errs++
 		}
 	}
-	fmt.Fprintf(w, "%d spans: ok=%d shed=%d err=%d\n\n", len(spans), ok, shed, errs)
+	fmt.Fprintf(w, "%d spans: ok=%d shed=%d err=%d", len(spans), ok, shed, errs)
+	if len(shards) > 1 {
+		keys := make([]int, 0, len(shards))
+		for k := range shards {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%d:%d", k, shards[k]))
+		}
+		fmt.Fprintf(w, " (shard:spans %s)", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(w, "\n\n")
 
 	phase := func(name, unit string, get func(telemetry.Span) int64) {
 		vals := make([]int64, len(spans))
@@ -155,8 +242,8 @@ func report(w io.Writer, spans []telemetry.Span, topK int) {
 	}
 	fmt.Fprintf(w, "\ntop %d slowest:\n", topK)
 	for _, sp := range byTotal[:topK] {
-		fmt.Fprintf(w, "  req=%d route=%s pid=%d status=%d total=%dus queue=%dus marshal=%dus exec=%dcy gc=%dcy quanta=%d",
-			sp.ID, sp.Route, sp.Pid, sp.Status, sp.TotalNs/1000, sp.QueueNs/1000,
+		fmt.Fprintf(w, "  req=%d shard=%d route=%s pid=%d status=%d total=%dus queue=%dus marshal=%dus exec=%dcy gc=%dcy quanta=%d",
+			sp.ID, sp.Shard, sp.Route, sp.Pid, sp.Status, sp.TotalNs/1000, sp.QueueNs/1000,
 			sp.MarshalNs/1000, sp.ExecCycles, sp.GCCycles, sp.Quanta)
 		if sp.Detail != "" {
 			fmt.Fprintf(w, " detail=%q", sp.Detail)

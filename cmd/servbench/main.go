@@ -34,6 +34,7 @@ func main() {
 	routes := flag.String("routes", "/zone0,/zone1,/zone2,/memhog:hog:1024", "-net: route spec (see kaffeos serve)")
 	clients := flag.Int("clients", 32, "-net: concurrent client connections")
 	bodyBytes := flag.Int("body", 64, "-net: request body size in bytes")
+	shards := flag.Int("shards", 1, "-net: engine shards for the self-hosted plane (one VM per shard)")
 	jsonPath := flag.String("json", "", "-net: write the run report (with host info) to this file")
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 		if n == 60 && !flagSet("requests") {
 			n = 10000
 		}
-		err = netBench(*target, *routes, *clients, n, *bodyBytes, *jsonPath)
+		err = netBench(*target, *routes, *clients, n, *bodyBytes, *shards, *jsonPath)
 	case *real:
 		err = realDemo(*requests, *httpAddr, *gcWorkers)
 	default:

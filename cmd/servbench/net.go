@@ -115,12 +115,26 @@ func phasesFromSpans(spans []telemetry.Span) []routePhases {
 	return out
 }
 
+// shardReport is one engine shard's server-side summary in the -json
+// artifact: kernel-scope serving counters plus the shard VM's virtual
+// clock, so a sharded run shows how work spread across engines.
+type shardReport struct {
+	Shard    int    `json:"shard"`
+	Tenants  int    `json:"tenants"`
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	Cycles   uint64 `json:"cycles"`
+}
+
 // netReport is the -json artifact: self-describing (host shape embedded)
 // and comparable across runs.
 type netReport struct {
 	Host       telemetry.HostInfo `json:"host"`
 	Target     string             `json:"target"`
 	SelfHosted bool               `json:"self_hosted"`
+	Shards     int                `json:"shards,omitempty"`
 	Clients    int                `json:"clients"`
 	Requests   uint64             `json:"requests"`
 	BodyBytes  int                `json:"body_bytes"`
@@ -135,12 +149,14 @@ type netReport struct {
 	Phases         []routePhases     `json:"phases,omitempty"`
 	SpanDropped    uint64            `json:"span_dropped,omitempty"`
 	Server         []serve.TenantRow `json:"server,omitempty"`
+	PerShard       []shardReport     `json:"per_shard,omitempty"`
 }
 
 // netBench drives real HTTP load at a serving plane: -target aims at an
 // already-running server, otherwise a server is spun up in-process (one
-// KaffeOS process per route) and load is generated against its socket.
-func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes int, jsonPath string) error {
+// KaffeOS process per route, shards engine shards) and load is generated
+// against its socket.
+func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes, shards int, jsonPath string) error {
 	tenants, err := serve.ParseRoutes(routeSpec)
 	if err != nil {
 		return err
@@ -148,29 +164,30 @@ func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes 
 
 	var (
 		srv  *serve.Server
-		vm   *core.VM
 		base string
 	)
 	if target != "" {
 		base = strings.TrimSuffix(target, "/")
 	} else {
-		vm, err = core.NewVM(core.Config{Engine: core.EngineJITOpt})
+		srv, err = serve.NewSharded(
+			core.Config{Engine: core.EngineJITOpt},
+			serve.Config{Shards: shards, Place: serve.LeastLoaded},
+			tenants)
 		if err != nil {
 			return err
 		}
 		// Self-hosted runs record spans so the artifact carries the
 		// server-side phase breakdown of every request.
-		vm.Tel.Spans.SetEnabled(true)
-		srv, err = serve.New(vm, serve.Config{}, tenants)
-		if err != nil {
-			return err
+		for _, vm := range srv.VMs() {
+			vm.Tel.Spans.SetEnabled(true)
 		}
 		addr, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
 		base = "http://" + addr
-		fmt.Fprintf(os.Stderr, "servbench: self-hosted serving plane on %s (%d tenants)\n", base, len(tenants))
+		fmt.Fprintf(os.Stderr, "servbench: self-hosted serving plane on %s (%d tenants, %d shards)\n",
+			base, len(tenants), srv.Shards())
 	}
 
 	stats := make([]*routeStats, len(tenants))
@@ -242,18 +259,38 @@ func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes 
 		st.P50Ns, st.P90Ns, st.P99Ns = st.lat.Quantile(0.5), st.lat.Quantile(0.9), st.lat.Quantile(0.99)
 	}
 	if srv != nil {
+		rep.Shards = srv.Shards()
 		rep.Server = srv.Rows()
 		for _, row := range rep.Server {
 			rep.ServerSheds += row.Shed
 			rep.ServerRestarts += row.Restarts
 		}
-		rep.Phases = phasesFromSpans(vm.Tel.Spans.Snapshot())
-		rep.SpanDropped = vm.Tel.Spans.Dropped()
+		// Merge every shard recorder's spans into one breakdown, and keep a
+		// per-shard server-side summary (kernel counters + virtual clock).
+		var spans []telemetry.Span
+		loads := srv.Loads()
+		for i, vm := range srv.VMs() {
+			spans = append(spans, vm.Tel.Spans.Snapshot()...)
+			rep.SpanDropped += vm.Tel.Spans.Dropped()
+			k := vm.Tel.Reg.Kernel()
+			rep.PerShard = append(rep.PerShard, shardReport{
+				Shard:    i,
+				Tenants:  loads[i].Tenants,
+				Requests: k.Counter(telemetry.MServeRequests).Value(),
+				OK:       k.Counter(telemetry.MServeOK).Value(),
+				Shed:     k.Counter(telemetry.MServeShed).Value(),
+				Errors:   k.Counter(telemetry.MServeErrors).Value(),
+				Cycles:   loads[i].Cycles,
+			})
+		}
+		rep.Phases = phasesFromSpans(spans)
 		if err := srv.Close(); err != nil {
 			return err
 		}
-		if audit := vm.Audit(true); !audit.OK() {
-			return fmt.Errorf("post-run audit failed:\n%s", audit)
+		for i, vm := range srv.VMs() {
+			if audit := vm.Audit(true); !audit.OK() {
+				return fmt.Errorf("post-run audit failed on shard %d:\n%s", i, audit)
+			}
 		}
 	}
 
@@ -269,8 +306,16 @@ func netBench(target, routeSpec string, clients int, requests uint64, bodyBytes 
 	}
 	for _, row := range rep.Server {
 		if row.Restarts > 0 {
-			fmt.Printf("  server: %s (%s) died and was restarted %d times; neighbours unaffected\n",
-				row.Route, row.Role, row.Restarts)
+			fmt.Printf("  server: %s (%s, shard %d) died and was restarted %d times; neighbours unaffected\n",
+				row.Route, row.Role, row.Shard, row.Restarts)
+		}
+	}
+	if len(rep.PerShard) > 1 {
+		fmt.Printf("  %-8s %8s %10s %10s %8s %8s %14s\n",
+			"shard", "tenants", "requests", "ok", "shed", "errors", "cycles")
+		for _, sr := range rep.PerShard {
+			fmt.Printf("  %-8d %8d %10d %10d %8d %8d %14d\n",
+				sr.Shard, sr.Tenants, sr.Requests, sr.OK, sr.Shed, sr.Errors, sr.Cycles)
 		}
 	}
 	if len(rep.Phases) > 0 {

@@ -11,11 +11,12 @@ import (
 )
 
 // The flight recorder is the serving plane's crash post-mortem: when the
-// supervisor sees a tenant die (always) or shed (throttled), the engine
-// dumps the tenant's recent history — its last request spans, the trace
-// events of its process incarnation, and its lifetime counters — to one
-// JSON artifact. The dump answers "what was this tenant doing when it
-// went down" without anyone having had a poller attached beforehand.
+// supervisor sees a tenant die (always) or shed (throttled), the owning
+// shard's engine dumps the tenant's recent history — its last request
+// spans, the trace events of its process incarnation, and its lifetime
+// counters — to one JSON artifact. The dump answers "what was this tenant
+// doing when it went down" without anyone having had a poller attached
+// beforehand.
 
 // FlightDump is the artifact schema, one file per incident.
 type FlightDump struct {
@@ -24,6 +25,8 @@ type FlightDump struct {
 	Reason string `json:"reason"` // "death" or "shed"
 	Route  string `json:"route"`
 	Name   string `json:"name"`
+	// Shard is the engine shard that owned the tenant at dump time.
+	Shard int `json:"shard"`
 	// Pid is the process incarnation the incident happened to.
 	Pid    int32 `json:"pid"`
 	Deaths int   `json:"deaths"` // consecutive deaths including this one
@@ -32,12 +35,13 @@ type FlightDump struct {
 	// Spans holds the tenant's most recent completed request spans
 	// (empty when span recording is off).
 	Spans []telemetry.Span `json:"spans"`
-	// SpanTotal/SpanDropped report recorder state: a nonzero dropped
-	// count means older spans fell off the ring before this dump.
+	// SpanTotal/SpanDropped report the owning shard's recorder state: a
+	// nonzero dropped count means older spans fell off the ring before
+	// this dump.
 	SpanTotal   uint64 `json:"span_total"`
 	SpanDropped uint64 `json:"span_dropped"`
-	// Events holds the trace ring's events for this pid, oldest first
-	// (empty when tracing is off).
+	// Events holds the shard trace ring's events for this pid, oldest
+	// first (empty when tracing is off).
 	Events []json.RawMessage `json:"events"`
 	// TraceDropped is the trace ring's overall drop count: nonzero means
 	// the event window is truncated.
@@ -45,23 +49,23 @@ type FlightDump struct {
 }
 
 // flightOnShed triggers a shed-storm dump, at most one per FlightMinGap
-// per tenant. Engine goroutine only.
-func (s *Server) flightOnShed(tn *tenant) {
-	if s.cfg.FlightDir == "" {
+// per tenant. Owning engine goroutine only.
+func (sh *shard) flightOnShed(tn *tenant) {
+	if sh.cfg.FlightDir == "" {
 		return
 	}
 	now := time.Now()
-	if !tn.flightLastShed.IsZero() && now.Sub(tn.flightLastShed) < s.cfg.FlightMinGap {
+	if !tn.flightLastShed.IsZero() && now.Sub(tn.flightLastShed) < sh.cfg.FlightMinGap {
 		return
 	}
 	tn.flightLastShed = now
-	s.dumpFlight(tn, "shed")
+	sh.dumpFlight(tn, "shed")
 }
 
-// dumpFlight writes one post-mortem artifact for tn. Engine goroutine
-// only; best-effort (a full disk must never take down serving).
-func (s *Server) dumpFlight(tn *tenant, reason string) {
-	if s.cfg.FlightDir == "" {
+// dumpFlight writes one post-mortem artifact for tn. Owning engine
+// goroutine only; best-effort (a full disk must never take down serving).
+func (sh *shard) dumpFlight(tn *tenant, reason string) {
+	if sh.cfg.FlightDir == "" {
 		return
 	}
 	pid := tn.pid()
@@ -70,14 +74,15 @@ func (s *Server) dumpFlight(tn *tenant, reason string) {
 		Reason:      reason,
 		Route:       tn.cfg.Route,
 		Name:        tn.cfg.Name,
+		Shard:       sh.id,
 		Pid:         pid,
 		Deaths:      tn.deaths,
-		Tenant:      s.rowFor(tn),
-		Spans:       s.spans.ForRoute(tn.cfg.Route, s.cfg.FlightSpans),
-		SpanTotal:   s.spans.Total(),
-		SpanDropped: s.spans.Dropped(),
+		Tenant:      rowFor(tn),
+		Spans:       sh.spans.ForRoute(tn.cfg.Route, sh.cfg.FlightSpans),
+		SpanTotal:   sh.spans.Total(),
+		SpanDropped: sh.spans.Dropped(),
 	}
-	events := s.vm.Tel.Trace.Snapshot()
+	events := sh.vm.Tel.Trace.Snapshot()
 	for _, e := range events {
 		if e.Pid != pid {
 			continue
@@ -88,13 +93,13 @@ func (s *Server) dumpFlight(tn *tenant, reason string) {
 		}
 		dump.Events = append(dump.Events, line)
 	}
-	if n := len(dump.Events); n > s.cfg.FlightEvents {
-		dump.Events = dump.Events[n-s.cfg.FlightEvents:]
+	if n := len(dump.Events); n > sh.cfg.FlightEvents {
+		dump.Events = dump.Events[n-sh.cfg.FlightEvents:]
 	}
-	dump.TraceDropped = s.vm.Tel.Trace.Dropped()
+	dump.TraceDropped = sh.vm.Tel.Trace.Dropped()
 
 	tn.flightSeq++
-	path := filepath.Join(s.cfg.FlightDir,
+	path := filepath.Join(sh.cfg.FlightDir,
 		fmt.Sprintf("flight-%s-%d-%d.json", tn.cfg.Name, pid, tn.flightSeq))
 	data, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {

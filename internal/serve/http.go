@@ -30,12 +30,16 @@ func (s *Server) handler() http.Handler {
 }
 
 // serveRequest is the per-request path: route to a tenant, hand off to
-// the engine loop, wait for the single guaranteed response. The handler
-// goroutine never touches the VM.
+// the owning shard's engine loop, wait for the single guaranteed
+// response. The handler goroutine never touches a VM.
 func (s *Server) serveRequest(w http.ResponseWriter, r *http.Request) {
 	tn := s.byRoute[r.URL.Path]
 	if tn == nil {
 		http.NotFound(w, r)
+		return
+	}
+	if s.closing.Load() {
+		writeResponse(w, tn, response{status: http.StatusServiceUnavailable, body: "shed: server shutting down\n"})
 		return
 	}
 	t0 := time.Now()
@@ -44,11 +48,12 @@ func (s *Server) serveRequest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	req := s.newRequest(tn, body, t0)
+	sh := tn.sh.Load()
+	req := sh.newRequest(tn, body, t0)
 	select {
-	case s.submit <- req:
+	case sh.submit <- req:
 	default:
-		writeResponse(w, tn, s.socketShed(req))
+		writeResponse(w, tn, sh.socketShed(req))
 		return
 	}
 	select {
@@ -65,8 +70,9 @@ func (s *Server) serveRequest(w http.ResponseWriter, r *http.Request) {
 // newRequest builds one engine submission, minting a span when recording
 // is on (the only per-request cost of the spans-off path is the one
 // atomic Enabled load). t0 is the wall-clock accept time, before the body
-// was read; the accept→now gap is the accept phase.
-func (s *Server) newRequest(tn *tenant, body []byte, t0 time.Time) *request {
+// was read; the accept→now gap is the accept phase. Ids are dense per
+// shard recorder, so the span carries the shard for a global key.
+func (sh *shard) newRequest(tn *tenant, body []byte, t0 time.Time) *request {
 	now := time.Now()
 	req := &request{
 		tn:       tn,
@@ -74,13 +80,14 @@ func (s *Server) newRequest(tn *tenant, body []byte, t0 time.Time) *request {
 		resp:     make(chan response, 1),
 		enq:      now,
 		t0:       t0,
-		deadline: now.Add(s.cfg.RequestTimeout),
+		deadline: now.Add(sh.cfg.RequestTimeout),
 	}
-	if s.spans.Enabled() {
-		req.id = s.spans.NextID()
+	if sh.spans.Enabled() {
+		req.id = sh.spans.NextID()
 		req.span = &telemetry.Span{
 			ID:       req.id,
 			Route:    tn.cfg.Route,
+			Shard:    sh.id,
 			Start:    t0.UnixNano(),
 			AcceptNs: now.Sub(t0).Nanoseconds(),
 		}
@@ -91,12 +98,12 @@ func (s *Server) newRequest(tn *tenant, body []byte, t0 time.Time) *request {
 // socketShed refuses a request whose engine handoff channel is full — the
 // one shed that happens on the socket goroutine. Safe to finalize the
 // span here: the request never reached the engine.
-func (s *Server) socketShed(req *request) response {
+func (sh *shard) socketShed(req *request) response {
 	tn := req.tn
 	tn.shed.Inc()
-	s.kShed.Inc()
+	sh.kShed.Inc()
 	req.done = true
-	s.finishSpan(req, http.StatusServiceUnavailable, "submit queue full")
+	sh.finishSpan(req, http.StatusServiceUnavailable, "submit queue full")
 	return response{status: http.StatusServiceUnavailable, body: "shed: submit queue full\n"}
 }
 
@@ -110,11 +117,15 @@ func (s *Server) Do(route string, body []byte) (status int, respBody string) {
 	if tn == nil {
 		return http.StatusNotFound, ""
 	}
-	req := s.newRequest(tn, body, time.Now())
+	if s.closing.Load() {
+		return http.StatusServiceUnavailable, "shed: server shutting down\n"
+	}
+	sh := tn.sh.Load()
+	req := sh.newRequest(tn, body, time.Now())
 	select {
-	case s.submit <- req:
+	case sh.submit <- req:
 	default:
-		resp := s.socketShed(req)
+		resp := sh.socketShed(req)
 		return resp.status, resp.body
 	}
 	select {
@@ -135,48 +146,52 @@ func writeResponse(w http.ResponseWriter, tn *tenant, resp response) {
 }
 
 // TenantRow is one tenant's lifetime serving statistics, aggregated
-// across process restarts. Latency quantiles come from the tenant's
-// power-of-two-bucket histogram (nanoseconds).
+// across process restarts and shard migrations. Latency quantiles come
+// from the tenant's power-of-two-bucket histogram (nanoseconds).
 type TenantRow struct {
-	Route    string `json:"route"`
-	Name     string `json:"name"`
-	Role     string `json:"role"`
-	Pid      int32  `json:"pid"`
-	Up       bool   `json:"up"`
-	Requests uint64 `json:"requests"`
-	OK       uint64 `json:"ok"`
-	Shed     uint64 `json:"shed"`
-	Errors   uint64 `json:"errors"`
-	Restarts uint64 `json:"restarts"`
-	Queue    uint64 `json:"queue"`
-	Inflight uint64 `json:"inflight"`
-	MemUse   uint64 `json:"mem_use"`
-	MemLimit uint64 `json:"mem_limit"`
-	P50Ns    uint64 `json:"p50_ns"`
-	P99Ns    uint64 `json:"p99_ns"`
+	Route      string `json:"route"`
+	Name       string `json:"name"`
+	Role       string `json:"role"`
+	Shard      int    `json:"shard"`
+	Pid        int32  `json:"pid"`
+	Up         bool   `json:"up"`
+	Requests   uint64 `json:"requests"`
+	OK         uint64 `json:"ok"`
+	Shed       uint64 `json:"shed"`
+	Errors     uint64 `json:"errors"`
+	Restarts   uint64 `json:"restarts"`
+	Migrations uint64 `json:"migrations"`
+	Queue      uint64 `json:"queue"`
+	Inflight   uint64 `json:"inflight"`
+	MemUse     uint64 `json:"mem_use"`
+	MemLimit   uint64 `json:"mem_limit"`
+	P50Ns      uint64 `json:"p50_ns"`
+	P99Ns      uint64 `json:"p99_ns"`
 }
 
 // rowFor snapshots one tenant. Safe from any goroutine: it reads only
-// atomics and the mutex-guarded process pointer.
-func (s *Server) rowFor(tn *tenant) TenantRow {
+// atomics, the shard pointer, and the mutex-guarded process pointer.
+func rowFor(tn *tenant) TenantRow {
 	role := "servlet"
 	if tn.cfg.Hog {
 		role = "memhog"
 	}
 	row := TenantRow{
-		Route:    tn.cfg.Route,
-		Name:     tn.cfg.Name,
-		Role:     role,
-		Requests: tn.reqs.Value(),
-		OK:       tn.okCount.Value(),
-		Shed:     tn.shed.Value(),
-		Errors:   tn.errs.Value(),
-		Restarts: tn.restarts.Value(),
-		Queue:    tn.qdepth.Value(),
-		Inflight: tn.infl.Value(),
-		MemLimit: uint64(tn.cfg.MemKB) << 10,
-		P50Ns:    tn.latency.Quantile(0.5),
-		P99Ns:    tn.latency.Quantile(0.99),
+		Route:      tn.cfg.Route,
+		Name:       tn.cfg.Name,
+		Role:       role,
+		Shard:      tn.sh.Load().id,
+		Requests:   tn.reqs.Value(),
+		OK:         tn.okCount.Value(),
+		Shed:       tn.shed.Value(),
+		Errors:     tn.errs.Value(),
+		Restarts:   tn.restarts.Value(),
+		Migrations: tn.migrations.Value(),
+		Queue:      tn.qdepth.Value(),
+		Inflight:   tn.infl.Value(),
+		MemLimit:   uint64(tn.cfg.MemKB) << 10,
+		P50Ns:      tn.latency.Quantile(0.5),
+		P99Ns:      tn.latency.Quantile(0.99),
 	}
 	if p := tn.currentProc(); p != nil {
 		row.Pid = int32(p.ID)
@@ -190,7 +205,7 @@ func (s *Server) rowFor(tn *tenant) TenantRow {
 func (s *Server) Rows() []TenantRow {
 	rows := make([]TenantRow, 0, len(s.tenants))
 	for _, tn := range s.tenants {
-		rows = append(rows, s.rowFor(tn))
+		rows = append(rows, rowFor(tn))
 	}
 	return rows
 }

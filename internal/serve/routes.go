@@ -19,12 +19,24 @@ import (
 //	/once:hog:512:norestart
 func ParseRoutes(spec string) ([]TenantConfig, error) {
 	var out []TenantConfig
+	seen := make(map[string]bool)
 	for _, entry := range strings.Split(spec, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
 			continue
 		}
 		parts := strings.Split(entry, ":")
+		switch {
+		case parts[0] == "" || parts[0][0] != '/':
+			return nil, fmt.Errorf("serve: route %q must start with '/'", parts[0])
+		case parts[0] == "/":
+			return nil, fmt.Errorf("serve: route %q yields an empty tenant name", parts[0])
+		case parts[0] == "/serve" || parts[0] == "/healthz":
+			return nil, fmt.Errorf("serve: route %q is reserved", parts[0])
+		case seen[parts[0]]:
+			return nil, fmt.Errorf("serve: duplicate route %q", parts[0])
+		}
+		seen[parts[0]] = true
 		tc := TenantConfig{Route: parts[0]}
 		for _, attr := range parts[1:] {
 			switch attr {

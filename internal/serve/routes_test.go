@@ -1,6 +1,9 @@
 package serve
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseRoutes(t *testing.T) {
 	got, err := ParseRoutes("/a, /b:8192 ,/memhog:hog:1024,/once:hog:512:norestart")
@@ -24,10 +27,85 @@ func TestParseRoutes(t *testing.T) {
 	}
 }
 
-func TestParseRoutesErrors(t *testing.T) {
-	for _, spec := range []string{"", " , ", "/a:bogus", "/a:-5"} {
-		if _, err := ParseRoutes(spec); err == nil {
-			t.Errorf("ParseRoutes(%q): want error", spec)
+func TestParseRoutesTable(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		// want is the expected route list (nil when an error is expected).
+		want []string
+		// errSub must appear in the error message when want is nil.
+		errSub string
+	}{
+		{name: "single", spec: "/a", want: []string{"/a"}},
+		{name: "many", spec: "/a,/b,/c", want: []string{"/a", "/b", "/c"}},
+		{name: "whitespace", spec: " /a , /b ", want: []string{"/a", "/b"}},
+		{name: "trailing comma", spec: "/a,/b,", want: []string{"/a", "/b"}},
+		{name: "servlet attr resets hog", spec: "/a:hog:servlet", want: []string{"/a"}},
+		{name: "all attrs", spec: "/a:hog:512:norestart", want: []string{"/a"}},
+
+		{name: "empty", spec: "", errSub: "empty route spec"},
+		{name: "only commas", spec: " , ", errSub: "empty route spec"},
+		{name: "bad attr", spec: "/a:bogus", errSub: "unknown attribute"},
+		{name: "negative mem", spec: "/a:-5", errSub: "unknown attribute"},
+		{name: "zero mem", spec: "/a:0", errSub: "unknown attribute"},
+		{name: "float mem", spec: "/a:1.5", errSub: "unknown attribute"},
+		{name: "no slash", spec: "zone0", errSub: "must start with '/'"},
+		{name: "attr only", spec: ":hog", errSub: "must start with '/'"},
+		{name: "second route no slash", spec: "/a,b", errSub: "must start with '/'"},
+		{name: "bare slash empty name", spec: "/", errSub: "empty tenant name"},
+		{name: "reserved serve", spec: "/serve", errSub: "reserved"},
+		{name: "reserved healthz", spec: "/a,/healthz", errSub: "reserved"},
+		{name: "duplicate", spec: "/a,/b,/a", errSub: "duplicate route"},
+		{name: "duplicate with attrs", spec: "/a:hog,/a:512", errSub: "duplicate route"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseRoutes(tc.spec)
+			if tc.want == nil {
+				if err == nil {
+					t.Fatalf("ParseRoutes(%q) = %+v, want error containing %q", tc.spec, got, tc.errSub)
+				}
+				if !strings.Contains(err.Error(), tc.errSub) {
+					t.Fatalf("ParseRoutes(%q) error %q, want it to contain %q", tc.spec, err, tc.errSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseRoutes(%q): %v", tc.spec, err)
+			}
+			var routes []string
+			for _, cfg := range got {
+				routes = append(routes, cfg.Route)
+			}
+			if len(routes) != len(tc.want) {
+				t.Fatalf("ParseRoutes(%q) routes = %v, want %v", tc.spec, routes, tc.want)
+			}
+			for i := range routes {
+				if routes[i] != tc.want[i] {
+					t.Fatalf("ParseRoutes(%q) routes = %v, want %v", tc.spec, routes, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseRoutesAttrSemantics pins the attribute → config mapping beyond
+// route lists: roles, memlimits and restart policy land on the right
+// tenant when several are combined in one spec.
+func TestParseRoutesAttrSemantics(t *testing.T) {
+	got, err := ParseRoutes("/plain,/big:8192,/hog:hog:1024:norestart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantConfig{
+		{Route: "/plain"},
+		{Route: "/big", MemKB: 8192},
+		{Route: "/hog", Hog: true, MemKB: 1024, NoRestart: true},
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Route != w.Route || g.Hog != w.Hog || g.MemKB != w.MemKB || g.NoRestart != w.NoRestart {
+			t.Errorf("entry %d = %+v, want %+v", i, g, w)
 		}
 	}
 }

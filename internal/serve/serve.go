@@ -1,6 +1,6 @@
 // Package serve is the network serving plane: a TCP/HTTP front end that
 // multiplexes real client traffic onto KaffeOS processes, one servlet
-// process per tenant.
+// process per tenant, spread across N engine shards.
 //
 // The paper's servlet experiment (§5.2, Figure 4) drives requests
 // in-process; here the same isolation story is told over an actual socket.
@@ -14,25 +14,32 @@
 // in-flight requests, is restarted with exponential backoff, and never
 // disturbs its neighbours.
 //
-// Concurrency model: the VM's green-thread scheduler is single-threaded by
-// design (deterministic CPU accounting), so one engine goroutine owns the
-// VM exclusively. OS-side socket goroutines talk to it through a bounded
+// Concurrency model: a VM's green-thread scheduler is single-threaded by
+// design (deterministic CPU accounting), so one engine goroutine owns each
+// VM exclusively. To use more than one core, the plane runs N shards, each
+// a full VM — scheduler, heap registry, GC workers, supervisor, flight
+// recorder — with tenants assigned to shards at route registration (hash
+// by default, load-aware via Config.Place) and an explicit migration path
+// for hot tenants (Server.Migrate: quiesce, drain, restart on the target
+// shard). OS-side socket goroutines talk to a shard through its bounded
 // submit channel and per-request response channels; nothing else touches
-// the scheduler, processes, or heaps. Every accepted request is guaranteed
-// a response — completion, 5xx on tenant death, or 503 shed — so clients
-// never hang on a killed servlet.
+// a shard's scheduler, processes, or heaps. Every accepted request is
+// guaranteed a response — completion, 5xx on tenant death, or 503 shed —
+// so clients never hang on a killed servlet.
 package serve
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
-	"strings"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/faults"
 	"repro/internal/interp"
 	"repro/internal/jserv"
 	"repro/internal/object"
@@ -76,6 +83,9 @@ func (c *TenantConfig) fill() error {
 	if c.Name == "" {
 		c.Name = c.Route[1:]
 	}
+	if c.Name == "" {
+		return fmt.Errorf("serve: route %q yields an empty tenant name", c.Route)
+	}
 	if c.MemKB <= 0 {
 		c.MemKB = 4096
 	}
@@ -94,14 +104,67 @@ func (c *TenantConfig) fill() error {
 	return nil
 }
 
+// ShardLoad is one shard's load summary, fed to the placement hook and
+// reported by Server.Loads.
+type ShardLoad struct {
+	Shard int `json:"shard"`
+	// Tenants currently assigned to the shard.
+	Tenants int `json:"tenants"`
+	// Queue and Inflight are the shard-wide sums of the per-tenant gauges.
+	Queue    uint64 `json:"queue"`
+	Inflight uint64 `json:"inflight"`
+	// Cycles is the shard VM's virtual clock — total cycles it has
+	// executed across all its tenants.
+	Cycles uint64 `json:"cycles"`
+}
+
+// LeastLoaded is a placement hook that picks the shard with the least
+// work: fewest queued+executing requests, then fewest tenants, then
+// fewest executed cycles. Use it to spread tenants evenly at
+// registration; the default (nil) placement hashes the route instead.
+func LeastLoaded(route string, loads []ShardLoad) int {
+	best := 0
+	for i := 1; i < len(loads); i++ {
+		a, b := loads[i], loads[best]
+		qa, qb := a.Queue+a.Inflight, b.Queue+b.Inflight
+		switch {
+		case qa != qb:
+			if qa < qb {
+				best = i
+			}
+		case a.Tenants != b.Tenants:
+			if a.Tenants < b.Tenants {
+				best = i
+			}
+		case a.Cycles < b.Cycles:
+			best = i
+		}
+	}
+	return best
+}
+
+// hashShard is the default placement: stable FNV-1a hash of the route.
+func hashShard(route string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(route))
+	return int(h.Sum32()) % n
+}
+
 // Config parameterizes the server.
 type Config struct {
+	// Shards is how many engine shards NewSharded builds, each with its
+	// own VM, scheduler, heap registry and GC workers (default
+	// GOMAXPROCS). New always uses exactly one shard — the caller's VM.
+	Shards int
+	// Place chooses the shard for each route at registration time; nil
+	// hash-assigns routes (stable across restarts). See LeastLoaded.
+	Place func(route string, loads []ShardLoad) int
 	// SliceCycles is the scheduler budget per engine-loop iteration
 	// (default one quantum, 100k cycles = 0.2 virtual ms): small enough
 	// that new arrivals are admitted promptly while requests execute.
 	SliceCycles uint64
-	// SubmitBuffer bounds the socket→engine handoff channel; a full
-	// buffer sheds with 503 at the HTTP layer (default 256).
+	// SubmitBuffer bounds each shard's socket→engine handoff channel; a
+	// full buffer sheds with 503 at the HTTP layer (default 256).
 	SubmitBuffer int
 	// RequestTimeout is the per-request wall-clock deadline. Whatever
 	// happens to the tenant, the client hears back within it
@@ -116,9 +179,9 @@ type Config struct {
 
 	// FlightDir, when non-empty, enables the flight recorder: on every
 	// tenant death (and on shed storms, throttled to one dump per
-	// FlightMinGap) the engine writes a post-mortem JSON artifact there
-	// with the tenant's last spans, its recent trace events, and its
-	// lifetime counters.
+	// FlightMinGap) the owning shard's engine writes a post-mortem JSON
+	// artifact there with the tenant's last spans, its recent trace
+	// events, and its lifetime counters.
 	FlightDir string
 	// FlightSpans / FlightEvents bound how many spans and events one dump
 	// carries (defaults 256 / 512).
@@ -130,6 +193,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 	if c.SliceCycles == 0 {
 		c.SliceCycles = 100_000
 	}
@@ -159,7 +225,7 @@ func (c *Config) fill() {
 	}
 }
 
-// response is what the engine loop sends back to a waiting HTTP handler.
+// response is what an engine loop sends back to a waiting HTTP handler.
 type response struct {
 	status int
 	body   string
@@ -167,8 +233,9 @@ type response struct {
 }
 
 // request is one in-flight HTTP request crossing the socket/engine
-// boundary. The engine loop owns every field except resp, which the HTTP
-// handler drains; resp is buffered so the single send never blocks.
+// boundary. The owning shard's engine loop owns every field except resp,
+// which the HTTP handler drains; resp is buffered so the single send
+// never blocks.
 type request struct {
 	tn       *tenant
 	body     []byte
@@ -188,13 +255,17 @@ type request struct {
 	dispatchedAt time.Time // wall-clock entry into the VM
 }
 
-// tenant is one route's servlet process plus its supervisor state. Queue
-// and process fields belong to the engine goroutine; the aggregate
-// counters are atomic so the HTTP introspection side reads them freely.
+// tenant is one route's servlet process plus its supervisor state. Queue,
+// process and supervisor fields belong to the owning shard's engine
+// goroutine; the aggregate counters are atomic so the HTTP introspection
+// side reads them freely. The owning shard itself is an atomic pointer:
+// the HTTP layer loads it to find the submit channel, and Migrate swaps
+// it when the tenant moves.
 type tenant struct {
 	cfg TenantConfig
+	sh  atomic.Pointer[shard]
 
-	mu   sync.Mutex // guards proc swap (engine writes, HTTP reads)
+	mu   sync.Mutex // guards proc/scope swap (engine writes, HTTP reads)
 	proc *core.Process
 
 	queue    []*request
@@ -202,13 +273,14 @@ type tenant struct {
 	arrCls   *object.Class // "[I" in the current incarnation's namespace
 
 	down        bool
-	deaths      int // consecutive deaths (resets on first OK after restart)
+	migrating   bool // quiesced for migration: shed arrivals, no restarts
+	deaths      int  // consecutive deaths (resets on first OK after restart)
 	nextRestart time.Time
 
-	// Lifetime aggregates across restarts.
-	reqs, okCount, shed, errs, restarts telemetry.Counter
-	latency                             telemetry.Histogram
-	qdepth, infl                        telemetry.Gauge
+	// Lifetime aggregates across restarts and migrations.
+	reqs, okCount, shed, errs, restarts, migrations telemetry.Counter
+	latency                                         telemetry.Histogram
+	qdepth, infl                                    telemetry.Gauge
 
 	// Mirrors into the current process incarnation's telemetry scope, so
 	// `kaffeos ps`/`top` and /metrics show serving stats per pid.
@@ -216,7 +288,7 @@ type tenant struct {
 	// goroutine on the socket-shed path).
 	scope *telemetry.Scope
 
-	// Flight-recorder state (engine goroutine only).
+	// Flight-recorder state (owning engine goroutine only).
 	flightSeq      int
 	flightLastShed time.Time
 }
@@ -228,284 +300,11 @@ func (t *tenant) handlerClass() string {
 	return jserv.NetServletClass
 }
 
-// Server is the serving plane: listener, HTTP front end, engine loop.
-type Server struct {
-	vm      *core.VM
-	cfg     Config
-	tenants []*tenant
-	byRoute map[string]*tenant
-
-	submit   chan *request
-	quit     chan struct{}
-	loopDone chan struct{}
-
-	ln   net.Listener
-	hsrv *http.Server
-
-	// Kernel-scope totals plus socket-layer counters.
-	kReqs, kShed, kErrs, kOK *telemetry.Counter
-	runErrs                  telemetry.Counter
-
-	// Span plumbing: the VM hub's recorder plus cached kernel-scope phase
-	// histograms (one Observe per completed request when spans are on).
-	spans                                        *telemetry.SpanRecorder
-	kSpanQueue, kSpanMarshal, kSpanExec, kSpanGC *telemetry.Histogram
-	kSpanTotal                                   *telemetry.Histogram
-}
-
-// New builds a server over vm. The VM must be otherwise idle: once Start
-// is called the engine loop owns its scheduler exclusively.
-func New(vm *core.VM, cfg Config, tenants []TenantConfig) (*Server, error) {
-	cfg.fill()
-	if len(tenants) == 0 {
-		return nil, fmt.Errorf("serve: no tenants")
-	}
-	k := vm.Tel.Reg.Kernel()
-	s := &Server{
-		vm:       vm,
-		cfg:      cfg,
-		byRoute:  make(map[string]*tenant),
-		submit:   make(chan *request, cfg.SubmitBuffer),
-		quit:     make(chan struct{}),
-		loopDone: make(chan struct{}),
-		kReqs:    k.Counter(telemetry.MServeRequests),
-		kShed:    k.Counter(telemetry.MServeShed),
-		kErrs:    k.Counter(telemetry.MServeErrors),
-		kOK:      k.Counter(telemetry.MServeOK),
-
-		spans:        vm.Tel.Spans,
-		kSpanQueue:   k.Histogram(telemetry.MSpanQueueNs),
-		kSpanMarshal: k.Histogram(telemetry.MSpanMarshalNs),
-		kSpanExec:    k.Histogram(telemetry.MSpanExecCycles),
-		kSpanGC:      k.Histogram(telemetry.MSpanGCCycles),
-		kSpanTotal:   k.Histogram(telemetry.MSpanTotalNs),
-	}
-	for _, tc := range tenants {
-		if err := tc.fill(); err != nil {
-			return nil, err
-		}
-		if _, dup := s.byRoute[tc.Route]; dup {
-			return nil, fmt.Errorf("serve: duplicate route %q", tc.Route)
-		}
-		tn := &tenant{cfg: tc}
-		s.tenants = append(s.tenants, tn)
-		s.byRoute[tc.Route] = tn
-	}
-	return s, nil
-}
-
-// Start spawns every tenant process, binds addr (":0" picks a free port),
-// and launches the accept and engine loops. It returns the bound address.
-func (s *Server) Start(addr string) (string, error) {
-	for _, tn := range s.tenants {
-		if err := s.startTenant(tn); err != nil {
-			return "", err
-		}
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	s.ln = ln
-	s.hsrv = &http.Server{Handler: s.handler()}
-	go s.loop()
-	go func() { _ = s.hsrv.Serve(ln) }()
-	return ln.Addr().String(), nil
-}
-
-// Addr reports the bound listen address.
-func (s *Server) Addr() string {
-	if s.ln == nil {
-		return ""
-	}
-	return s.ln.Addr().String()
-}
-
-// Close stops accepting, fails every pending request, kills and reclaims
-// every tenant process, and waits for the engine loop to exit. The VM is
-// quiescent afterwards, so callers may run authoritative audits.
-func (s *Server) Close() error {
-	if s.hsrv != nil {
-		_ = s.hsrv.Close()
-	}
-	close(s.quit)
-	<-s.loopDone
-	return nil
-}
-
-// startTenant (re)creates the tenant's process: fresh memlimit, heap and
-// namespace, the handler program, and a daemon keep-alive thread (a
-// process whose last thread exits is reclaimed, and request threads come
-// and go).
-func (s *Server) startTenant(tn *tenant) error {
-	p, err := s.vm.NewProcess(tn.cfg.Name, core.ProcessOptions{MemLimit: uint64(tn.cfg.MemKB) << 10})
-	if err != nil {
-		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
-	}
-	mod := jserv.NetServletModule()
-	if tn.cfg.Hog {
-		mod = jserv.NetHogModule()
-	}
-	if err := p.Load(mod); err != nil {
-		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
-	}
-	if err := p.Load(jserv.KeeperModule()); err != nil {
-		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
-	}
-	if _, err := p.SpawnDaemon(jserv.KeeperClass, "main()V"); err != nil {
-		return fmt.Errorf("serve: tenant %s keeper: %w", tn.cfg.Name, err)
-	}
-	arrCls, err := p.Loader.Class("[I")
-	if err != nil {
-		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
-	}
-	scope := s.vm.Tel.Reg.Proc(int32(p.ID))
-	scope.SetMeta("serve.route", tn.cfg.Route)
-	role := "servlet"
-	if tn.cfg.Hog {
-		role = "memhog"
-	}
-	scope.SetMeta("serve.role", role)
-
-	tn.mu.Lock()
-	tn.proc = p
-	tn.scope = scope
-	tn.mu.Unlock()
-	tn.arrCls = arrCls
-	tn.down = false
-	s.publish(tn)
-	return nil
-}
-
 // proc reads the tenant's current process (HTTP-side safe).
 func (t *tenant) currentProc() *core.Process {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.proc
-}
-
-// publish mirrors the tenant's lifetime aggregates into the current
-// incarnation's telemetry scope.
-func (s *Server) publish(tn *tenant) {
-	sc := tn.scope
-	if sc == nil {
-		return
-	}
-	sc.Counter(telemetry.MServeRequests) // ensure presence even when idle
-	sc.Gauge(telemetry.MServeQueueDepth).Set(uint64(len(tn.queue)))
-	sc.Gauge(telemetry.MServeInflight).Set(uint64(len(tn.inflight)))
-}
-
-// ---- engine loop ------------------------------------------------------
-
-// loop is the engine goroutine: the only code that touches the VM after
-// Start. It alternates between admitting submissions, dispatching queued
-// requests into tenant processes, advancing the scheduler one slice, and
-// reaping completions and deaths.
-func (s *Server) loop() {
-	defer close(s.loopDone)
-	for {
-		s.drainSubmit()
-		now := time.Now()
-		s.checkRestarts(now)
-		running := s.dispatchAll()
-		if running > 0 {
-			if err := s.vm.Run(s.cfg.SliceCycles); err != nil {
-				s.runErrs.Inc()
-			}
-		} else {
-			s.drainKilled()
-		}
-		s.reapAll(time.Now())
-		s.expire(time.Now())
-		select {
-		case <-s.quit:
-			s.shutdown()
-			return
-		default:
-		}
-		if s.idle() {
-			s.idleWait()
-		}
-	}
-}
-
-func (s *Server) drainSubmit() {
-	for {
-		select {
-		case r := <-s.submit:
-			s.admit(r)
-		default:
-			return
-		}
-	}
-}
-
-// admit applies admission control: bounded queue, memlimit high-water.
-func (s *Server) admit(r *request) {
-	tn := r.tn
-	tn.reqs.Inc()
-	s.kReqs.Inc()
-	if tn.scope != nil {
-		tn.scope.Counter(telemetry.MServeRequests).Inc()
-	}
-	if tn.down && tn.cfg.NoRestart {
-		s.shed(r, "tenant down")
-		return
-	}
-	if len(tn.queue) >= tn.cfg.QueueMax {
-		s.shed(r, "queue full")
-		return
-	}
-	if !tn.down && tn.cfg.ShedFraction > 0 {
-		p := tn.proc
-		if p != nil && p.State() == core.ProcRunning {
-			high := tn.cfg.ShedFraction * float64(uint64(tn.cfg.MemKB)<<10)
-			if float64(p.MemUse()) > high {
-				// Distinguish garbage from live data before refusing: a
-				// collection (charged to the tenant) saves a well-behaved
-				// neighbour; a hog's vector stays live and the shed stands.
-				// The pause is attributed to the arriving request that
-				// forced it.
-				res := p.CollectAttributed(r.id)
-				if r.span != nil {
-					r.span.GCCycles += res.Cycles
-				}
-				if float64(p.MemUse()) > high {
-					s.shed(r, "memlimit saturated")
-					return
-				}
-			}
-		}
-	}
-	tn.queue = append(tn.queue, r)
-	tn.qdepth.Set(uint64(len(tn.queue)))
-	s.publish(tn)
-}
-
-// shed refuses a request with 503 — the only answer admission control
-// ever gives; shed requests never hang.
-func (s *Server) shed(r *request, reason string) {
-	if r.done {
-		return
-	}
-	tn := r.tn
-	tn.shed.Inc()
-	s.kShed.Inc()
-	if tn.scope != nil {
-		tn.scope.Counter(telemetry.MServeShed).Inc()
-	}
-	s.vm.Tel.Emit(telemetry.Event{
-		Kind: telemetry.EvServeShed, Pid: tn.pid(),
-		A: uint64(len(tn.queue)), Detail: tn.cfg.Route + ": " + reason,
-	})
-	s.respond(r, http.StatusServiceUnavailable, "shed: "+reason+"\n")
-	if !tn.down {
-		// Shed storms on a live tenant are worth a post-mortem too
-		// (throttled); the sheds of a death's queue drain are covered by
-		// markDown's own dump.
-		s.flightOnShed(tn)
-	}
 }
 
 func (t *tenant) pid() int32 {
@@ -518,415 +317,328 @@ func (t *tenant) pid() int32 {
 }
 
 // currentScope reads the tenant's telemetry scope (safe from any
-// goroutine; the engine swaps it on restart).
+// goroutine; the owning engine swaps it on restart).
 func (t *tenant) currentScope() *telemetry.Scope {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.scope
 }
 
-// finishSpan closes the request's cost ledger and publishes it: the span
-// goes to the recorder ring and each phase to the kernel and tenant phase
-// histograms. Engine-goroutine normally; the socket-layer shed path calls
-// it from an HTTP goroutine, which is safe because such a request never
-// reached the engine (and recorder/histogram writes synchronize
-// internally).
-func (s *Server) finishSpan(r *request, status int, detail string) {
-	sp := r.span
-	if sp == nil {
-		return
-	}
-	r.span = nil
-	now := time.Now()
-	tn := r.tn
-	sp.Pid = tn.pid()
-	sp.Status = status
-	if status != http.StatusOK {
-		sp.Detail = detail
-	}
-	if !r.dispatchedAt.IsZero() {
-		sp.ExecNs = now.Sub(r.dispatchedAt).Nanoseconds()
-	} else if sp.QueueNs == 0 {
-		// Never dispatched: its whole post-accept life was queue wait.
-		sp.QueueNs = now.Sub(r.enq).Nanoseconds()
-	}
-	sp.GCNs = telemetry.CyclesToNs(sp.GCCycles)
-	sp.TotalNs = now.Sub(r.t0).Nanoseconds()
-	s.spans.Record(*sp)
+// Server is the serving plane: listener, HTTP front end, and N engine
+// shards, each owning one VM. The Server itself only dispatches: requests
+// go to the owning shard's submit channel, introspection aggregates
+// across shards.
+type Server struct {
+	cfg     Config
+	shards  []*shard
+	tenants []*tenant
+	byRoute map[string]*tenant
 
-	s.kSpanQueue.Observe(uint64(sp.QueueNs))
-	s.kSpanMarshal.Observe(uint64(sp.MarshalNs))
-	s.kSpanExec.Observe(sp.ExecCycles)
-	s.kSpanGC.Observe(sp.GCCycles)
-	s.kSpanTotal.Observe(uint64(sp.TotalNs))
-	if sc := tn.currentScope(); sc != nil {
-		sc.Histogram(telemetry.MSpanQueueNs).Observe(uint64(sp.QueueNs))
-		sc.Histogram(telemetry.MSpanMarshalNs).Observe(uint64(sp.MarshalNs))
-		sc.Histogram(telemetry.MSpanExecCycles).Observe(sp.ExecCycles)
-		sc.Histogram(telemetry.MSpanGCCycles).Observe(sp.GCCycles)
-		sc.Histogram(telemetry.MSpanTotalNs).Observe(uint64(sp.TotalNs))
-	}
+	ln   net.Listener
+	hsrv *http.Server
+
+	closing   atomic.Bool
+	closeOnce sync.Once
+
+	migrateMu sync.Mutex // serializes Migrate calls
 }
 
-// respond delivers the single response for r. The channel is buffered, so
-// the engine never blocks on a client that gave up.
-func (s *Server) respond(r *request, status int, body string) {
-	if r.done {
-		return
-	}
-	r.done = true
-	s.finishSpan(r, status, strings.TrimSuffix(body, "\n"))
-	r.resp <- response{status: status, body: body, pid: r.tn.pid()}
+// New builds a single-shard server over the caller's vm — the original
+// serving-plane shape, kept for embedders, tests and benchmarks that want
+// to own the VM. The VM must be otherwise idle: once Start is called the
+// shard's engine loop owns its scheduler exclusively. Config.Shards is
+// ignored (it is always 1 here); use NewSharded for a multi-core plane.
+func New(vm *core.VM, cfg Config, tenants []TenantConfig) (*Server, error) {
+	cfg.Shards = 1
+	return newServer([]*core.VM{vm}, cfg, tenants)
 }
 
-// dispatchAll starts queued requests on every tenant with capacity and
-// returns the total number of requests executing in the VM.
-func (s *Server) dispatchAll() int {
-	running := 0
-	for _, tn := range s.tenants {
-		s.dispatch(tn)
-		running += len(tn.inflight)
+// NewSharded builds a server with cfg.Shards engine shards (default
+// GOMAXPROCS), creating one VM per shard from vmCfg. vmCfg.Telemetry must
+// be nil: every shard gets its own hub, and the introspection surface
+// (TelemetryHandler) aggregates them under a shard label. Tenants are
+// assigned to shards by cfg.Place (hash of the route when nil).
+func NewSharded(vmCfg core.Config, cfg Config, tenants []TenantConfig) (*Server, error) {
+	cfg.fill()
+	if vmCfg.Telemetry != nil {
+		return nil, fmt.Errorf("serve: NewSharded needs one telemetry hub per shard; leave vmCfg.Telemetry nil")
 	}
-	return running
-}
-
-// dispatch starts queued requests until the tenant is saturated: marshal
-// the body into the tenant's heap, spawn a green thread on the handler.
-func (s *Server) dispatch(tn *tenant) {
-	p := tn.proc
-	if tn.down || p == nil || p.State() != core.ProcRunning {
-		return
-	}
-	for len(tn.queue) > 0 && len(tn.inflight) < tn.cfg.MaxInflight {
-		r := tn.queue[0]
-		tn.queue = tn.queue[1:]
-		if r.done { // expired while queued
-			continue
-		}
-		var m0 time.Time
-		if r.span != nil {
-			m0 = time.Now()
-			r.span.QueueNs = m0.Sub(r.enq).Nanoseconds()
-		}
-		arr, err := s.marshal(tn, r)
+	vms := make([]*core.VM, cfg.Shards)
+	for i := range vms {
+		vm, err := core.NewVM(vmCfg)
 		if err != nil {
-			// The request wouldn't fit in the tenant's memlimit: that is
-			// saturation, not failure — shed it.
-			s.shed(r, "request does not fit memlimit")
-			continue
+			return nil, fmt.Errorf("serve: shard %d VM: %w", i, err)
 		}
-		if r.span != nil {
-			r.span.MarshalNs = time.Since(m0).Nanoseconds()
-		}
-		th, err := p.Spawn(tn.handlerClass(), jserv.NetHandleKey,
-			interp.RefSlot(arr), interp.IntSlot(int64(tn.cfg.WorkUnits)))
-		if err != nil {
-			s.shed(r, "tenant not accepting requests")
-			continue
-		}
-		// Stamp the thread: the scheduler charges its quanta to the span
-		// and the GC trigger charges pauses to the request id.
-		th.ReqID = r.id
-		th.Span = r.span
-		r.th = th
-		r.dispatchedAt = time.Now()
-		tn.inflight = append(tn.inflight, r)
-		if s.vm.Cfg.Faults.Fire(faults.SiteServeDispatch) {
-			// The fault plane kills the tenant mid-request — the
-			// deterministic handle for testing the degradation path.
-			p.Kill(core.ErrInjectedFault)
-		}
+		vms[i] = vm
 	}
-	tn.qdepth.Set(uint64(len(tn.queue)))
-	tn.infl.Set(uint64(len(tn.inflight)))
-	s.publish(tn)
+	return newServer(vms, cfg, tenants)
 }
 
-// marshal copies the request body into the tenant's heap as an int array:
-// element 0 is the byte length, the rest the bytes packed four per int.
-// The allocation is charged to the tenant's memlimit; a refusal is
-// retried once after collecting the tenant's heap (the GC cycles are
-// charged to the tenant too).
-func (s *Server) marshal(tn *tenant, r *request) (*object.Object, error) {
-	body := r.body
-	n := 1 + (len(body)+3)/4
-	arr, err := tn.proc.Heap.AllocArray(tn.arrCls, n)
-	if err != nil {
-		res := tn.proc.CollectAttributed(r.id)
-		if r.span != nil {
-			r.span.GCCycles += res.Cycles
-		}
-		arr, err = tn.proc.Heap.AllocArray(tn.arrCls, n)
-		if err != nil {
+func newServer(vms []*core.VM, cfg Config, tenants []TenantConfig) (*Server, error) {
+	cfg.fill()
+	cfg.Shards = len(vms)
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("serve: no tenants")
+	}
+	s := &Server{
+		cfg:     cfg,
+		byRoute: make(map[string]*tenant),
+	}
+	for i, vm := range vms {
+		s.shards = append(s.shards, newShard(i, vm, cfg))
+	}
+	// Placement: hash by default, cfg.Place for load-aware assignment.
+	// Loads are rebuilt after each assignment so a least-loaded hook sees
+	// the tenants it already placed.
+	for _, tc := range tenants {
+		if err := tc.fill(); err != nil {
 			return nil, err
 		}
+		if _, dup := s.byRoute[tc.Route]; dup {
+			return nil, fmt.Errorf("serve: duplicate route %q", tc.Route)
+		}
+		var idx int
+		if cfg.Place != nil {
+			idx = cfg.Place(tc.Route, s.Loads())
+			if idx < 0 || idx >= len(s.shards) {
+				return nil, fmt.Errorf("serve: placement hook put route %q on shard %d of %d", tc.Route, idx, len(s.shards))
+			}
+		} else {
+			idx = hashShard(tc.Route, len(s.shards))
+		}
+		tn := &tenant{cfg: tc}
+		tn.sh.Store(s.shards[idx])
+		s.shards[idx].tenants = append(s.shards[idx].tenants, tn)
+		s.tenants = append(s.tenants, tn)
+		s.byRoute[tc.Route] = tn
 	}
-	arr.Prims[0] = int64(len(body))
-	for i, b := range body {
-		arr.Prims[1+i/4] |= int64(b) << uint(8*(i%4))
-	}
-	return arr, nil
+	return s, nil
 }
 
-// reapAll collects finished request threads and detects tenant deaths.
-func (s *Server) reapAll(now time.Time) {
+// Start spawns every tenant process on its shard, binds addr (":0" picks
+// a free port), and launches the accept loop and one engine loop per
+// shard. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	for _, sh := range s.shards {
+		for _, tn := range sh.tenants {
+			if err := sh.startTenant(tn); err != nil {
+				return "", err
+			}
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.handler()}
+	for _, sh := range s.shards {
+		go sh.loop()
+	}
+	go func() { _ = s.hsrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shards reports how many engine shards the server runs.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// VMs returns each shard's VM, indexed by shard. Callers use it to enable
+// span recording or run per-shard audits; touching a VM's scheduler or
+// processes while the server runs is not safe.
+func (s *Server) VMs() []*core.VM {
+	out := make([]*core.VM, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.vm
+	}
+	return out
+}
+
+// ShardOf reports which shard currently owns route (-1 if unknown).
+func (s *Server) ShardOf(route string) int {
+	tn := s.byRoute[route]
+	if tn == nil {
+		return -1
+	}
+	return tn.sh.Load().id
+}
+
+// Loads snapshots every shard's load (safe from any goroutine: gauges
+// and the virtual clock are atomic, shard assignment is an atomic
+// pointer).
+func (s *Server) Loads() []ShardLoad {
+	out := make([]ShardLoad, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardLoad{Shard: i, Cycles: sh.vm.Sched.Now()}
+	}
 	for _, tn := range s.tenants {
-		s.reap(tn, now)
+		i := tn.sh.Load().id
+		out[i].Tenants++
+		out[i].Queue += tn.qdepth.Value()
+		out[i].Inflight += tn.infl.Value()
 	}
+	return out
 }
 
-func (s *Server) reap(tn *tenant, now time.Time) {
-	if len(tn.inflight) > 0 {
-		keep := tn.inflight[:0]
-		for _, r := range tn.inflight {
-			if r.th.Alive() {
-				keep = append(keep, r)
-				continue
-			}
-			if r.done { // already expired/shed; drop silently
-				continue
-			}
-			if r.th.Err != nil || r.th.Uncaught != nil {
-				s.fail(r, "tenant died mid-request")
-				continue
-			}
-			tn.okCount.Inc()
-			s.kOK.Inc()
-			lat := uint64(now.Sub(r.enq).Nanoseconds())
-			tn.latency.Observe(lat)
-			if tn.scope != nil {
-				tn.scope.Counter(telemetry.MServeOK).Inc()
-				tn.scope.Histogram(telemetry.MServeLatency).Observe(lat)
-			}
-			tn.deaths = 0 // healthy again: reset the backoff ladder
-			s.respond(r, http.StatusOK, fmt.Sprintf("%s result=%d\n", tn.cfg.Name, r.th.Result.I))
+// Close stops accepting, fails every pending request, kills and reclaims
+// every tenant process on every shard, and waits for all engine loops to
+// exit. The VMs are quiescent afterwards, so callers may run
+// authoritative audits. Safe to call more than once and during in-flight
+// traffic: every request already accepted is answered (200/502/503),
+// never hung.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		for _, sh := range s.shards {
+			close(sh.quit)
 		}
-		tn.inflight = keep
-		tn.infl.Set(uint64(len(tn.inflight)))
-	}
-	p := tn.proc
-	if !tn.down && p != nil && p.State() != core.ProcRunning {
-		s.markDown(tn, now)
-	}
-}
-
-// fail answers a request whose tenant died under it.
-func (s *Server) fail(r *request, reason string) {
-	tn := r.tn
-	tn.errs.Inc()
-	s.kErrs.Inc()
-	if tn.scope != nil {
-		tn.scope.Counter(telemetry.MServeErrors).Inc()
-	}
-	s.respond(r, http.StatusBadGateway, "error: "+reason+"\n")
-}
-
-// markDown records a tenant death: queued requests are shed immediately
-// (they never hang waiting on a corpse), in-flight ones fail as their
-// threads die, and the supervisor schedules a restart with exponential
-// backoff — the paper's administrator, automated.
-func (s *Server) markDown(tn *tenant, now time.Time) {
-	tn.down = true
-	tn.deaths++
-	for _, r := range tn.queue {
-		s.shed(r, "tenant down")
-	}
-	tn.queue = tn.queue[:0]
-	tn.qdepth.Set(0)
-	// Post-mortem after the queue drain, so the dump carries every span
-	// this death produced (the 502s reaped above and the sheds just made).
-	s.dumpFlight(tn, "death")
-	if !tn.cfg.NoRestart {
-		backoff := s.cfg.RestartBackoff << uint(tn.deaths-1)
-		if backoff > s.cfg.MaxBackoff || backoff <= 0 {
-			backoff = s.cfg.MaxBackoff
+		for _, sh := range s.shards {
+			<-sh.loopDone
 		}
-		tn.nextRestart = now.Add(backoff)
-	}
-	s.publish(tn)
-}
-
-// checkRestarts restarts dead tenants whose backoff expired.
-func (s *Server) checkRestarts(now time.Time) {
-	for _, tn := range s.tenants {
-		if !tn.down || tn.cfg.NoRestart || now.Before(tn.nextRestart) {
-			continue
-		}
-		deaths := tn.deaths
-		if err := s.startTenant(tn); err != nil {
-			// Could not restart (e.g. memory still held by the dying
-			// incarnation): back off again.
-			tn.nextRestart = now.Add(s.cfg.MaxBackoff)
-			continue
-		}
-		tn.restarts.Inc()
-		if tn.scope != nil {
-			tn.scope.Counter(telemetry.MServeRestarts).Inc()
-		}
-		s.vm.Tel.Emit(telemetry.Event{
-			Kind: telemetry.EvServeRestart, Pid: tn.pid(),
-			A: uint64(deaths), Detail: tn.cfg.Route,
-		})
-	}
-}
-
-// expire guarantees liveness: any request past its wall-clock deadline is
-// answered now, whatever state it is in.
-func (s *Server) expire(now time.Time) {
-	for _, tn := range s.tenants {
-		if len(tn.queue) > 0 {
-			keep := tn.queue[:0]
-			for _, r := range tn.queue {
-				if now.After(r.deadline) {
-					s.shed(r, "deadline exceeded before dispatch")
-					continue
+		// The engines are gone, but handler goroutines may have raced
+		// requests into the submit buffers after the final engine drain.
+		// Answer those stragglers 503 until the HTTP server has shut down
+		// (all handlers returned), so no client ever hangs on Close.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, sh := range s.shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				for {
+					select {
+					case r := <-sh.submit:
+						sh.respond(r, http.StatusServiceUnavailable, "shed: server shutting down\n")
+					case <-stop:
+						return
+					}
 				}
-				keep = append(keep, r)
+			}(sh)
+		}
+		if s.hsrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+			if err := s.hsrv.Shutdown(ctx); err != nil {
+				_ = s.hsrv.Close()
 			}
-			tn.queue = keep
-			tn.qdepth.Set(uint64(len(tn.queue)))
+			cancel()
 		}
-		for _, r := range tn.inflight {
-			if !r.done && now.After(r.deadline) {
-				// Still executing at the deadline is overload, not tenant
-				// failure: answer 503 like any other shed. 502 stays
-				// reserved for "the tenant died under this request".
-				s.shed(r, "deadline exceeded")
-			}
-		}
-	}
+		close(stop)
+		wg.Wait()
+	})
+	return nil
 }
 
-// drainKilled steps the scheduler while dead tenants still have threads
-// to unwind (a killed keeper must die for its process to reclaim). Only
-// called when no requests are executing, so the steps are cheap.
-func (s *Server) drainKilled() {
-	if !s.unreclaimedDead() {
-		return
+// Migrate moves a route's tenant to the target shard — the hot-tenant
+// escape hatch. The protocol is quiesce → drain → move:
+//
+//  1. Quiesce: the owning shard marks the tenant migrating; new arrivals
+//     shed 503 while already-admitted requests keep executing.
+//  2. Drain: the shard finishes the tenant's queue and in-flight
+//     requests (bounded by RequestTimeout — stragglers past it fail as
+//     on any death), kills the old incarnation, and waits for its heap
+//     to merge back.
+//  3. Move: ownership swaps to the target shard, which starts a fresh
+//     incarnation there; traffic resumes.
+//
+// The route is briefly unavailable (sheds, never hangs) while draining;
+// neighbours on both shards are untouched. Blocks until the move
+// completes.
+func (s *Server) Migrate(route string, target int) error {
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+	tn := s.byRoute[route]
+	if tn == nil {
+		return fmt.Errorf("serve: migrate: unknown route %q", route)
 	}
-	for i := 0; i < 1024 && s.vm.Sched.Live() > 0; i++ {
-		progressed, err := s.vm.Sched.Step()
-		if err != nil || !progressed {
-			return
-		}
-		if !s.unreclaimedDead() {
-			return
-		}
+	if target < 0 || target >= len(s.shards) {
+		return fmt.Errorf("serve: migrate: no shard %d (have %d)", target, len(s.shards))
 	}
-}
+	from, to := tn.sh.Load(), s.shards[target]
+	if from == to {
+		return nil
+	}
 
-// unreclaimedDead reports whether any tenant's dead incarnation has not
-// finished reclaiming.
-func (s *Server) unreclaimedDead() bool {
-	for _, tn := range s.tenants {
-		p := tn.proc
-		if p != nil && p.State() != core.ProcRunning && p.State() != core.ProcReclaimed {
-			return true
-		}
+	// 1. Quiesce on the owning shard.
+	if err := from.do(func() { tn.migrating = true }); err != nil {
+		return err
 	}
-	return false
-}
 
-// idle reports whether the engine has nothing actionable right now.
-// Requests queued on a down tenant are not actionable — they wait on the
-// restart timer, which idleWait turns into a timed sleep, not a spin.
-func (s *Server) idle() bool {
-	if s.unreclaimedDead() {
-		return false
-	}
-	for _, tn := range s.tenants {
-		if len(tn.inflight) > 0 {
-			return false
-		}
-		if len(tn.queue) > 0 && !tn.down {
-			return false
-		}
-	}
-	return true
-}
-
-// idleWait blocks until a submission, shutdown, or the next timed
-// obligation: a down tenant's restart, or the deadline of a request
-// queued behind one.
-func (s *Server) idleWait() {
-	var timer <-chan time.Time
-	if d, ok := s.nextWake(); ok {
-		timer = time.After(d)
-	}
-	select {
-	case r := <-s.submit:
-		s.admit(r)
-	case <-s.quit:
-	case <-timer:
-	}
-}
-
-// nextWake computes the earliest supervisor or expiry deadline.
-func (s *Server) nextWake() (time.Duration, bool) {
-	var at time.Time
-	earlier := func(t time.Time) {
-		if at.IsZero() || t.Before(at) {
-			at = t
-		}
-	}
-	for _, tn := range s.tenants {
-		if !tn.down {
-			continue
-		}
-		if !tn.cfg.NoRestart {
-			earlier(tn.nextRestart)
-		}
-		for _, r := range tn.queue {
-			earlier(r.deadline)
-		}
-	}
-	if at.IsZero() {
-		return 0, false
-	}
-	d := time.Until(at)
-	if d < 0 {
-		d = 0
-	}
-	return d, true
-}
-
-// shutdown fails everything pending, kills every tenant, and steps the
-// scheduler until all processes reclaim — leaving the VM quiescent for
-// post-teardown audits.
-func (s *Server) shutdown() {
+	// 2. Drain: poll the owning engine until the tenant has no queued or
+	// executing requests and its old incarnation is fully reclaimed. A
+	// request that outlives RequestTimeout is answered by the engine's
+	// expire pass, and killing the process fails any true straggler the
+	// way any tenant death would.
+	deadline := time.Now().Add(s.cfg.RequestTimeout + s.cfg.RequestTimeout/2)
+	killed := false
 	for {
-		select {
-		case r := <-s.submit:
-			s.respond(r, http.StatusServiceUnavailable, "shed: server shutting down\n")
-			continue
-		default:
+		var quiet, reclaimed bool
+		err := from.do(func() {
+			quiet = len(tn.queue) == 0 && len(tn.inflight) == 0
+			p := tn.proc
+			if quiet && !killed {
+				if p != nil && p.State() == core.ProcRunning {
+					p.Kill(nil)
+				}
+				killed = true
+			}
+			reclaimed = p == nil || p.State() == core.ProcReclaimed
+		})
+		if err != nil {
+			return err
 		}
-		break
-	}
-	for _, tn := range s.tenants {
-		for _, r := range tn.queue {
-			s.respond(r, http.StatusServiceUnavailable, "shed: server shutting down\n")
-		}
-		tn.queue = nil
-		for _, r := range tn.inflight {
-			s.respond(r, http.StatusServiceUnavailable, "shed: server shutting down\n")
-		}
-		if p := tn.proc; p != nil && p.State() == core.ProcRunning {
-			p.Kill(nil)
-		}
-		tn.down = true
-	}
-	// Step every killed thread to its end; in-flight request threads and
-	// keepers all die at their next safepoint.
-	for i := 0; i < 1_000_000 && s.vm.Sched.Live() > 0; i++ {
-		progressed, err := s.vm.Sched.Step()
-		if err != nil || !progressed {
+		if quiet && killed && reclaimed {
 			break
 		}
+		if !quiet && time.Now().After(deadline) {
+			// Stragglers past the deadline: kill the incarnation; the
+			// engine's reap fails their requests 502 like any death.
+			err := from.do(func() {
+				if p := tn.proc; p != nil && p.State() == core.ProcRunning {
+					p.Kill(nil)
+				}
+				killed = true
+			})
+			if err != nil {
+				return err
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
-	for _, tn := range s.tenants {
-		tn.inflight = nil
-		tn.infl.Set(0)
-		tn.qdepth.Set(0)
+	if err := from.do(func() { from.removeTenant(tn) }); err != nil {
+		return err
 	}
+
+	// 3. Move: swap ownership, adopt on the target, restart there.
+	tn.sh.Store(to)
+	var startErr error
+	err := to.do(func() {
+		to.tenants = append(to.tenants, tn)
+		tn.migrating = false
+		tn.deaths = 0
+		startErr = to.startTenant(tn)
+		if startErr != nil {
+			// Adopted but not started: let the supervisor keep trying.
+			tn.down = true
+			tn.nextRestart = time.Now().Add(to.cfg.RestartBackoff)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	tn.migrations.Inc()
+	if sc := tn.currentScope(); sc != nil {
+		sc.Counter(telemetry.MServeMigrations).Inc()
+	}
+	to.vm.Tel.Emit(telemetry.Event{
+		Kind: telemetry.EvServeMigrate, Pid: tn.pid(),
+		A: uint64(from.id), B: uint64(to.id), Detail: tn.cfg.Route,
+	})
+	return startErr
 }

@@ -346,3 +346,101 @@ func TestServeNoRestart(t *testing.T) {
 		t.Errorf("tenant restarted %d times with NoRestart set", rows[0].Restarts)
 	}
 }
+
+// TestServeGracefulShutdownUnderLoad closes the server while clients are
+// mid-flight: every request that got onto the wire must be answered
+// (200/502/503 — never hung, never a 5xx outside that set), the engines
+// must drain their queues rather than abandon them, and every shard's VM
+// must audit green after teardown. Connection errors are only legal once
+// Close has begun (the listener is gone); before that, every request
+// must reach a verdict.
+func TestServeGracefulShutdownUnderLoad(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			tenants := []TenantConfig{
+				{Route: "/x", WorkUnits: 400},
+				{Route: "/y", WorkUnits: 400},
+			}
+			s, base := startSharded(t, shards, Config{
+				Place:          LeastLoaded,
+				RequestTimeout: 10 * time.Second,
+			}, tenants)
+
+			var (
+				closeStarted atomic.Bool
+				badStatus    atomic.Uint64
+				earlyConnErr atomic.Uint64
+				answered     atomic.Uint64
+			)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for c := 0; c < 12; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					client := &http.Client{Timeout: 20 * time.Second}
+					route := tenants[c%len(tenants)].Route
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						resp, err := client.Post(base+route, "text/plain", strings.NewReader("x"))
+						if err != nil {
+							if !closeStarted.Load() {
+								earlyConnErr.Add(1)
+							}
+							// Listener gone: shutdown reached the socket layer.
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						answered.Add(1)
+						switch resp.StatusCode {
+						case http.StatusOK, http.StatusBadGateway, http.StatusServiceUnavailable:
+						default:
+							badStatus.Add(1)
+						}
+					}
+				}(c)
+			}
+
+			time.Sleep(100 * time.Millisecond) // requests in queues and in the VMs
+			closeStarted.Store(true)
+			done := make(chan error, 1)
+			go func() { done <- s.Close() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("Close did not return; shutdown drain is stuck")
+			}
+			close(stop)
+			wg.Wait()
+
+			if answered.Load() == 0 {
+				t.Error("no request was ever answered; test exercised nothing")
+			}
+			if earlyConnErr.Load() != 0 {
+				t.Errorf("%d connection errors before Close started", earlyConnErr.Load())
+			}
+			if badStatus.Load() != 0 {
+				t.Errorf("%d responses outside 200/502/503 during shutdown", badStatus.Load())
+			}
+			// Close drained: no tenant may still hold queued or in-flight
+			// requests, and a second Close is a no-op.
+			for _, row := range s.Rows() {
+				if row.Queue != 0 || row.Inflight != 0 {
+					t.Errorf("tenant %s still has queue=%d inflight=%d after Close", row.Route, row.Queue, row.Inflight)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			auditAllShards(t, s)
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/telemetry"
+)
+
+// The sharded plane has one telemetry hub per shard (spans, trace ring,
+// metric registry all shard-local, written lock-free by the owning
+// engine). The introspection surface below aggregates them: one scrape,
+// one JSON body, one span stream — each sample labelled with its shard.
+
+// ShardMetrics is one shard's scope dump in the aggregated
+// /metrics.json payload.
+type ShardMetrics struct {
+	Shard  int                         `json:"shard"`
+	Scopes []telemetry.MetricsSnapshot `json:"scopes"`
+}
+
+// ShardAudit is one shard's invariant report in the aggregated /audit
+// payload. Advisory while the shard runs; authoritative audits need the
+// server closed.
+type ShardAudit struct {
+	Shard  int  `json:"shard"`
+	Report any  `json:"report"`
+	OK     bool `json:"ok"`
+}
+
+// TelemetryHandler builds the cross-shard introspection surface:
+//
+//	/metrics       Prometheus exposition merged across every shard hub,
+//	               each sample labelled shard="N"
+//	/metrics.json  JSON array of per-shard scope dumps
+//	/spans         every shard recorder's spans as JSON lines
+//	               (Span.Shard disambiguates; kaffeos trace merges)
+//	/trace         every shard trace ring as JSON lines
+//	/procs         JSON array of per-shard process-table snapshots
+//	/ps            per-shard process tables as plain text
+//	/audit         JSON array of per-shard invariant reports
+//	/debug/pprof/  Go runtime profiling
+func (s *Server) TelemetryHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		hubs := make([]telemetry.LabeledHub, len(s.shards))
+		for i, sh := range s.shards {
+			hubs[i] = telemetry.LabeledHub{Hub: sh.vm.Tel, Labels: fmt.Sprintf("shard=%q", fmt.Sprint(sh.id))}
+		}
+		_ = telemetry.WritePrometheusMulti(w, hubs)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]ShardMetrics, 0, len(s.shards))
+		for _, sh := range s.shards {
+			h := sh.vm.Tel
+			scopes := []telemetry.MetricsSnapshot{h.Reg.Kernel().Dump()}
+			for _, sc := range h.Reg.Procs() {
+				scopes = append(scopes, sc.Dump())
+			}
+			out = append(out, ShardMetrics{Shard: sh.id, Scopes: scopes})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, sh := range s.shards {
+			_ = sh.vm.Tel.Spans.WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, sh := range s.shards {
+			_ = sh.vm.Tel.Trace.WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/procs", func(w http.ResponseWriter, r *http.Request) {
+		type shardSnap struct {
+			Shard int                `json:"shard"`
+			Snap  telemetry.Snapshot `json:"snapshot"`
+		}
+		out := make([]shardSnap, 0, len(s.shards))
+		for _, sh := range s.shards {
+			out = append(out, shardSnap{Shard: sh.id, Snap: sh.vm.Snapshot()})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/ps", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, sh := range s.shards {
+			fmt.Fprintf(w, "== shard %d ==\n", sh.id)
+			telemetry.RenderTable(w, sh.vm.Snapshot())
+			fmt.Fprintln(w)
+		}
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]ShardAudit, 0, len(s.shards))
+		for _, sh := range s.shards {
+			rep := sh.vm.Audit(false)
+			out = append(out, ShardAudit{Shard: sh.id, Report: rep, OK: rep.OK()})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeTelemetry starts the aggregated introspection endpoint on addr in
+// a background goroutine and returns the bound address (useful with
+// ":0"). The listener lives until the process exits; this is an opt-in
+// debug surface, not a production server.
+func (s *Server) ServeTelemetry(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.TelemetryHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

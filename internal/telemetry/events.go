@@ -75,6 +75,9 @@ const (
 	// EvServeRestart: the serving plane restarted a dead tenant process.
 	// A = consecutive deaths before this restart. Detail = tenant route.
 	EvServeRestart
+	// EvServeMigrate: a tenant was migrated between engine shards.
+	// A = source shard, B = target shard. Detail = tenant route.
+	EvServeMigrate
 
 	kindMax
 )
@@ -99,6 +102,7 @@ var kindNames = [kindMax]string{
 	EvGCOverlap:        "gc-overlap",
 	EvServeShed:        "serve-shed",
 	EvServeRestart:     "serve-restart",
+	EvServeMigrate:     "serve-migrate",
 }
 
 func (k Kind) String() string {
@@ -123,6 +127,7 @@ var fieldNames = [kindMax][2]string{
 	EvGCOverlap:    {"max_active", ""},
 	EvServeShed:    {"queue_depth", ""},
 	EvServeRestart: {"deaths", ""},
+	EvServeMigrate: {"from_shard", "to_shard"},
 }
 
 // FieldNames reports the JSON key names of an event kind's A and B words

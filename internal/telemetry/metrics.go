@@ -366,6 +366,7 @@ const (
 	MServeShed       = "serve.shed"        // counter: 503s (queue/memlimit saturation)
 	MServeErrors     = "serve.errors"      // counter: 5xx from a dying/dead tenant
 	MServeRestarts   = "serve.restarts"    // counter: tenant process restarts
+	MServeMigrations = "serve.migrations"  // counter: tenant shard migrations
 	MServeQueueDepth = "serve.queue_depth" // gauge: requests waiting for dispatch
 	MServeInflight   = "serve.inflight"    // gauge: requests executing in the VM
 	MServeLatency    = "serve.latency_ns"  // histogram: wall-clock request latency

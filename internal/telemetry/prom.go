@@ -84,22 +84,42 @@ func (h *Hub) syncDerived() {
 // format: one family per metric name, HELP/TYPE emitted once, samples in
 // scope order (kernel first, then pids ascending).
 func (h *Hub) WritePrometheus(w io.Writer) error {
-	h.syncDerived()
+	return WritePrometheusMulti(w, []LabeledHub{{Hub: h}})
+}
 
-	scopes := append([]*Scope{h.Reg.Kernel()}, h.Reg.Procs()...)
+// LabeledHub pairs a hub with extra labels (e.g. `shard="2"`) stamped on
+// every sample it contributes to a multi-hub exposition.
+type LabeledHub struct {
+	Hub    *Hub
+	Labels string
+}
+
+// WritePrometheusMulti renders several hubs' metrics as one exposition:
+// families are merged across hubs so HELP/TYPE appear exactly once, and
+// each hub's samples carry its extra labels. The sharded serving plane
+// uses it to aggregate per-shard VMs under a shard label.
+func WritePrometheusMulti(w io.Writer, hubs []LabeledHub) error {
 	counterFams := make(map[string][]scoped[*Counter])
 	gaugeFams := make(map[string][]scoped[*Gauge])
 	histFams := make(map[string][]scoped[*Histogram])
-	for _, s := range scopes {
-		labels, counters, gauges, hists := s.metricRefs()
-		for name, c := range counters {
-			counterFams[name] = append(counterFams[name], scoped[*Counter]{labels, c})
-		}
-		for name, g := range gauges {
-			gaugeFams[name] = append(gaugeFams[name], scoped[*Gauge]{labels, g})
-		}
-		for name, hg := range hists {
-			histFams[name] = append(histFams[name], scoped[*Histogram]{labels, hg})
+	for _, lh := range hubs {
+		h := lh.Hub
+		h.syncDerived()
+		scopes := append([]*Scope{h.Reg.Kernel()}, h.Reg.Procs()...)
+		for _, s := range scopes {
+			labels, counters, gauges, hists := s.metricRefs()
+			if lh.Labels != "" {
+				labels = lh.Labels + "," + labels
+			}
+			for name, c := range counters {
+				counterFams[name] = append(counterFams[name], scoped[*Counter]{labels, c})
+			}
+			for name, g := range gauges {
+				gaugeFams[name] = append(gaugeFams[name], scoped[*Gauge]{labels, g})
+			}
+			for name, hg := range hists {
+				histFams[name] = append(histFams[name], scoped[*Histogram]{labels, hg})
+			}
 		}
 	}
 

@@ -27,6 +27,10 @@ type Span struct {
 	// are stamped with it in the event trace.
 	ID    uint64 `json:"id"`
 	Route string `json:"route"`
+	// Shard is the engine shard that minted the span. Ids are dense per
+	// shard recorder, so (Shard, ID) is the globally unique request key on
+	// a sharded serving plane.
+	Shard int `json:"shard"`
 	// Pid is the tenant process incarnation that answered (0 when the
 	// request never reached a process).
 	Pid    int32 `json:"pid"`
