@@ -29,6 +29,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/jserv"
+	"repro/internal/membal"
 	"repro/internal/memlimit"
 	"repro/internal/object"
 	"repro/internal/serve"
@@ -773,5 +774,93 @@ L0:	goto L0
 		if p.State() != core.ProcReclaimed {
 			b.Fatal("not reclaimed")
 		}
+	}
+}
+
+// BenchmarkMemBalRebalance prices one controller round: estimate every
+// tenant's allocation rate, solve the square-root split of the budget,
+// and apply the new limits through the memlimit tree. This runs on the
+// engine goroutine between request quanta, so its cost is pure serving
+// overhead; per-op time is one full round over all tenants.
+func BenchmarkMemBalRebalance(b *testing.B) {
+	for _, n := range []int{8, 64} {
+		b.Run(fmt.Sprintf("tenants=%d", n), func(b *testing.B) {
+			root := memlimit.NewRoot("root", memlimit.Unlimited)
+			ctl := &membal.Controller{Budget: uint64(n) * (4 << 20)}
+			targets := make([]membal.Target, n)
+			for i := range targets {
+				l := root.MustChild(fmt.Sprintf("t%d", i), 4<<20, false)
+				live := uint64(256+(i%32)*64) << 10
+				if err := l.Debit(live); err != nil {
+					b.Fatal(err)
+				}
+				targets[i] = membal.Target{ID: int32(i), Limit: l, Live: live}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range targets {
+					// Skewed allocation keeps the rate estimates (and thus
+					// the split) changing every round.
+					targets[j].AllocBytes += uint64(1+j%7) << 12
+				}
+				ctl.Rebalance(uint64(i+1)*100_000, targets)
+			}
+		})
+	}
+}
+
+// BenchmarkServeOvercommit measures one request through an overcommitted
+// plane — four tenants whose even-split share of the budget is tight —
+// with static limits vs the memory controller redistributing the same
+// budget. The controller's cost (rebalance rounds on the engine
+// goroutine) and its benefit (fewer admission-pressure GCs) both land in
+// the per-request time; the gate holds both variants.
+func BenchmarkServeOvercommit(b *testing.B) {
+	const budget = 4 << 20
+	for _, controller := range []bool{false, true} {
+		name := "static"
+		if controller {
+			name = "balanced"
+		}
+		b.Run(name, func(b *testing.B) {
+			tenants := make([]serve.TenantConfig, 4)
+			for i := range tenants {
+				tenants[i] = serve.TenantConfig{
+					Route:     fmt.Sprintf("/b%d", i),
+					WorkUnits: 200,
+					MemKB:     int(budget / 4 >> 10),
+				}
+			}
+			cfg := serve.Config{}
+			if controller {
+				cfg.MemBudget = budget
+			}
+			srv, err := serve.NewSharded(
+				core.Config{Engine: core.EngineJITOpt, TotalMemory: 32<<20 + budget},
+				cfg, tenants)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			body := make([]byte, 8<<10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				status, _ := srv.Do(fmt.Sprintf("/b%d", i%4), body)
+				if status != 200 && status != 503 {
+					b.Fatalf("status %d", status)
+				}
+			}
+			b.StopTimer()
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			for i, vm := range srv.VMs() {
+				if rep := vm.Audit(true); !rep.OK() {
+					b.Fatalf("shard %d post-run audit failed:\n%s", i, rep)
+				}
+			}
+		})
 	}
 }

@@ -498,7 +498,11 @@ func checkSweep(n int, spec string, files []string) error {
 	badSeeds := 0
 	for seed := 1; seed <= n; seed++ {
 		plan := fmt.Sprintf("seed=%d,%s", seed, spec)
-		vm, err := kaffeos.New(kaffeos.Config{Faults: plan})
+		// MemBudget arms the memory-balancer controller so the sweep
+		// exercises the membal.rebalance fault site alongside the rest;
+		// the tight interval (one quantum) gets rebalance rounds even into
+		// runs that injected faults cut short.
+		vm, err := kaffeos.New(kaffeos.Config{Faults: plan, MemBudget: 48 << 20, MemBalInterval: 100_000})
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/core"
@@ -31,6 +33,10 @@ func serveCmd(args []string) error {
 	faultSpec := fs.String("faults", "", `arm fault injection (e.g. "seed=7,serve.dispatch=@100")`)
 	telAddr := fs.String("http", "", "also serve the aggregated telemetry endpoint on this address")
 	spans := fs.Bool("spans", false, "record per-request cost spans (view at /spans or with kaffeos trace)")
+	memBudget := fs.String("membudget", "",
+		"global memory budget (e.g. 64M): turn on the MemBalancer controller, which\n"+
+			"redistributes the budget across tenant memlimits by the square-root rule\n"+
+			"instead of keeping every tenant at its static per-route limit")
 	flightDir := fs.String("flight", "", "write flight-recorder post-mortems to this directory on tenant death/shed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,9 +65,16 @@ func serveCmd(args []string) error {
 			return err
 		}
 	}
+	var budget uint64
+	if *memBudget != "" {
+		budget, err = parseSize(*memBudget)
+		if err != nil {
+			return fmt.Errorf("-membudget: %w", err)
+		}
+	}
 	srv, err := serve.NewSharded(
 		core.Config{Engine: core.EngineKind(*engine), Faults: plane},
-		serve.Config{Shards: *shards, Place: serve.LeastLoaded, FlightDir: *flightDir},
+		serve.Config{Shards: *shards, Place: serve.LeastLoaded, FlightDir: *flightDir, MemBudget: budget},
 		tenants)
 	if err != nil {
 		return err
@@ -112,4 +125,22 @@ func serveCmd(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "kaffeos: post-shutdown audit ok on %d shard(s)\n", srv.Shards())
 	return nil
+}
+
+// parseSize parses a byte size with an optional K/M/G suffix (KiB units).
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
 }

@@ -12,6 +12,8 @@
 //	                     # self-hosted serving plane (one process per route)
 //	servbench -net -target http://host:8080      # aim at a running `kaffeos serve`
 //	servbench -net -json out.json                # self-describing JSON artifact
+//	servbench -net -overcommit -membudget 12582912  # A/B: static even-split
+//	                     # limits vs the memory controller under one budget
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 func main() {
 	real := flag.Bool("real", false, "run the real-VM servlet demonstration instead of the host simulation")
 	net := flag.Bool("net", false, "generate real HTTP load against a serving plane (self-hosted unless -target)")
+	overcommit := flag.Bool("overcommit", false, "-net: run the overcommit A/B (static limits vs memory controller) under -membudget")
+	memBudget := flag.Uint64("membudget", 12<<20, "-net -overcommit: global tenant memory budget in bytes")
 	csv := flag.Bool("csv", false, "CSV output")
 	requests := flag.Uint64("requests", 60, "requests per servlet (-real) or total requests (-net; default 10000 there)")
 	httpAddr := flag.String("http", "", "serve the telemetry HTTP endpoint on this address in -real mode")
@@ -40,6 +44,16 @@ func main() {
 
 	var err error
 	switch {
+	case *net && *overcommit:
+		n := *requests
+		if n == 60 && !flagSet("requests") {
+			n = 1600
+		}
+		c := *clients
+		if c == 32 && !flagSet("clients") {
+			c = 128
+		}
+		err = overcommitBench(*memBudget, n, c, *shards, *jsonPath)
 	case *net:
 		n := *requests
 		if n == 60 && !flagSet("requests") {

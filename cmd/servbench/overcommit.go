@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// overcommitRun is one half of the A/B artifact: the same overcommitted
+// fleet under the same budget, with the memory controller off (static
+// even-split limits) or on (MemBalancer redistribution).
+type overcommitRun struct {
+	Controller bool    `json:"controller"`
+	Requests   uint64  `json:"requests"`
+	OK         uint64  `json:"ok"`
+	Shed       uint64  `json:"shed"`
+	Errors     uint64  `json:"errors"`
+	ShedRate   float64 `json:"shed_rate"`
+	GCCycles   uint64  `json:"gc_cycles"`
+	GCPerOK    float64 `json:"gc_cycles_per_ok"`
+	Rebalances uint64  `json:"rebalance_rounds"`
+	ElapsedMS  int64   `json:"elapsed_ms"`
+	Throughput float64 `json:"requests_per_sec"`
+}
+
+// overcommitReport is the -json artifact for an overcommit A/B run.
+type overcommitReport struct {
+	Host     telemetry.HostInfo `json:"host"`
+	Budget   uint64             `json:"budget_bytes"`
+	Tenants  int                `json:"tenants"`
+	Shards   int                `json:"shards"`
+	Clients  int                `json:"clients"`
+	Static   overcommitRun      `json:"static"`
+	Balanced overcommitRun      `json:"balanced"`
+}
+
+// overcommitTenants is the fixed fleet: eight tenants whose combined
+// appetite is far over the budget — four hot (large bodies held live
+// in flight, heavy per-request work) and four nearly idle. The static
+// baseline splits the budget evenly; the controller moves it to where
+// the allocation actually happens.
+func overcommitTenants(budget uint64) []serve.TenantConfig {
+	perTenantKB := int(budget / 8 >> 10)
+	tenants := make([]serve.TenantConfig, 8)
+	for i := range tenants {
+		work := 50
+		inflight := 0
+		if i < 4 {
+			work = 20_000
+			inflight = 24
+		}
+		tenants[i] = serve.TenantConfig{
+			Route:       fmt.Sprintf("/t%d", i),
+			WorkUnits:   work,
+			MemKB:       perTenantKB,
+			QueueMax:    12,
+			MaxInflight: inflight,
+		}
+	}
+	return tenants
+}
+
+// overcommitOnce self-hosts the plane and drives the skewed traffic mix
+// (7/8 of requests carry 64 KiB bodies to the hot half) over HTTP.
+func overcommitOnce(budget, requests uint64, clients, shards int, controller bool) (overcommitRun, error) {
+	run := overcommitRun{Controller: controller, Requests: requests}
+	cfg := serve.Config{Shards: shards, Place: serve.LeastLoaded}
+	if controller {
+		cfg.MemBudget = budget
+	}
+	srv, err := serve.NewSharded(
+		core.Config{Engine: core.EngineJITOpt, TotalMemory: 32<<20 + budget/uint64(shards)},
+		cfg, overcommitTenants(budget))
+	if err != nil {
+		return run, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return run, err
+	}
+	base := "http://" + addr
+
+	hotBody := strings.Repeat("x", 64<<10)
+	coldBody := "ping"
+	start := time.Now()
+	var next, ok200, shed503, errOther atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			for {
+				i := next.Add(1) - 1
+				if i >= requests {
+					return
+				}
+				route, body := fmt.Sprintf("/t%d", i%4), hotBody
+				if i%8 == 7 {
+					route, body = fmt.Sprintf("/t%d", 4+(i/8)%4), coldBody
+				}
+				resp, err := client.Post(base+route, "text/plain", strings.NewReader(body))
+				if err != nil {
+					errOther.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusServiceUnavailable:
+					shed503.Add(1)
+				default:
+					errOther.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err := srv.Close(); err != nil {
+		return run, err
+	}
+	for i, vm := range srv.VMs() {
+		if audit := vm.Audit(true); !audit.OK() {
+			return run, fmt.Errorf("post-run audit failed on shard %d:\n%s", i, audit)
+		}
+		for _, scope := range vm.Tel.Reg.Procs() {
+			run.GCCycles += scope.Counter(telemetry.MGCCycles).Value()
+		}
+		run.Rebalances += vm.Tel.Reg.Kernel().Counter(telemetry.MMemBalRounds).Value()
+	}
+
+	run.OK = ok200.Load()
+	run.Shed = shed503.Load()
+	run.Errors = errOther.Load()
+	run.ShedRate = float64(run.Shed) / float64(requests)
+	if run.OK > 0 {
+		run.GCPerOK = float64(run.GCCycles) / float64(run.OK)
+	}
+	run.ElapsedMS = elapsed.Milliseconds()
+	run.Throughput = float64(requests) / elapsed.Seconds()
+	return run, nil
+}
+
+// overcommitBench runs the overcommit scenario twice — static even-split
+// limits, then the MemBalancer controller — under the same global budget,
+// and prints the comparison the bench gate records.
+func overcommitBench(budget, requests uint64, clients, shards int, jsonPath string) error {
+	fmt.Fprintf(os.Stderr, "servbench: overcommit A/B — 8 tenants under a %d MiB budget, %d requests, %d clients, %d shards\n",
+		budget>>20, requests, clients, shards)
+
+	static, err := overcommitOnce(budget, requests, clients, shards, false)
+	if err != nil {
+		return fmt.Errorf("static run: %w", err)
+	}
+	balanced, err := overcommitOnce(budget, requests, clients, shards, true)
+	if err != nil {
+		return fmt.Errorf("balanced run: %w", err)
+	}
+
+	rep := overcommitReport{
+		Host: telemetry.Host(), Budget: budget, Tenants: 8,
+		Shards: shards, Clients: clients, Static: static, Balanced: balanced,
+	}
+
+	fmt.Printf("overcommit: 8 tenants, %d MiB budget (room for ~3 hot heaps)\n", budget>>20)
+	fmt.Printf("  %-10s %8s %8s %8s %10s %12s %12s %10s\n",
+		"config", "ok", "shed", "errors", "shed-rate", "gc-cycles", "gc/ok", "req/s")
+	for _, r := range []overcommitRun{static, balanced} {
+		name := "static"
+		if r.Controller {
+			name = "balanced"
+		}
+		fmt.Printf("  %-10s %8d %8d %8d %9.1f%% %12d %12.1f %10.0f\n",
+			name, r.OK, r.Shed, r.Errors, 100*r.ShedRate, r.GCCycles, r.GCPerOK, r.Throughput)
+	}
+	fmt.Printf("  controller ran %d rebalance rounds\n", balanced.Rebalances)
+	switch {
+	case balanced.Shed <= static.Shed && balanced.GCPerOK < static.GCPerOK:
+		fmt.Printf("  verdict: controller wins — shed %d -> %d, gc/ok %.1f -> %.1f\n",
+			static.Shed, balanced.Shed, static.GCPerOK, balanced.GCPerOK)
+	default:
+		fmt.Printf("  verdict: controller did NOT beat static on this run\n")
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "servbench: wrote %s\n", jsonPath)
+	}
+	if balanced.Shed > static.Shed || balanced.GCPerOK >= static.GCPerOK {
+		return fmt.Errorf("overcommit gate: controller did not beat static (shed %d vs %d, gc/ok %.1f vs %.1f)",
+			balanced.Shed, static.Shed, balanced.GCPerOK, static.GCPerOK)
+	}
+	return nil
+}

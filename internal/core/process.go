@@ -13,6 +13,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/loader"
+	"repro/internal/membal"
 	"repro/internal/memlimit"
 	"repro/internal/object"
 	"repro/internal/telemetry"
@@ -111,9 +112,21 @@ type Process struct {
 	ctrGCAdaptive *telemetry.Counter
 
 	// gcTrigger is the heap size past which the scheduler's charge hook
-	// collects the heap adaptively. Reset after every collection to
-	// max(GCMinHeap, bytes × GCGrowthFactor); read every quantum.
+	// collects the heap adaptively. Rearmed after every collection — from
+	// the controller's target when one governs this process, else by the
+	// local square-root rule (or the legacy growth factor); never below
+	// GCMinHeap. Read every quantum.
 	gcTrigger atomic.Uint64
+	// ctlTrigger, when nonzero, is the memory-balancer controller's limit
+	// for this heap: resetGCTrigger uses it instead of computing a local
+	// target, so the controller's budget split survives collections until
+	// the next rebalance round overwrites it.
+	ctlTrigger atomic.Uint64
+	// lastGCAlloc/lastGCCycles checkpoint the heap's cumulative allocation
+	// counter and the virtual clock at the previous trigger reset, giving
+	// the local square-root rule its allocation-rate estimate.
+	lastGCAlloc  atomic.Uint64
+	lastGCCycles atomic.Uint64
 	// handles other processes hold on this one do not keep its heap
 	// alive; the process table entry is the only kernel-side state.
 }
@@ -533,11 +546,49 @@ func (p *Process) CollectAttributed(req uint64) heap.GCResult {
 	return p.Collect()
 }
 
+// setControlledTrigger installs the memory-balancer controller's limit as
+// this process' GC trigger. Called from the VM's Rebalance (scheduler
+// goroutine); read from resetGCTrigger on the same goroutine and from
+// external pollers via the atomic.
+func (p *Process) setControlledTrigger(t uint64) {
+	if min := p.VM.Cfg.GCMinHeap; t < min {
+		t = min
+	}
+	p.ctlTrigger.Store(t)
+	p.gcTrigger.Store(t)
+}
+
 // resetGCTrigger rearms the adaptive collection trigger after a collection
-// of this process' heap: the heap may grow by GCGrowthFactor before the
-// scheduler collects it again, and never below the GCMinHeap floor.
+// of this process' heap. When the memory-balancer controller governs this
+// process, its last target stands until the next rebalance round. Otherwise
+// the local square-root rule applies: live + √(live × rate × horizon), the
+// single-heap MemBalancer limit, degrading to the classic 2× growth trigger
+// when no allocation rate is known yet. GCLegacyGrowth restores the fixed
+// GCGrowthFactor multiplier for differential testing. Never below GCMinHeap.
 func (p *Process) resetGCTrigger() {
-	next := uint64(float64(p.Heap.Bytes()) * p.VM.Cfg.GCGrowthFactor)
+	if ctl := p.ctlTrigger.Load(); ctl != 0 {
+		next := ctl
+		if min := p.VM.Cfg.GCMinHeap; next < min {
+			next = min
+		}
+		p.gcTrigger.Store(next)
+		return
+	}
+	live := p.Heap.Bytes()
+	var next uint64
+	if p.VM.Cfg.GCLegacyGrowth {
+		next = uint64(float64(live) * p.VM.Cfg.GCGrowthFactor)
+	} else {
+		alloc := p.Heap.Stats().AllocBytes
+		now := p.VM.Sched.Now()
+		lastAlloc := p.lastGCAlloc.Swap(alloc)
+		lastCycles := p.lastGCCycles.Swap(now)
+		var rate float64
+		if lastCycles != 0 && now > lastCycles && alloc >= lastAlloc {
+			rate = float64(alloc-lastAlloc) / float64(now-lastCycles)
+		}
+		next = live + membal.SqrtExtra(live, rate, p.VM.Cfg.GCSqrtHorizon)
+	}
 	if min := p.VM.Cfg.GCMinHeap; next < min {
 		next = min
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/loader"
+	"repro/internal/membal"
 	"repro/internal/memlimit"
 	"repro/internal/object"
 	"repro/internal/sched"
@@ -76,15 +77,36 @@ type Config struct {
 	// GCWorkers bounds the worker pool CollectAll uses to run process-heap
 	// collections concurrently. 0 selects GOMAXPROCS.
 	GCWorkers int
-	// GCGrowthFactor is the adaptive collection trigger: a process heap is
-	// collected once it grows past factor × its size after the previous
-	// collection (default 2.0; see Kirisame et al. on adaptive heap
-	// limits).
+	// GCGrowthFactor is the legacy adaptive collection trigger: a process
+	// heap is collected once it grows past factor × its size after the
+	// previous collection (default 2.0). Only consulted when
+	// GCLegacyGrowth is set; the default trigger is the square-root rule
+	// (Kirisame et al., MemBalancer), which grants a heap headroom
+	// √(live × alloc-rate × GCSqrtHorizon) instead of a fixed multiple.
 	GCGrowthFactor float64
+	// GCLegacyGrowth restores the fixed growth-factor trigger, for
+	// differential testing against the square-root rule.
+	GCLegacyGrowth bool
+	// GCSqrtHorizon tunes the square-root trigger: the virtual-cycle
+	// window whose expected allocation volume is balanced against the
+	// live size (default 2^26 cycles ≈ 134 virtual ms). Larger = laxer
+	// triggers, fewer collections, more memory.
+	GCSqrtHorizon uint64
 	// GCMinHeap is the floor below which the adaptive trigger never fires
 	// (default 256 KiB), so short-lived or tiny processes are never
 	// collected preemptively.
 	GCMinHeap uint64
+	// MemBudget, when nonzero, runs the MemBalancer controller
+	// (internal/membal) over every process heap: the budget is
+	// redistributed across all process memlimits every MemBalInterval
+	// cycles by the square-root rule, and each process' GC trigger tracks
+	// its controller-computed limit instead of the local rule. This turns
+	// the paper's static memlimit tree into a continuous admission/
+	// autoscaling policy for overcommitted serving.
+	MemBudget uint64
+	// MemBalInterval is the controller period in virtual cycles
+	// (default 500k = 1 virtual ms).
+	MemBalInterval uint64
 	// Stdout is where process output goes unless a process overrides it.
 	Stdout io.Writer
 	// Telemetry, when set, is used instead of a freshly-created hub —
@@ -118,8 +140,14 @@ func (c *Config) fill() {
 	if c.GCGrowthFactor <= 0 {
 		c.GCGrowthFactor = 2.0
 	}
+	if c.GCSqrtHorizon == 0 {
+		c.GCSqrtHorizon = 1 << 26
+	}
 	if c.GCMinHeap == 0 {
 		c.GCMinHeap = 256 << 10
+	}
+	if c.MemBalInterval == 0 {
+		c.MemBalInterval = 500_000
 	}
 	if c.Stdout == nil {
 		c.Stdout = io.Discard
@@ -148,6 +176,12 @@ type VM struct {
 	Tel *telemetry.Hub
 
 	engine interp.Engine
+
+	// ctl is the MemBalancer controller (nil unless Cfg.MemBudget is
+	// set). It and lastRebalance are touched only by the goroutine
+	// driving the scheduler — the same ownership rule as the VM itself.
+	ctl           *membal.Controller
+	lastRebalance uint64
 
 	mu       sync.Mutex
 	procs    map[Pid]*Process
@@ -221,6 +255,16 @@ func NewVM(cfg Config) (*VM, error) {
 		return nil, fmt.Errorf("core: defining kernel classes: %w", err)
 	}
 
+	if cfg.MemBudget > 0 {
+		vm.ctl = &membal.Controller{
+			Budget: cfg.MemBudget,
+			Floor:  cfg.GCMinHeap,
+			Sink:   vm.Tel,
+			Scope:  vm.Tel.Reg.Kernel(),
+			Faults: cfg.Faults,
+		}
+	}
+
 	vm.Sched = sched.New(vm.engine)
 	vm.Sched.Quantum = cfg.Quantum
 	vm.Sched.OnExit = vm.onThreadExit
@@ -235,16 +279,27 @@ func NewVM(cfg Config) (*VM, error) {
 	}
 	vm.Tel.SetClock(vm.Sched.Now)
 	vm.Sched.Charge = func(t *interp.Thread, cycles uint64) {
+		if vm.ctl != nil {
+			// The memory balancer runs on the scheduler's cadence: once
+			// per MemBalInterval of virtual time it re-reads every live
+			// heap and redistributes the budget. Same goroutine as the
+			// scheduler, so it may touch processes and limits freely.
+			if now := vm.Sched.Now(); now-vm.lastRebalance >= vm.Cfg.MemBalInterval {
+				vm.lastRebalance = now
+				vm.Rebalance()
+			}
+		}
 		if p, ok := t.Owner.(*Process); ok {
 			p.chargeCPU(cycles)
 			if p.cpuLimit > 0 && p.CPUCycles() > p.cpuLimit && p.State() == ProcRunning {
 				p.Kill(ErrCPULimit)
 			}
-			// Adaptive trigger: collect a heap that doubled (by default)
-			// since its last collection, instead of waiting for an
-			// allocation failure. Runs on the scheduler goroutine, so the
-			// process' mutators are quiescent; the cycles are charged to
-			// the process through the normal path.
+			// Adaptive trigger: collect a heap that outgrew its computed
+			// limit (square-root rule, controller-set, or the legacy
+			// growth factor), instead of waiting for an allocation
+			// failure. Runs on the scheduler goroutine, so the process'
+			// mutators are quiescent; the cycles are charged to the
+			// process through the normal path.
 			if p.State() == ProcRunning && p.Heap.Bytes() > p.gcTrigger.Load() {
 				if p.ctrGCAdaptive != nil {
 					p.ctrGCAdaptive.Inc()
@@ -491,6 +546,47 @@ func (vm *VM) CollectAll() []heap.GCResult {
 	vm.CollectKernel()
 	return results
 }
+
+// Rebalance runs one MemBalancer controller round: every running
+// process' (live, alloc-rate) reading feeds the square-root rule, the
+// global MemBudget is redistributed across their memlimits, and each
+// process' GC trigger is retargeted to its new limit. No-op unless
+// Cfg.MemBudget is set. Must be called from the goroutine driving the
+// scheduler (the Charge hook calls it on its own every MemBalInterval
+// cycles; tests and benchmarks may call it directly between Run slices).
+func (vm *VM) Rebalance() []membal.Applied {
+	if vm.ctl == nil {
+		return nil
+	}
+	procs := vm.Processes()
+	targets := make([]membal.Target, 0, len(procs))
+	byPid := make(map[int32]*Process, len(procs))
+	for _, p := range procs {
+		if p.State() != ProcRunning {
+			continue
+		}
+		targets = append(targets, membal.Target{
+			ID:         int32(p.ID),
+			Limit:      p.Limit,
+			Live:       p.Heap.Bytes(),
+			AllocBytes: p.Heap.Stats().AllocBytes,
+		})
+		byPid[int32(p.ID)] = p
+	}
+	applied := vm.ctl.Rebalance(vm.Sched.Now(), targets)
+	for _, a := range applied {
+		p := byPid[a.ID]
+		p.setControlledTrigger(a.Trigger)
+		if vm.Tel != nil {
+			vm.Tel.Reg.Proc(a.ID).Gauge(telemetry.MMemLimit).Set(a.Max)
+		}
+	}
+	return applied
+}
+
+// Controller exposes the VM's memory balancer (nil unless Cfg.MemBudget
+// is set) — read-only introspection for tests and the serving plane.
+func (vm *VM) Controller() *membal.Controller { return vm.ctl }
 
 // CollectKernel merges orphaned shared heaps, then collects the kernel
 // heap. Kernel roots: shared-library statics, the process table, and every

@@ -64,6 +64,12 @@ const (
 	// dispatched request (`serve.dispatch=@N`) deterministically exercises
 	// the killed-mid-request degradation path.
 	SiteServeDispatch
+	// SiteMemBalance: the memory-balancer controller fails mid-
+	// redistribution — it applies only a prefix of the round's new limits
+	// (equivalently: the rest of the round acts on a stale snapshot), so
+	// `membal.rebalance=@N` deterministically exercises a half-applied
+	// rebalance that the next round and the kernel auditor must absorb.
+	SiteMemBalance
 
 	numSites
 )
@@ -81,6 +87,7 @@ var siteNames = [numSites]string{
 	SiteProcSpawn:     "proc.spawn",
 	SiteProcTerminate: "proc.terminate",
 	SiteServeDispatch: "serve.dispatch",
+	SiteMemBalance:    "membal.rebalance",
 }
 
 func (s Site) String() string {

@@ -343,10 +343,16 @@ func (l *Limit) Max() uint64 {
 }
 
 // Available reports how many bytes l could still debit locally (ignoring
-// ancestors, which may be tighter).
+// ancestors, which may be tighter). Saturates at zero: a controller may
+// pin max to exactly the current use (SetMaxClamped), and a raw
+// `max - use` here would wrap to ~2^64 the instant use crossed a stale
+// max — the underflow the memlimit property suite guards against.
 func (l *Limit) Available() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.use >= l.max {
+		return 0
+	}
 	return l.max - l.use
 }
 
@@ -383,6 +389,39 @@ func (l *Limit) SetMax(max uint64) error {
 	}
 	l.max = max
 	return nil
+}
+
+// SetMaxClamped is the memory-balancer's shrink: it sets l's maximum to
+// max, but never below the current use, and reports the value actually
+// applied. The clamp and the assignment happen under one tree-lock
+// acquisition, which is the point: a caller that reads Use() and then
+// calls SetMax races concurrent allocation — in particular the 64 KiB
+// allocation lease (DebitLease), which raises use between the read and
+// the set — and either livelocks on ErrExceeded or, if it subtracts the
+// stale use from the new max, underflows. For a hard limit the grow/
+// shrink delta settles with the parent exactly as SetMax does; a grow
+// the parent cannot absorb falls back to the largest max the parent
+// accepts (at least the current use, which is already reserved).
+func (l *Limit) SetMaxClamped(max uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return 0
+	}
+	if max < l.use {
+		max = l.use
+	}
+	if l.hard && l.parent != nil && max > l.max {
+		if err := l.parent.debitLocked(max - l.max); err != nil {
+			// The parent cannot fund the full grow; keep what we have.
+			return l.max
+		}
+	}
+	if l.hard && l.parent != nil && max < l.max {
+		l.parent.creditLocked(l.max - max)
+	}
+	l.max = max
+	return max
 }
 
 // Node is a point-in-time copy of one limit, captured by Snapshot for the

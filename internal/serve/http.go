@@ -197,6 +197,8 @@ func rowFor(tn *tenant) TenantRow {
 		row.Pid = int32(p.ID)
 		row.Up = p.State() == core.ProcRunning
 		row.MemUse = p.MemUse()
+		// The controller moves limits at runtime; report the live one.
+		row.MemLimit = p.Limit.Max()
 	}
 	return row
 }

@@ -177,6 +177,14 @@ type Config struct {
 	// MaxBody caps the request body size (default 1 MiB).
 	MaxBody int64
 
+	// MemBudget, when nonzero, turns on the MemBalancer controller: the
+	// budget is split evenly across shards (each shard VM runs its own
+	// controller over the tenants it hosts) and continuously redistributed
+	// across tenant memlimits by the square-root rule, instead of every
+	// tenant keeping its static MemKB ceiling. Tenant MemKB still sets the
+	// initial limit a process starts with before the first rebalance round.
+	MemBudget uint64
+
 	// FlightDir, when non-empty, enables the flight recorder: on every
 	// tenant death (and on shed storms, throttled to one dump per
 	// FlightMinGap) the owning shard's engine writes a post-mortem JSON
@@ -362,6 +370,12 @@ func NewSharded(vmCfg core.Config, cfg Config, tenants []TenantConfig) (*Server,
 	cfg.fill()
 	if vmCfg.Telemetry != nil {
 		return nil, fmt.Errorf("serve: NewSharded needs one telemetry hub per shard; leave vmCfg.Telemetry nil")
+	}
+	if cfg.MemBudget > 0 {
+		// Each shard VM runs its own controller over an even slice of the
+		// budget; the engine goroutine drives it from the Charge hook, so
+		// no cross-shard coordination is needed.
+		vmCfg.MemBudget = cfg.MemBudget / uint64(cfg.Shards)
 	}
 	vms := make([]*core.VM, cfg.Shards)
 	for i := range vms {

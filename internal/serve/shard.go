@@ -253,7 +253,11 @@ func (sh *shard) admit(r *request) {
 	if !tn.down && tn.cfg.ShedFraction > 0 {
 		p := tn.proc
 		if p != nil && p.State() == core.ProcRunning {
-			high := tn.cfg.ShedFraction * float64(uint64(tn.cfg.MemKB)<<10)
+			// The high-water mark tracks the process' current memlimit,
+			// not the static MemKB it started with: when the memory
+			// balancer governs the shard, a tenant's ceiling moves every
+			// rebalance round and admission control must move with it.
+			high := tn.cfg.ShedFraction * float64(p.Limit.Max())
 			if float64(p.MemUse()) > high {
 				// Distinguish garbage from live data before refusing: a
 				// collection (charged to the tenant) saves a well-behaved

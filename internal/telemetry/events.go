@@ -78,6 +78,11 @@ const (
 	// EvServeMigrate: a tenant was migrated between engine shards.
 	// A = source shard, B = target shard. Detail = tenant route.
 	EvServeMigrate
+	// EvMemRebalance: the memory-balancer controller redistributed the
+	// global budget across process memlimits. A = budget bytes,
+	// B = heaps whose limits were updated this round. Detail carries
+	// "partial" when the fault plane aborted the round mid-redistribution.
+	EvMemRebalance
 
 	kindMax
 )
@@ -103,6 +108,7 @@ var kindNames = [kindMax]string{
 	EvServeShed:        "serve-shed",
 	EvServeRestart:     "serve-restart",
 	EvServeMigrate:     "serve-migrate",
+	EvMemRebalance:     "membal-rebalance",
 }
 
 func (k Kind) String() string {
@@ -128,6 +134,7 @@ var fieldNames = [kindMax][2]string{
 	EvServeShed:    {"queue_depth", ""},
 	EvServeRestart: {"deaths", ""},
 	EvServeMigrate: {"from_shard", "to_shard"},
+	EvMemRebalance: {"budget_bytes", "updated"},
 }
 
 // FieldNames reports the JSON key names of an event kind's A and B words

@@ -381,4 +381,12 @@ const (
 	MSpanTotalNs    = "span.total_ns"    // histogram: accept-to-response wall time
 	MSpanDropped    = "span.dropped"     // kernel gauge: spans that fell off the ring
 	MTraceDropped   = "trace.dropped"    // kernel gauge: events that fell off the ring
+
+	// Memory-balancer controller (internal/membal). Kernel scope of the
+	// controlled VM; per-process limits show through the mem.limit gauge.
+	MMemBalRounds  = "membal.rounds"  // counter: rebalance rounds completed
+	MMemBalBudget  = "membal.budget"  // gauge: global budget the controller spreads
+	MMemBalExtra   = "membal.extra"   // gauge: last round's distributable pool (budget - Σlive)
+	MMemBalClamped = "membal.clamped" // counter: shrinks clamped up to current use
+	MMemBalPartial = "membal.partial" // counter: rounds cut short by the fault plane
 )

@@ -90,6 +90,14 @@ type Config struct {
 	// must stay fully consistent under them (verify with Audit). Empty
 	// disables injection at zero cost.
 	Faults string
+	// MemBudget, when nonzero, turns on the MemBalancer memory controller:
+	// the budget is periodically redistributed across all process memlimits
+	// in proportion to √(live × allocation-rate), instead of every process
+	// keeping its static MemLimit ceiling.
+	MemBudget uint64
+	// MemBalInterval is the controller period in virtual cycles
+	// (default 500,000 = 1 virtual ms). Only meaningful with MemBudget.
+	MemBalInterval uint64
 }
 
 // ProcessConfig parameterizes process creation.
@@ -144,13 +152,15 @@ func New(cfg Config) (*VM, error) {
 		plane = faults.NewPlane(plan)
 	}
 	inner, err := core.NewVM(core.Config{
-		Engine:       eng,
-		Barrier:      bar,
-		TotalMemory:  cfg.TotalMemory,
-		KernelMemory: cfg.KernelMemory,
-		GCWorkers:    cfg.GCWorkers,
-		Stdout:       cfg.Stdout,
-		Faults:       plane,
+		Engine:         eng,
+		Barrier:        bar,
+		TotalMemory:    cfg.TotalMemory,
+		KernelMemory:   cfg.KernelMemory,
+		GCWorkers:      cfg.GCWorkers,
+		Stdout:         cfg.Stdout,
+		Faults:         plane,
+		MemBudget:      cfg.MemBudget,
+		MemBalInterval: cfg.MemBalInterval,
 	})
 	if err != nil {
 		return nil, err
