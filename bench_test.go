@@ -777,6 +777,77 @@ L0:	goto L0
 	}
 }
 
+// BenchmarkInitColdStart prices bringing a warm-servlet process to life
+// the slow way: a fresh process whose module load runs the expensive
+// NetWarm <clinit> (a 4096-entry lookup table, ~260k interpreted loop
+// iterations). Paired with BenchmarkForkColdStart below — their ratio is
+// the zygote speedup the serving plane's template tenants buy; see
+// `servbench -net -coldstart` for the end-to-end HTTP version.
+func BenchmarkInitColdStart(b *testing.B) {
+	vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := jserv.NetWarmModule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := vm.NewProcess("cold", core.ProcessOptions{MemLimit: 8 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Load(mod); err != nil {
+			b.Fatal(err)
+		}
+		p.Kill(nil)
+		if err := vm.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		if p.State() != core.ProcReclaimed {
+			b.Fatal("not reclaimed")
+		}
+	}
+}
+
+// BenchmarkForkColdStart prices the fast way: the same NetWarm warmup is
+// paid once into a checkpointed template, then every incarnation is a
+// Fork — a deep copy of the frozen heap into a fresh isolated process.
+func BenchmarkForkColdStart(b *testing.B) {
+	vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	zygote, err := vm.NewProcess("zygote", core.ProcessOptions{MemLimit: 8 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := zygote.Load(jserv.NetWarmModule()); err != nil {
+		b.Fatal(err)
+	}
+	tpl, err := vm.Checkpoint(zygote, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	zygote.Kill(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone, err := tpl.Fork("clone", core.ProcessOptions{MemLimit: 8 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clone.Kill(nil)
+		if err := vm.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		if clone.State() != core.ProcReclaimed {
+			b.Fatal("not reclaimed")
+		}
+	}
+	b.StopTimer()
+	if err := tpl.Release(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMemBalRebalance prices one controller round: estimate every
 // tenant's allocation rate, solve the square-root split of the budget,
 // and apply the new limits through the memlimit tree. This runs on the

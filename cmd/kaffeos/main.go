@@ -466,10 +466,43 @@ DONE:	return
 .end
 .end`
 
+// sweepWarmSource is the zygote program for the sweep's checkpoint/fork
+// churn: a <clinit>-built lookup table, checkpointable right after load.
+const sweepWarmSource = `
+.class app/SweepWarm
+.static table Ljava/util/Vector;
+.method <clinit> ()V static
+.locals 1
+.stack 5
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	putstatic app/SweepWarm.table Ljava/util/Vector;
+	iconst 0
+	istore 0
+L0:	iload 0
+	ldc 32
+	if_icmpge DONE
+	getstatic app/SweepWarm.table Ljava/util/Vector;
+	new java/lang/Integer
+	dup
+	iload 0
+	iload 0
+	imul
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	iinc 0 1
+	goto L0
+DONE:	return
+.end
+.end`
+
 // checkSweep runs the workload once per seed 1..n with the fault plane
 // armed, then audits every kernel invariant. Processes dying of injected
 // faults is the expected outcome; any bookkeeping violation fails the
-// sweep.
+// sweep. Each seed also churns the template path — warm a zygote,
+// checkpoint it, fork clones onto the workload, kill the origin — so
+// fork.copy and friends get injected into alongside the classic sites.
 func checkSweep(n int, spec string, files []string) error {
 	type prog struct {
 		name string
@@ -521,6 +554,39 @@ func checkSweep(n int, spec string, files []string) error {
 			if _, err := p.Start(entry); err != nil {
 				continue // ditto at main-thread spawn
 			}
+		}
+		// Template churn: every step may die of an injected fault (that is
+		// the point), but whatever survives must keep the books exact. An
+		// attempt killed mid-warmup or mid-copy still exercised the unwind
+		// paths; retry a few times so most seeds also fork successfully.
+		for attempt := 0; attempt < 3; attempt++ {
+			zygote, err := vm.NewProcess("zygote", kaffeos.ProcessConfig{MemLimit: 16 << 20})
+			if err != nil {
+				continue // injected allocation failure at creation: fine
+			}
+			if err := zygote.LoadSource(sweepWarmSource); err != nil {
+				zygote.Kill() // warmup died of an injected fault: fine
+				continue
+			}
+			tpl, err := vm.Checkpoint(zygote, "sweep")
+			zygote.Kill()
+			if err != nil {
+				continue // checkpoint copy faulted and unwound: fine
+			}
+			for i := 0; i < 2; i++ {
+				clone, err := tpl.Fork(fmt.Sprintf("clone-%d", i), kaffeos.ProcessConfig{MemLimit: 16 << 20})
+				if err != nil {
+					continue // fork.copy fault unwound the clone: fine
+				}
+				if err := clone.LoadModule(progs[0].mod); err != nil {
+					continue
+				}
+				_, _ = clone.Start(findMain(progs[0].mod))
+			}
+			if seed%2 == 0 {
+				_ = tpl.Release() // odd seeds audit with the template live
+			}
+			break
 		}
 		if err := vm.Run(); err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)

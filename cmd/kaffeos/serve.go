@@ -23,7 +23,7 @@ func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "TCP listen address")
 	routes := fs.String("routes", "/zone0,/zone1,/zone2,/memhog:hog:1024",
-		"route spec: path[:hog|servlet][:memKiB][:norestart], comma-separated")
+		"route spec: path[:hog|servlet|warm][:template][:lazy][:memKiB][:norestart], comma-separated")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
 		"engine shards, one VM per shard (default GOMAXPROCS); tenants spread least-loaded")
 	work := fs.Int("work", 100, "per-request servlet work units")
@@ -98,8 +98,11 @@ func serveCmd(args []string) error {
 	fmt.Fprintf(os.Stderr, "kaffeos: serving on http://%s (/serve for stats), %d shard(s)\n", bound, srv.Shards())
 	for _, tc := range tenants {
 		role := "servlet"
-		if tc.Hog {
+		switch {
+		case tc.Hog:
 			role = "memhog"
+		case tc.Warm:
+			role = "warm"
 		}
 		fmt.Fprintf(os.Stderr, "kaffeos:   %-16s %-8s shard %d\n", tc.Route, role, srv.ShardOf(tc.Route))
 	}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// coldstartReport is the -coldstart JSON artifact: per-arm cold-start
+// latency distributions and the headline improvement ratio.
+type coldstartReport struct {
+	Host   telemetry.HostInfo `json:"host"`
+	Trials int                `json:"trials"`
+	// Cold-start latency = first-request latency minus the same tenant's
+	// steady-state latency, so HTTP and handler cost cancel out and what
+	// remains is process construction: full init (module load + clinit
+	// warmup) in one arm, template fork in the other.
+	InitP50Ns  int64   `json:"init_p50_ns"`
+	InitP90Ns  int64   `json:"init_p90_ns"`
+	ForkP50Ns  int64   `json:"fork_p50_ns"`
+	ForkP90Ns  int64   `json:"fork_p90_ns"`
+	Ratio      float64 `json:"ratio"`
+	MinRatio   float64 `json:"min_ratio"`
+	InitNs     []int64 `json:"init_ns"`
+	ForkNs     []int64 `json:"fork_ns"`
+	SteadyP50s struct {
+		InitNs int64 `json:"init_ns"`
+		ForkNs int64 `json:"fork_ns"`
+	} `json:"steady_p50"`
+}
+
+// coldstartArm spins up a serving plane with `trials` lazy warm-servlet
+// tenants (template selects fork-based starts) and measures each route's
+// scale-from-zero cost: the first request pays process construction, the
+// steady-state floor is subtracted back out. Returns one cold-start
+// sample per route plus the median steady latency.
+func coldstartArm(trials, shards int, template bool) (samples []int64, steadyP50 int64, err error) {
+	tenants := make([]serve.TenantConfig, 0, trials+1)
+	if template {
+		// Primer: a non-lazy template tenant started with the server, so
+		// the one-time zygote warmup+checkpoint is paid before any
+		// measured fork (exactly how a fleet amortizes it).
+		tenants = append(tenants, serve.TenantConfig{
+			Route: "/primer", Warm: true, Template: true, WorkUnits: 10,
+		})
+	}
+	for i := 0; i < trials; i++ {
+		tenants = append(tenants, serve.TenantConfig{
+			Route:     fmt.Sprintf("/cold%d", i),
+			Warm:      true,
+			Lazy:      true,
+			Template:  template,
+			WorkUnits: 10,
+		})
+	}
+	srv, err := serve.NewSharded(
+		core.Config{Engine: core.EngineJITOpt},
+		serve.Config{Shards: shards},
+		tenants)
+	if err != nil {
+		return nil, 0, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, 0, err
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	post := func(route string) (time.Duration, error) {
+		t0 := time.Now()
+		resp, err := client.Post(base+route, "text/plain", strings.NewReader("coldstart"))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("route %s: status %d", route, resp.StatusCode)
+		}
+		return time.Since(t0), nil
+	}
+
+	var steady []int64
+	for i := 0; i < trials; i++ {
+		route := fmt.Sprintf("/cold%d", i)
+		first, err := post(route)
+		if err != nil {
+			srv.Close()
+			return nil, 0, err
+		}
+		// Steady-state floor on the now-warm tenant: the minimum of a few
+		// repeats is the request cost with no process construction in it.
+		floor := time.Duration(1<<62 - 1)
+		for j := 0; j < 3; j++ {
+			d, err := post(route)
+			if err != nil {
+				srv.Close()
+				return nil, 0, err
+			}
+			if d < floor {
+				floor = d
+			}
+		}
+		cold := first - floor
+		if cold < 1 {
+			cold = 1
+		}
+		samples = append(samples, cold.Nanoseconds())
+		steady = append(steady, floor.Nanoseconds())
+	}
+	if err := srv.Close(); err != nil {
+		return nil, 0, err
+	}
+	for i, vm := range srv.VMs() {
+		if rep := vm.Audit(true); !rep.OK() {
+			return nil, 0, fmt.Errorf("coldstart: post-run audit failed on shard %d:\n%s", i, rep)
+		}
+	}
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	return samples, steady[len(steady)/2], nil
+}
+
+func pct(sorted []int64, p float64) int64 {
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// coldstartBench is the -net -coldstart A/B: the same warm servlet (an
+// expensive <clinit> lookup table) started from scratch per incarnation
+// versus forked from a checkpointed zygote. Fails unless fork-based cold
+// starts beat init-based ones by at least minRatio at the median.
+func coldstartBench(trials, shards int, jsonPath string, minRatio float64) error {
+	if trials <= 0 {
+		trials = 24
+	}
+	fmt.Fprintf(os.Stderr, "servbench: coldstart A/B, %d scale-from-zero trials per arm\n", trials)
+
+	initNs, initSteady, err := coldstartArm(trials, shards, false)
+	if err != nil {
+		return fmt.Errorf("init arm: %w", err)
+	}
+	forkNs, forkSteady, err := coldstartArm(trials, shards, true)
+	if err != nil {
+		return fmt.Errorf("fork arm: %w", err)
+	}
+	sort.Slice(initNs, func(i, j int) bool { return initNs[i] < initNs[j] })
+	sort.Slice(forkNs, func(i, j int) bool { return forkNs[i] < forkNs[j] })
+
+	rep := coldstartReport{
+		Host: telemetry.Host(), Trials: trials,
+		InitP50Ns: pct(initNs, 0.5), InitP90Ns: pct(initNs, 0.9),
+		ForkP50Ns: pct(forkNs, 0.5), ForkP90Ns: pct(forkNs, 0.9),
+		MinRatio: minRatio,
+		InitNs:   initNs, ForkNs: forkNs,
+	}
+	rep.Ratio = float64(rep.InitP50Ns) / float64(rep.ForkP50Ns)
+	rep.SteadyP50s.InitNs = initSteady
+	rep.SteadyP50s.ForkNs = forkSteady
+
+	fmt.Printf("coldstart: scale-from-zero latency, %d trials per arm (steady-state subtracted)\n", trials)
+	fmt.Printf("  %-24s %12s %12s\n", "arm", "p50", "p90")
+	fmt.Printf("  %-24s %10dus %10dus\n", "init (clinit warmup)", rep.InitP50Ns/1000, rep.InitP90Ns/1000)
+	fmt.Printf("  %-24s %10dus %10dus\n", "fork (zygote template)", rep.ForkP50Ns/1000, rep.ForkP90Ns/1000)
+	fmt.Printf("  improvement: %.1fx at the median (gate: >=%.0fx)\n", rep.Ratio, minRatio)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "servbench: wrote %s\n", jsonPath)
+	}
+	if minRatio > 0 && rep.Ratio < minRatio {
+		return fmt.Errorf("coldstart: fork is only %.1fx faster than init at the median, want >=%.0fx", rep.Ratio, minRatio)
+	}
+	return nil
+}

@@ -14,6 +14,8 @@
 //	servbench -net -json out.json                # self-describing JSON artifact
 //	servbench -net -overcommit -membudget 12582912  # A/B: static even-split
 //	                     # limits vs the memory controller under one budget
+//	servbench -net -coldstart                       # A/B: clinit cold starts vs
+//	                     # zygote forks, gated at a 10x median improvement
 package main
 
 import (
@@ -28,6 +30,9 @@ import (
 func main() {
 	real := flag.Bool("real", false, "run the real-VM servlet demonstration instead of the host simulation")
 	net := flag.Bool("net", false, "generate real HTTP load against a serving plane (self-hosted unless -target)")
+	coldstart := flag.Bool("coldstart", false, "-net: run the cold-start A/B (clinit init vs zygote fork) and gate on -coldstartmin")
+	trials := flag.Int("trials", 24, "-net -coldstart: scale-from-zero trials per arm")
+	coldstartMin := flag.Float64("coldstartmin", 10, "-net -coldstart: minimum median init/fork improvement ratio (0 disables the gate)")
 	overcommit := flag.Bool("overcommit", false, "-net: run the overcommit A/B (static limits vs memory controller) under -membudget")
 	memBudget := flag.Uint64("membudget", 12<<20, "-net -overcommit: global tenant memory budget in bytes")
 	csv := flag.Bool("csv", false, "CSV output")
@@ -44,6 +49,8 @@ func main() {
 
 	var err error
 	switch {
+	case *net && *coldstart:
+		err = coldstartBench(*trials, *shards, *jsonPath, *coldstartMin)
 	case *net && *overcommit:
 		n := *requests
 		if n == 60 && !flagSet("requests") {

@@ -57,6 +57,9 @@ type World struct {
 	// LivePids, when non-nil, is the set of processes not yet reclaimed;
 	// user heaps must belong to one of them.
 	LivePids map[int32]bool
+	// TemplatePids, when non-nil, is the set of registered process
+	// templates; template heaps must belong to one of them.
+	TemplatePids map[int32]bool
 }
 
 // Options selects optional checks.
@@ -139,6 +142,7 @@ func Check(w World, opts Options) *Report {
 	c.checkLimits()
 	c.checkShared()
 	c.checkPids()
+	c.checkTemplates()
 	if opts.Graph {
 		c.checkGraph()
 	}
@@ -407,6 +411,29 @@ func (c *checker) checkPids() {
 	}
 }
 
+// checkTemplates: template heaps are immutable checkpoints — frozen for
+// their whole registered lifetime, owned by a registered template, and
+// never referenced from any other heap (forks copy out of them, so no
+// entry item may ever appear in one; this is what lets a template be
+// destroyed without a merge).
+func (c *checker) checkTemplates() {
+	for i := range c.w.Heaps {
+		v := &c.w.Heaps[i]
+		if v.Kind != heap.KindTemplate {
+			continue
+		}
+		if c.w.TemplatePids != nil && !c.w.TemplatePids[v.Pid] {
+			c.fail("template-pid", "template heap %q belongs to unregistered template %d", v.Name, v.Pid)
+		}
+		if !v.Frozen {
+			c.fail("template-unfrozen", "template heap %q is not frozen", v.Name)
+		}
+		if n := len(v.Entries); n != 0 {
+			c.fail("template-entry", "template heap %q is referenced by other heaps (%d entry item(s))", v.Name, n)
+		}
+	}
+}
+
 // checkGraph walks every reference field: cross-heap edges need exit items
 // and must respect the legality matrix; every edge must land on a live
 // object. Requires a quiescent VM.
@@ -432,13 +459,21 @@ func (c *checker) checkGraph() {
 				tv := c.byID[tid]
 				switch v.Kind {
 				case heap.KindUser:
-					if tv.Kind == heap.KindUser {
-						c.fail("illegal-ref", "user heap %q references user heap %q (object %#x -> %#x)",
-							v.Name, tv.Name, o.Addr, ref.Addr)
+					if tv.Kind == heap.KindUser || tv.Kind == heap.KindTemplate {
+						c.fail("illegal-ref", "user heap %q references %s heap %q (object %#x -> %#x)",
+							v.Name, tv.Kind, tv.Name, o.Addr, ref.Addr)
 					}
 				case heap.KindShared:
 					if tv.Kind != heap.KindKernel {
 						c.fail("illegal-ref", "shared heap %q references %s heap %q (object %#x -> %#x)",
+							v.Name, tv.Kind, tv.Name, o.Addr, ref.Addr)
+					}
+				case heap.KindTemplate:
+					// A template may keep kernel/shared objects alive through
+					// its own exit items; anything else would let a fork smuggle
+					// in a reference to mutable non-template state.
+					if tv.Kind != heap.KindKernel && tv.Kind != heap.KindShared {
+						c.fail("illegal-ref", "template heap %q references %s heap %q (object %#x -> %#x)",
 							v.Name, tv.Kind, tv.Name, o.Addr, ref.Addr)
 					}
 				}

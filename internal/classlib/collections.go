@@ -406,10 +406,6 @@ EMPTY:	new java/util/NoSuchElementException
 	athrow`)
 
 	// StringTokenizer: tokenization state in the native payload.
-	type tokState struct {
-		tokens []string
-		idx    int
-	}
 	b.Class("java/util/StringTokenizer", "java/lang/Object").
 		Native("<init>", "(Ljava/lang/String;Ljava/lang/String;)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
 			s, err := mustStr(t, args[1].R, "tokenizer input")
@@ -500,4 +496,18 @@ EMPTY:	new java/util/NoSuchElementException
 			t.Cycles += uint64(cost)
 			return interp.Slot{}, nil
 		}))
+}
+
+// tokState is java/util/StringTokenizer's native cursor. The token slice
+// is immutable after construction; only the cursor advances.
+type tokState struct {
+	tokens []string
+	idx    int
+}
+
+// CloneData implements object.DataCloner so a process fork copies the
+// cursor position without aliasing it; the immutable tokens are shared.
+func (s *tokState) CloneData() any {
+	c := *s
+	return &c
 }

@@ -2,7 +2,6 @@ package classlib
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/interp"
 	"repro/internal/object"
@@ -142,20 +141,24 @@ func buildReloaded(b *object.ModuleBuilder) {
 	}))
 
 	// java/util/Random: deterministic per-instance PRNG; the default
-	// source (seeded from process identity) is per-process state.
+	// source (seeded from process identity) is per-process state. The
+	// per-instance state is a prng, whose single-word state deep-copies on
+	// process fork; the per-process default (Env.RandFor) stays a
+	// *rand.Rand owned by the process.
 	rnd := b.Class("java/util/Random", "java/lang/Object")
 	rnd.Native("<init>", "(I)V", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
-		args[0].R.Data = rand.New(rand.NewSource(args[1].I))
+		args[0].R.Data = newPrng(args[1].I)
 		return interp.Slot{}, nil
 	}))
 	rnd.Native("nextInt", "(I)I", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
-		r, _ := args[0].R.Data.(*rand.Rand)
+		r, _ := args[0].R.Data.(randSource)
 		if r == nil && t.Env.RandFor != nil {
 			r = t.Env.RandFor(t)
 		}
 		if r == nil {
-			r = rand.New(rand.NewSource(1))
-			args[0].R.Data = r
+			p := newPrng(1)
+			args[0].R.Data = p
+			r = p
 		}
 		n := args[1].I
 		if n <= 0 {
@@ -164,13 +167,50 @@ func buildReloaded(b *object.ModuleBuilder) {
 		return interp.IntSlot(int64(r.Intn(int(n)))), nil
 	}))
 	rnd.Native("nextDouble", "()D", false, nat(func(t *interp.Thread, args []interp.Slot) (interp.Slot, error) {
-		r, _ := args[0].R.Data.(*rand.Rand)
+		r, _ := args[0].R.Data.(randSource)
 		if r == nil {
-			r = rand.New(rand.NewSource(1))
-			args[0].R.Data = r
+			p := newPrng(1)
+			args[0].R.Data = p
+			r = p
 		}
 		return fToSlot(r.Float64()), nil
 	}))
+}
+
+// randSource is the operations java/util/Random needs; satisfied by both
+// the per-instance prng and the process' default *rand.Rand.
+type randSource interface {
+	Intn(n int) int
+	Float64() float64
+}
+
+// prng is java/util/Random's per-instance native state: a splitmix64
+// generator whose entire state is one word, so a process fork can clone it
+// by value and template forks never share a sequence.
+type prng struct {
+	s uint64
+}
+
+func newPrng(seed int64) *prng {
+	return &prng{s: uint64(seed)}
+}
+
+func (p *prng) next() uint64 {
+	p.s += 0x9E3779B97F4A7C15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (p *prng) Intn(n int) int { return int(p.next() % uint64(n)) }
+
+func (p *prng) Float64() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+// CloneData implements object.DataCloner for process forks.
+func (p *prng) CloneData() any {
+	c := *p
+	return &c
 }
 
 func writeOut(t *interp.Thread, s string) {

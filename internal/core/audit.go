@@ -25,9 +25,13 @@ func (vm *VM) Audit(graph bool) *audit.Report {
 			w.Limits = vm.RootLimit.Snapshot()
 			w.Pages = vm.Space.Dump()
 			w.LivePids = make(map[int32]bool)
+			w.TemplatePids = make(map[int32]bool)
 			vm.mu.Lock()
 			for pid := range vm.procs {
 				w.LivePids[int32(pid)] = true
+			}
+			for pid := range vm.templates {
+				w.TemplatePids[int32(pid)] = true
 			}
 			vm.mu.Unlock()
 		})

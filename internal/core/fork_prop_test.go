@@ -1,0 +1,162 @@
+package core
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+var forkPropSeeds = flag.Int("fork.prop.seeds", 12, "seeds for the fork property test")
+var forkPropOps = flag.Int("fork.prop.ops", 60, "operations per fork property seed")
+
+// TestForkPropertyRandomInterleavings is the fork correctness wall's
+// model-based axis: a random schedule of checkpoint, fork, run, kill,
+// release, and GC operations, with a shadow model tracking which pids must
+// be live processes and which must be templates. After every operation the
+// full auditor (graph walk included) re-derives the books; at the end
+// everything is torn down and the root account must return to baseline.
+func TestForkPropertyRandomInterleavings(t *testing.T) {
+	seeds := *forkPropSeeds
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmtSeed(seed), func(t *testing.T) {
+			runForkPropertySeed(t, int64(seed), *forkPropOps)
+		})
+	}
+}
+
+func fmtSeed(s int) string { return "seed" + string(rune('0'+s/10)) + string(rune('0'+s%10)) }
+
+func runForkPropertySeed(t *testing.T, seed int64, ops int) {
+	vm := newTestVM(t)
+	rng := rand.New(rand.NewSource(seed))
+	baseline := vm.RootLimit.Use()
+
+	// Shadow model.
+	var procs []*Process // live, quiescent, warmed processes
+	var tpls []*Template // live templates
+	audit := func(op string) {
+		t.Helper()
+		if rep := vm.Audit(true); !rep.OK() {
+			t.Fatalf("seed %d: audit after %s:\n%s", seed, op, rep)
+		}
+	}
+
+	newWarm := func() {
+		p := warmProc(t, vm, "w")
+		procs = append(procs, p)
+	}
+	newWarm()
+
+	for op := 0; op < ops; op++ {
+		switch k := rng.Intn(10); {
+		case k < 2: // new warm process
+			newWarm()
+			audit("new")
+		case k < 4: // checkpoint a random process
+			if len(procs) == 0 {
+				continue
+			}
+			p := procs[rng.Intn(len(procs))]
+			tpl, err := vm.Checkpoint(p, "t")
+			if err != nil {
+				t.Fatalf("seed %d op %d: checkpoint: %v", seed, op, err)
+			}
+			tpls = append(tpls, tpl)
+			audit("checkpoint")
+		case k < 6: // fork a random template, run the clone a little
+			if len(tpls) == 0 {
+				continue
+			}
+			tpl := tpls[rng.Intn(len(tpls))]
+			clone, err := tpl.Fork("c", ProcessOptions{})
+			if err != nil {
+				t.Fatalf("seed %d op %d: fork: %v", seed, op, err)
+			}
+			if rng.Intn(2) == 0 {
+				// Run the clone to completion and let it be reclaimed.
+				th := spawn(t, clone, "app/Warm", "lookup(I)I", interp.IntSlot(int64(rng.Intn(64))))
+				if err := vm.RunUntil(func() bool { return !th.Alive() }); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Keep it as another quiescent warmed process — it is
+				// checkpointable in turn (grandchild templates).
+				procs = append(procs, clone)
+			}
+			audit("fork")
+		case k < 8: // kill a random process
+			if len(procs) == 0 {
+				continue
+			}
+			i := rng.Intn(len(procs))
+			p := procs[i]
+			procs = append(procs[:i], procs[i+1:]...)
+			p.Kill(nil)
+			if err := vm.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			if p.State() != ProcReclaimed {
+				t.Fatalf("seed %d op %d: killed process state %v", seed, op, p.State())
+			}
+			audit("kill")
+		case k < 9: // release a random template
+			if len(tpls) == 0 {
+				continue
+			}
+			i := rng.Intn(len(tpls))
+			tpl := tpls[i]
+			tpls = append(tpls[:i], tpls[i+1:]...)
+			if err := tpl.Release(); err != nil {
+				t.Fatalf("seed %d op %d: release: %v", seed, op, err)
+			}
+			audit("release")
+		default: // kernel GC pressure
+			vm.CollectKernel()
+			audit("gc")
+		}
+
+		// Model invariants: every model template is registered, every model
+		// process is live.
+		for _, tpl := range tpls {
+			if _, ok := vm.Template(tpl.ID); !ok {
+				t.Fatalf("seed %d op %d: template %d vanished", seed, op, tpl.ID)
+			}
+		}
+		for _, p := range procs {
+			if p.State() != ProcRunning {
+				t.Fatalf("seed %d op %d: model process %d in state %v", seed, op, p.ID, p.State())
+			}
+		}
+		if got := len(vm.Templates()); got != len(tpls) {
+			t.Fatalf("seed %d op %d: VM has %d templates, model %d", seed, op, got, len(tpls))
+		}
+	}
+
+	// Drain: kill every process, release every template; the books must
+	// return to the post-boot baseline.
+	for _, p := range procs {
+		p.Kill(nil)
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, tpl := range tpls {
+		if err := tpl.Release(); err != nil {
+			t.Fatalf("seed %d: final release: %v", seed, err)
+		}
+	}
+	vm.CollectKernel()
+	audit("drain")
+	if use := vm.RootLimit.Use(); use != baseline {
+		t.Errorf("seed %d: residual charge after drain: %d vs baseline %d", seed, use, baseline)
+	}
+	if got := len(vm.Templates()); got != 0 {
+		t.Errorf("seed %d: %d templates survive drain", seed, got)
+	}
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// warmSrc is a module whose <clinit> does the expensive warmup: it builds
+// a lookup table (Vector of boxed squares), an interned marker string, and
+// a seeded Random. lookup(i) serves from the table; a forked clone must
+// answer identically without ever running the clinit.
+const warmSrc = `
+.class app/Warm
+.static table Ljava/util/Vector;
+.static tag Ljava/lang/String;
+.static rnd Ljava/util/Random;
+.method <clinit> ()V static
+.locals 1
+.stack 5
+	new java/util/Vector
+	dup
+	invokespecial java/util/Vector.<init> ()V
+	putstatic app/Warm.table Ljava/util/Vector;
+	iconst 0
+	istore 0
+L0:	iload 0
+	ldc 64
+	if_icmpge DONE
+	getstatic app/Warm.table Ljava/util/Vector;
+	new java/lang/Integer
+	dup
+	iload 0
+	iload 0
+	imul
+	invokespecial java/lang/Integer.<init> (I)V
+	invokevirtual java/util/Vector.add (Ljava/lang/Object;)V
+	iinc 0 1
+	goto L0
+DONE:	ldc "warmed"
+	putstatic app/Warm.tag Ljava/lang/String;
+	new java/util/Random
+	dup
+	ldc 42
+	invokespecial java/util/Random.<init> (I)V
+	putstatic app/Warm.rnd Ljava/util/Random;
+	return
+.end
+.method lookup (I)I static
+.locals 1
+.stack 2
+	getstatic app/Warm.table Ljava/util/Vector;
+	iload 0
+	invokevirtual java/util/Vector.get (I)Ljava/lang/Object;
+	checkcast java/lang/Integer
+	invokevirtual java/lang/Integer.intValue ()I
+	ireturn
+.end
+.method roll (I)I static
+.locals 1
+.stack 2
+	getstatic app/Warm.rnd Ljava/util/Random;
+	iload 0
+	invokevirtual java/util/Random.nextInt (I)I
+	ireturn
+.end
+.method draw3 ()I static
+.locals 1
+.stack 3
+	getstatic app/Warm.rnd Ljava/util/Random;
+	ldc 90
+	invokevirtual java/util/Random.nextInt (I)I
+	ldc 90
+	imul
+	getstatic app/Warm.rnd Ljava/util/Random;
+	ldc 90
+	invokevirtual java/util/Random.nextInt (I)I
+	iadd
+	ldc 90
+	imul
+	getstatic app/Warm.rnd Ljava/util/Random;
+	ldc 90
+	invokevirtual java/util/Random.nextInt (I)I
+	iadd
+	ireturn
+.end
+.method tagIsWarmed ()I static
+.locals 0
+.stack 2
+	getstatic app/Warm.tag Ljava/lang/String;
+	ldc "warmed"
+	if_acmpeq YES
+	iconst 0
+	ireturn
+YES:	iconst 1
+	ireturn
+.end
+.end`
+
+// warmProc builds a warmed, quiescent (zero-thread) process ready to
+// checkpoint.
+func warmProc(t *testing.T, vm *VM, name string) *Process {
+	t.Helper()
+	p := mustProc(t, vm, name, ProcessOptions{})
+	load(t, p, warmSrc)
+	return p
+}
+
+func mustCheckpoint(t *testing.T, vm *VM, p *Process, name string) *Template {
+	t.Helper()
+	tpl, err := vm.Checkpoint(p, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func mustFork(t *testing.T, tpl *Template, name string, opts ProcessOptions) *Process {
+	t.Helper()
+	p, err := tpl.Fork(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func auditClean(t *testing.T, vm *VM, when string) {
+	t.Helper()
+	if rep := vm.Audit(true); !rep.OK() {
+		t.Fatalf("audit %s:\n%s", when, rep)
+	}
+}
+
+func TestCheckpointForkServesWarmState(t *testing.T) {
+	vm := newTestVM(t)
+	origin := warmProc(t, vm, "zygote")
+	tpl := mustCheckpoint(t, vm, origin, "zygote")
+	if tpl.Bytes() == 0 {
+		t.Fatal("template heap empty")
+	}
+	auditClean(t, vm, "after checkpoint")
+
+	clone := mustFork(t, tpl, "clone", ProcessOptions{})
+	th := spawn(t, clone, "app/Warm", "lookup(I)I", interp.IntSlot(9))
+	tagTh := spawn(t, clone, "app/Warm", "tagIsWarmed()I")
+	if err := vm.RunUntil(func() bool { return !th.Alive() && !tagTh.Alive() }); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.I != 81 {
+		t.Errorf("lookup(9) = %d, want 81 (err=%v uncaught=%v)", th.Result.I, th.Err, th.Uncaught)
+	}
+	if tagTh.Result.I != 1 {
+		t.Errorf("clone's interned tag does not match its literal")
+	}
+	origin.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, vm, "after clone run")
+}
+
+func TestForkIsolatesClonesFromEachOtherAndOrigin(t *testing.T) {
+	// Clones mutate the warmed statics and the warmed Random; neither the
+	// template, the origin, nor sibling clones may observe it.
+	vm := newTestVM(t)
+	origin := warmProc(t, vm, "zygote")
+	tpl := mustCheckpoint(t, vm, origin, "zygote")
+
+	a := mustFork(t, tpl, "a", ProcessOptions{})
+	b := mustFork(t, tpl, "b", ProcessOptions{})
+	// Both clones drain three draws from the warmed seeded Random,
+	// concurrently: identical packed sequences prove the PRNG state was
+	// deep-copied, not shared (interleaved draws from a shared generator
+	// would diverge).
+	ra := spawn(t, a, "app/Warm", "draw3()I")
+	rb := spawn(t, b, "app/Warm", "draw3()I")
+	if err := vm.RunUntil(func() bool { return !ra.Alive() && !rb.Alive() }); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Result.I != rb.Result.I {
+		t.Errorf("draw sequence differs across clones: %d vs %d", ra.Result.I, rb.Result.I)
+	}
+	// A clone forked *after* a and b ran must see the untouched template
+	// state: the same sequence again, not a generator a/b advanced.
+	c := mustFork(t, tpl, "c", ProcessOptions{})
+	rc := spawn(t, c, "app/Warm", "draw3()I")
+	if err := vm.RunUntil(func() bool { return !rc.Alive() }); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Result.I != ra.Result.I {
+		t.Errorf("late clone saw advanced generator: %d vs %d", rc.Result.I, ra.Result.I)
+	}
+	origin.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, vm, "after clone teardown")
+}
+
+func TestForkSurvivesOriginDeath(t *testing.T) {
+	// Satellite: forking from a template whose origin has since died must
+	// work — the template owns its state outright.
+	vm := newTestVM(t)
+	origin := warmProc(t, vm, "zygote")
+	tpl := mustCheckpoint(t, vm, origin, "zygote")
+	origin.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if origin.State() != ProcReclaimed {
+		t.Fatalf("origin state = %v", origin.State())
+	}
+	auditClean(t, vm, "after origin death")
+
+	clone := mustFork(t, tpl, "orphan-clone", ProcessOptions{})
+	th := spawn(t, clone, "app/Warm", "lookup(I)I", interp.IntSlot(7))
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.I != 49 {
+		t.Errorf("lookup(7) = %d, want 49 (err=%v)", th.Result.I, th.Err)
+	}
+	auditClean(t, vm, "after orphan clone")
+}
+
+func TestDoubleCheckpointSamePid(t *testing.T) {
+	// Satellite: checkpointing the same warmed process twice yields two
+	// independent templates; both fork correctly.
+	vm := newTestVM(t)
+	origin := warmProc(t, vm, "zygote")
+	t1 := mustCheckpoint(t, vm, origin, "gen1")
+	t2 := mustCheckpoint(t, vm, origin, "gen2")
+	if t1.ID == t2.ID {
+		t.Fatalf("both templates share pid %d", t1.ID)
+	}
+	if t1.Bytes() != t2.Bytes() {
+		t.Errorf("checkpoint sizes differ: %d vs %d", t1.Bytes(), t2.Bytes())
+	}
+	c1 := mustFork(t, t1, "c1", ProcessOptions{})
+	c2 := mustFork(t, t2, "c2", ProcessOptions{})
+	th1 := spawn(t, c1, "app/Warm", "lookup(I)I", interp.IntSlot(5))
+	th2 := spawn(t, c2, "app/Warm", "lookup(I)I", interp.IntSlot(6))
+	if err := vm.RunUntil(func() bool { return !th1.Alive() && !th2.Alive() }); err != nil {
+		t.Fatal(err)
+	}
+	if th1.Result.I != 25 || th2.Result.I != 36 {
+		t.Errorf("lookups = %d, %d, want 25, 36", th1.Result.I, th2.Result.I)
+	}
+	if err := t1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Kill(nil)
+	c2.Kill(nil)
+	origin.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, vm, "after mixed teardown")
+}
+
+func TestForkUnderTooSmallLimitFailsCleanly(t *testing.T) {
+	// Satellite: a fork whose memlimit cannot hold the template copy must
+	// fail with a clean error and leave zero residual charge.
+	vm := newTestVM(t)
+	origin := warmProc(t, vm, "zygote")
+	tpl := mustCheckpoint(t, vm, origin, "zygote")
+	if tpl.Bytes() < 1024 {
+		t.Fatalf("template too small to test limits: %d bytes", tpl.Bytes())
+	}
+	rootBefore := vm.RootLimit.Use()
+	_, err := tpl.Fork("tiny", ProcessOptions{MemLimit: 1024, HardLimit: true})
+	if err == nil {
+		t.Fatal("fork under 1 KiB limit succeeded")
+	}
+	if got := vm.RootLimit.Use(); got != rootBefore {
+		t.Errorf("residual charge after failed fork: root use %d -> %d", rootBefore, got)
+	}
+	auditClean(t, vm, "after failed fork")
+
+	// The template must still be usable.
+	clone := mustFork(t, tpl, "ok", ProcessOptions{})
+	th := spawn(t, clone, "app/Warm", "lookup(I)I", interp.IntSlot(3))
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.I != 9 {
+		t.Errorf("lookup(3) = %d, want 9", th.Result.I)
+	}
+	origin.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRequiresQuiescence(t *testing.T) {
+	vm := newTestVM(t)
+	p := warmProc(t, vm, "busy")
+	spawn(t, p, "app/Warm", "lookup(I)I", interp.IntSlot(1))
+	if _, err := vm.Checkpoint(p, "busy"); err == nil {
+		t.Fatal("checkpoint of a process with live threads succeeded")
+	}
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Checkpoint(p, "dead"); err == nil {
+		t.Fatal("checkpoint of a reclaimed process succeeded")
+	}
+}
+
+func TestTemplateReleaseReturnsEveryByte(t *testing.T) {
+	vm := newTestVM(t)
+	origin := warmProc(t, vm, "zygote")
+	rootBefore := vm.RootLimit.Use()
+	tpl := mustCheckpoint(t, vm, origin, "zygote")
+	if vm.RootLimit.Use() <= rootBefore {
+		t.Fatal("checkpoint charged nothing")
+	}
+	if err := tpl.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Release(); err != nil {
+		t.Fatalf("second release: %v", err)
+	}
+	if got := vm.RootLimit.Use(); got != rootBefore {
+		t.Errorf("template residency not returned: root use %d -> %d", rootBefore, got)
+	}
+	if _, ok := vm.Template(tpl.ID); ok {
+		t.Error("released template still registered")
+	}
+	if _, err := tpl.Fork("late", ProcessOptions{}); err == nil {
+		t.Error("fork from released template succeeded")
+	}
+	origin.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, vm, "after release")
+}
+
+func TestKillDuringCheckpointIsDeterministic(t *testing.T) {
+	// Satellite regression (run under -race): Kill of an in-flight
+	// checkpoint source must either let the checkpoint finish from the
+	// live heap or make it fail cleanly — never a torn template, never a
+	// leaked charge. Loop to give the race both orderings.
+	for i := 0; i < 20; i++ {
+		vm := newTestVM(t)
+		baseline := vm.RootLimit.Use()
+		origin := warmProc(t, vm, "zygote")
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var tpl *Template
+		var cerr error
+		go func() {
+			defer wg.Done()
+			tpl, cerr = vm.Checkpoint(origin, "racy")
+		}()
+		go func() {
+			defer wg.Done()
+			origin.Kill(nil)
+		}()
+		wg.Wait()
+		if err := vm.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if origin.State() != ProcReclaimed {
+			t.Fatalf("iter %d: origin state %v", i, origin.State())
+		}
+		if cerr == nil {
+			// Checkpoint won the race: the template must be fully usable.
+			clone, err := tpl.Fork("post-race", ProcessOptions{})
+			if err != nil {
+				t.Fatalf("iter %d: fork after racy checkpoint: %v", i, err)
+			}
+			th := spawn(t, clone, "app/Warm", "lookup(I)I", interp.IntSlot(8))
+			if err := vm.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			if th.Result.I != 64 {
+				t.Fatalf("iter %d: lookup(8) = %d", i, th.Result.I)
+			}
+			if err := tpl.Release(); err != nil {
+				t.Fatalf("iter %d: release: %v", i, err)
+			}
+		}
+		if rep := vm.Audit(true); !rep.OK() {
+			t.Fatalf("iter %d: audit after race:\n%s", i, rep)
+		}
+		// Everything unwound: origin reclaimed, template (if any) released,
+		// so the root account is back to its post-boot baseline.
+		if use := vm.RootLimit.Use(); use != baseline {
+			t.Fatalf("iter %d: checkpoint race leaked: root use %d, baseline %d (checkpoint err: %v)",
+				i, use, baseline, cerr)
+		}
+	}
+}
+
+func TestSnapshotShowsTemplateState(t *testing.T) {
+	// Satellite: ps/top surface templates with a distinct state column.
+	vm := newTestVM(t)
+	origin := warmProc(t, vm, "zygote")
+	tpl := mustCheckpoint(t, vm, origin, "zygote")
+	snap := vm.Snapshot()
+	found := false
+	for _, row := range snap.Procs {
+		if row.Pid == int32(tpl.ID) {
+			found = true
+			if row.State != "template" {
+				t.Errorf("template row state = %q", row.State)
+			}
+			if row.HeapBytes == 0 || row.MemUse == 0 {
+				t.Errorf("template row empty: heap=%d mem=%d", row.HeapBytes, row.MemUse)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("template missing from snapshot")
+	}
+	if err := tpl.Release(); err != nil {
+		t.Fatal(err)
+	}
+	snap = vm.Snapshot()
+	for _, row := range snap.Procs {
+		if row.Pid == int32(tpl.ID) && row.State != "released" {
+			t.Errorf("released template row state = %q", row.State)
+		}
+	}
+	origin.Kill(nil)
+	if err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -98,6 +98,9 @@ type Process struct {
 	threadFor map[*object.Object]*interp.Thread // java/lang/Thread objects
 	nthreads  atomic.Int32
 	intern    map[string]*object.Object
+	// modules records every module defined into the namespace, in load
+	// order, so Checkpoint can replay the namespace into forks.
+	modules   []*bytecode.Module
 	rng       *rand.Rand
 	cpuCycles atomic.Uint64
 	cpuLimit  uint64
@@ -127,6 +130,14 @@ type Process struct {
 	// the local square-root rule its allocation-rate estimate.
 	lastGCAlloc  atomic.Uint64
 	lastGCCycles atomic.Uint64
+	// forkMu serializes reclamation against Checkpoint: a checkpoint of a
+	// dying process either completes from the still-live heap and namespace
+	// before reclamation proceeds, or observes the process dead and aborts.
+	// Order: forkMu → (heap gcMu → crossMu → mu → memlimit → Space).
+	forkMu sync.Mutex
+	// reclaiming admits exactly one reclaimer (threadExited's scheduler
+	// path vs Kill's inline threadless path).
+	reclaiming atomic.Bool
 	// handles other processes hold on this one do not keep its heap
 	// alive; the process table entry is the only kernel-side state.
 }
@@ -188,6 +199,7 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 		p.releaseEarly()
 		return nil, fmt.Errorf("core: library clinit for %q: %w", name, err)
 	}
+	p.modules = append(p.modules, vm.Lib.ReloadedModule)
 
 	vm.mu.Lock()
 	vm.procs[pid] = p
@@ -197,6 +209,7 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 
 // releaseEarly tears down a half-built process (creation failure).
 func (p *Process) releaseEarly() {
+	p.reclaiming.Store(true)
 	_ = p.Heap.MergeInto(p.VM.KernelHeap)
 	p.Limit.Release()
 	p.state.Store(uint32(ProcReclaimed))
@@ -292,7 +305,13 @@ func (p *Process) Load(m *bytecode.Module) error {
 	if err := p.Loader.DefineModule(m); err != nil {
 		return err
 	}
-	return p.VM.runClinits(p, p.Loader.PendingClinits())
+	if err := p.VM.runClinits(p, p.Loader.PendingClinits()); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.modules = append(p.modules, m)
+	p.mu.Unlock()
+	return nil
 }
 
 // LoadProgram loads a program registered with the VM.
@@ -403,6 +422,13 @@ func (p *Process) Kill(reason error) {
 	for _, t := range ts {
 		t.Kill()
 	}
+	if len(ts) == 0 {
+		// A threadless process has no exit hook left to reclaim it (nothing
+		// will ever call threadExited): reclaim inline, so killing an idle
+		// warmed process — e.g. a checkpoint origin between Run slices — is
+		// deterministic rather than leaking until VM teardown.
+		p.reclaim()
+	}
 }
 
 // transition moves the process from one state to another, recording the
@@ -471,6 +497,13 @@ func (p *Process) threadExited(t *interp.Thread, res interp.StepResult) {
 // heap into the kernel heap, destroy exit items, unload the namespace,
 // release shared-heap charges, and let the kernel collector take it all.
 func (p *Process) reclaim() {
+	if !p.reclaiming.CompareAndSwap(false, true) {
+		return
+	}
+	// Serialize against Checkpoint: a checkpoint holding forkMu finishes
+	// its copy of the heap and namespace before we tear them down.
+	p.forkMu.Lock()
+	defer p.forkMu.Unlock()
 	finalState := p.State()
 	if finalState == ProcReclaimed {
 		return

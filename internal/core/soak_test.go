@@ -136,7 +136,46 @@ L0:	goto L0
 	names := []string{"compute", "churn", "hog", "spin", "thrower"}
 
 	var live []*Process
+	var tpls []*Template
 	for round := 0; round < 200; round++ {
+		// Maybe mint a zygote: warm a quiescent process, checkpoint it,
+		// kill the origin — the template must stand on its own.
+		if len(tpls) < 3 && rng.Intn(8) == 0 {
+			origin := warmProc(t, vm, fmt.Sprintf("zygote-%d", round))
+			tpl, err := vm.Checkpoint(origin, fmt.Sprintf("tpl-%d", round))
+			if err != nil {
+				t.Fatalf("round %d: checkpoint: %v", round, err)
+			}
+			tpls = append(tpls, tpl)
+			origin.Kill(nil)
+		}
+		// Maybe release a template out from under future forks.
+		if len(tpls) > 0 && rng.Intn(12) == 0 {
+			i := rng.Intn(len(tpls))
+			if err := tpls[i].Release(); err != nil {
+				t.Fatalf("round %d: release: %v", round, err)
+			}
+			tpls = append(tpls[:i], tpls[i+1:]...)
+		}
+		// Maybe fork a clone and point it at a regular workload: forked
+		// processes must be full citizens (loadable, spawnable, killable).
+		if len(tpls) > 0 && len(live) < 8 && rng.Intn(3) == 0 {
+			tpl := tpls[rng.Intn(len(tpls))]
+			kind := names[rng.Intn(len(names))]
+			clone, err := tpl.Fork(fmt.Sprintf("fork-%s-%d", kind, round), ProcessOptions{
+				MemLimit: uint64(rng.Intn(1<<20) + 256<<10),
+			})
+			if err != nil {
+				t.Fatalf("round %d: fork: %v", round, err)
+			}
+			if err := clone.Load(mods[kind]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := clone.Spawn(mains[kind], "main()V"); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, clone)
+		}
 		// Maybe create a process.
 		if len(live) < 8 {
 			kind := names[rng.Intn(len(names))]
@@ -181,12 +220,17 @@ L0:	goto L0
 		}
 	}
 
-	// Teardown: kill everything and drain.
+	// Teardown: kill everything, release every template, and drain.
 	for _, p := range vm.Processes() {
 		p.Kill(nil)
 	}
 	if err := vm.Run(0); err != nil {
 		t.Fatal(err)
+	}
+	for _, tpl := range vm.Templates() {
+		if err := tpl.Release(); err != nil {
+			t.Fatalf("teardown release: %v", err)
+		}
 	}
 	vm.CollectKernel()
 

@@ -183,12 +183,13 @@ type VM struct {
 	ctl           *membal.Controller
 	lastRebalance uint64
 
-	mu       sync.Mutex
-	procs    map[Pid]*Process
-	nextPid  Pid
-	nextTid  int32
-	programs map[string]*bytecode.Module
-	kernelGC uint64 // kernel collections performed
+	mu        sync.Mutex
+	procs     map[Pid]*Process
+	templates map[Pid]*Template
+	nextPid   Pid
+	nextTid   int32
+	programs  map[string]*bytecode.Module
+	kernelGC  uint64 // kernel collections performed
 }
 
 // NewVM builds a VM: address space, kernel heap, shared system loader with
@@ -196,11 +197,12 @@ type VM struct {
 func NewVM(cfg Config) (*VM, error) {
 	cfg.fill()
 	vm := &VM{
-		Cfg:      cfg,
-		Space:    vmaddr.NewSpace(),
-		Stats:    &barrier.Stats{},
-		procs:    make(map[Pid]*Process),
-		programs: make(map[string]*bytecode.Module),
+		Cfg:       cfg,
+		Space:     vmaddr.NewSpace(),
+		Stats:     &barrier.Stats{},
+		procs:     make(map[Pid]*Process),
+		templates: make(map[Pid]*Template),
+		programs:  make(map[string]*bytecode.Module),
 	}
 	vm.Tel = cfg.Telemetry
 	if vm.Tel == nil {
@@ -633,6 +635,9 @@ func (vm *VM) Snapshot() telemetry.Snapshot {
 	rows := vm.Tel.Reg.Rows(func(pid int32) (string, int, uint64, uint64, bool) {
 		p, ok := vm.Process(Pid(pid))
 		if !ok {
+			if t, tok := vm.Template(Pid(pid)); tok {
+				return "template", 0, t.Heap.Bytes(), t.Limit.Use(), true
+			}
 			return "", 0, 0, 0, false
 		}
 		return p.State().String(), p.Threads(), p.HeapBytes(), p.MemUse(), true

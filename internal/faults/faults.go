@@ -70,6 +70,11 @@ const (
 	// `membal.rebalance=@N` deterministically exercises a half-applied
 	// rebalance that the next round and the kernel auditor must absorb.
 	SiteMemBalance
+	// SiteForkCopy: a template checkpoint or fork dies mid-clone — the
+	// object copy loop aborts before the Nth object lands, and the
+	// half-built heap must unwind to zero residual charges, pages, and
+	// entry/exit items (`fork.copy=@N`).
+	SiteForkCopy
 
 	numSites
 )
@@ -88,6 +93,7 @@ var siteNames = [numSites]string{
 	SiteProcTerminate: "proc.terminate",
 	SiteServeDispatch: "serve.dispatch",
 	SiteMemBalance:    "membal.rebalance",
+	SiteForkCopy:      "fork.copy",
 }
 
 func (s Site) String() string {

@@ -1,0 +1,231 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/faults"
+	"repro/internal/memlimit"
+	"repro/internal/object"
+	"repro/internal/vmaddr"
+)
+
+func identity(c *object.Class) (*object.Class, error) { return c, nil }
+
+func TestCopyIntoClonesGraphAndAccounts(t *testing.T) {
+	w := newWorld(t, Config{})
+	src := w.userHeap(t, "src", memlimit.Unlimited)
+	dst := w.userHeap(t, "dst", memlimit.Unlimited)
+
+	a := w.alloc(t, src)
+	b := w.alloc(t, src)
+	c := w.alloc(t, src)
+	a.Refs[0] = b  // a.next = b
+	b.Refs[0] = c  // b.next = c
+	c.Refs[1] = a  // c.other = a (cycle)
+	a.Prims[0] = 7 // a.v
+	b.Prims[0] = 8
+
+	copies, err := src.CopyInto(dst, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 3 {
+		t.Fatalf("copied %d objects, want 3", len(copies))
+	}
+	ca, cb, cc := copies[a], copies[b], copies[c]
+	if ca == nil || cb == nil || cc == nil {
+		t.Fatal("missing copies")
+	}
+	if ca.Heap != dst.ID || cb.Heap != dst.ID || cc.Heap != dst.ID {
+		t.Error("copies not on dst heap")
+	}
+	if ca.Refs[0] != cb || cb.Refs[0] != cc || cc.Refs[1] != ca {
+		t.Error("graph shape not preserved (cycle broken or refs lead back to src)")
+	}
+	if ca.Prims[0] != 7 || cb.Prims[0] != 8 {
+		t.Error("prims not copied")
+	}
+	if src.Bytes() != dst.Bytes() {
+		t.Errorf("byte accounting differs: src=%d dst=%d", src.Bytes(), dst.Bytes())
+	}
+	// Mutating the copy must not touch the original.
+	ca.Prims[0] = 99
+	if a.Prims[0] != 7 {
+		t.Error("copy aliases source prims")
+	}
+}
+
+func TestCopyIntoPreservesArraysAndExtra(t *testing.T) {
+	w := newWorld(t, Config{})
+	src := w.userHeap(t, "src", memlimit.Unlimited)
+	dst := w.userHeap(t, "dst", memlimit.Unlimited)
+
+	desc, err := bytecode.ParseDesc("[I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	intArr := object.NewArrayClass("[I", desc, nil, w.obj, "test")
+	arr, err := src.AllocArray(intArr, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range arr.Prims {
+		arr.Prims[i] = int64(i * 3)
+	}
+	str, err := src.AllocExtra(w.node, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	copies, err := src.CopyInto(dst, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carr := copies[arr]
+	if carr == nil || carr.ArrayLen() != 17 {
+		t.Fatalf("array copy wrong: %v", carr)
+	}
+	for i := range carr.Prims {
+		if carr.Prims[i] != int64(i*3) {
+			t.Fatalf("array elem %d = %d", i, carr.Prims[i])
+		}
+	}
+	if cs := copies[str]; cs == nil || cs.SizeExtra != 40 {
+		t.Fatalf("sized-extra copy wrong: %v", str)
+	}
+	if src.Bytes() != dst.Bytes() {
+		t.Errorf("byte accounting differs: src=%d dst=%d", src.Bytes(), dst.Bytes())
+	}
+}
+
+func TestCopyIntoExternalRefsBecomeCrossRefs(t *testing.T) {
+	// A source object referencing a kernel object: the copy keeps the
+	// reference, and the destination heap gains its own entry item on the
+	// kernel heap (auditor symmetry for the clone).
+	w := newWorld(t, Config{})
+	src := w.userHeap(t, "src", memlimit.Unlimited)
+	dst := w.userHeap(t, "dst", memlimit.Unlimited)
+
+	k, err := w.kernel.Alloc(w.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.alloc(t, src)
+	a.Refs[0] = k
+	src.RecordCrossRef(k)
+
+	copies, err := src.CopyInto(dst, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies[a].Refs[0] != k {
+		t.Error("external reference rewritten instead of kept")
+	}
+	sv := snapshotView(t, w.reg, dst.ID)
+	if sv.ExitsTo[w.kernel.ID] == 0 {
+		t.Error("dst heap has no exit items to kernel after copy")
+	}
+}
+
+func snapshotView(t *testing.T, reg *Registry, id vmaddr.HeapID) HeapView {
+	t.Helper()
+	for _, v := range reg.SnapshotAll(nil) {
+		if v.ID == id {
+			return v
+		}
+	}
+	t.Fatalf("heap %d not in snapshot", id)
+	return HeapView{}
+}
+
+func TestDestroyReturnsEveryCharge(t *testing.T) {
+	w := newWorld(t, Config{})
+	lim, err := w.root.NewChild("doomed", memlimit.Unlimited, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.reg.NewHeap(KindUser, "doomed", lim)
+	for i := 0; i < 50; i++ {
+		if _, err := h.Alloc(w.node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give it an exit item to the kernel too.
+	k, err := w.kernel.Alloc(w.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.RecordCrossRef(k)
+	if lim.Use() == 0 {
+		t.Fatal("nothing charged before destroy")
+	}
+	if err := h.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if use := lim.Use(); use != 0 {
+		t.Fatalf("destroy left %d bytes charged", use)
+	}
+	lim.Release() // panics if anything is left
+	// The kernel-side entry item died with the destroyed heap's exit.
+	kv := snapshotView(t, w.reg, w.kernel.ID)
+	if n := len(kv.Entries); n != 0 {
+		t.Errorf("kernel retains %d entry items for a destroyed heap", n)
+	}
+}
+
+func TestDestroyRefusesLiveEntries(t *testing.T) {
+	// A heap some other heap still points into must not be destroyable.
+	w := newWorld(t, Config{})
+	h := w.userHeap(t, "target", memlimit.Unlimited)
+	o := w.alloc(t, h)
+	w.kernel.RecordCrossRef(o)
+	if err := h.Destroy(); err == nil {
+		t.Fatal("destroy succeeded with a live entry item")
+	}
+}
+
+func TestCopyIntoFaultUnwindsClean(t *testing.T) {
+	// Seeded fork.copy fault mid-clone: CopyInto reports ErrCopyFault and
+	// the caller's Destroy unwind leaves zero residual charges and pages.
+	w := newWorld(t, Config{})
+	plan, err := faults.ParsePlan("seed=1,fork.copy=@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.reg.Faults = faults.NewPlane(plan)
+	src := w.userHeap(t, "src", memlimit.Unlimited)
+	var objs []*object.Object
+	for i := 0; i < 10; i++ {
+		objs = append(objs, w.alloc(t, src))
+	}
+	for i := 1; i < 10; i++ {
+		objs[i-1].Refs[0] = objs[i]
+	}
+	lim, err := w.root.NewChild("clone", memlimit.Unlimited, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := w.reg.NewHeap(KindUser, "clone", lim)
+	_, err = src.CopyInto(dst, identity)
+	if !errors.Is(err, ErrCopyFault) {
+		t.Fatalf("err = %v, want ErrCopyFault", err)
+	}
+	if err := dst.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if use := lim.Use(); use != 0 {
+		t.Fatalf("aborted copy left %d bytes charged", use)
+	}
+	lim.Release()
+	// Source untouched.
+	if src.Bytes() == 0 {
+		t.Error("source heap damaged by aborted copy")
+	}
+	for i := 1; i < 10; i++ {
+		if objs[i-1].Refs[0] != objs[i] {
+			t.Fatalf("source graph damaged at %d", i)
+		}
+	}
+}

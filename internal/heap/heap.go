@@ -48,6 +48,12 @@ const (
 	KindKernel Kind = iota + 1
 	KindUser
 	KindShared
+	// KindTemplate is an immutable checkpoint of a warmed user heap: the
+	// backing store of a process template. Template heaps are frozen for
+	// their whole post-copy lifetime, are never collected or merged, may
+	// reference only kernel and shared heaps, and must never be referenced
+	// by any other heap — forks deep-copy out of them instead.
+	KindTemplate
 )
 
 func (k Kind) String() string {
@@ -58,6 +64,8 @@ func (k Kind) String() string {
 		return "user"
 	case KindShared:
 		return "shared"
+	case KindTemplate:
+		return "template"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -14,10 +14,12 @@ import "repro/internal/bytecode"
 // NetHandleKey is the method key every request-driven servlet exports.
 const NetHandleKey = "handle([II)I"
 
-// NetServletClass / NetHogClass / KeeperClass name the entry classes.
+// NetServletClass / NetHogClass / NetWarmClass / KeeperClass name the
+// entry classes.
 const (
 	NetServletClass = "jserv/NetServlet"
 	NetHogClass     = "jserv/NetHog"
+	NetWarmClass    = "jserv/NetWarm"
 	KeeperClass     = "jserv/Keeper"
 )
 
@@ -106,6 +108,105 @@ HAVE:	getstatic jserv/NetHog.keep Ljava/util/Vector;
 .end
 .end`
 
+// netWarmSource is the expensive-startup servlet: its <clinit> builds a
+// 4096-entry lookup table by iterated mixing — hundreds of thousands of
+// interpreted bytecodes before the first request can be served. It exists
+// to make cold starts hurt, which is exactly what the template/fork path
+// (TenantConfig.Template) is for: the warmup runs once in a zygote, is
+// checkpointed, and every incarnation after that is stamped out by a heap
+// copy instead of re-running the clinit. handle folds the request through
+// the table, so a clone with a wrong or missing table answers wrongly —
+// correctness of the fork is observable from the response.
+const netWarmSource = `
+.class jserv/NetWarm
+.static table [I
+.method <clinit> ()V static
+.locals 3
+.stack 4
+# locals: 0=i, 1=j, 2=v
+	ldc 4096
+	newarray [I
+	putstatic jserv/NetWarm.table [I
+	iconst 0
+	istore 0
+ILOOP:	iload 0
+	ldc 4096
+	if_icmpge DONE
+	iload 0
+	istore 2
+	iconst 0
+	istore 1
+JLOOP:	iload 1
+	ldc 64
+	if_icmpge STORE
+	iload 2
+	ldc 31
+	imul
+	iload 1
+	iadd
+	ldc 16777215
+	iand
+	istore 2
+	iinc 1 1
+	goto JLOOP
+STORE:	getstatic jserv/NetWarm.table [I
+	iload 0
+	iload 2
+	iastore
+	iinc 0 1
+	goto ILOOP
+DONE:	return
+.end
+.method handle ([II)I static
+.locals 4
+.stack 5
+# locals: 0=request array, 1=work units, 2=i, 3=acc
+	iconst 0
+	istore 3
+	iconst 0
+	istore 2
+# fold the request through the warm table
+RLOOP:	iload 2
+	aload 0
+	arraylength
+	if_icmpge WORK
+	iload 3
+	getstatic jserv/NetWarm.table [I
+	aload 0
+	iload 2
+	iaload
+	ldc 4095
+	iand
+	iaload
+	iadd
+	ldc 16777215
+	iand
+	istore 3
+	iinc 2 1
+	goto RLOOP
+# burn the configured compute units, still via the table
+WORK:	iconst 0
+	istore 2
+WLOOP:	iload 2
+	iload 1
+	if_icmpge OUT
+	iload 3
+	getstatic jserv/NetWarm.table [I
+	iload 2
+	ldc 4095
+	iand
+	iaload
+	iadd
+	ldc 16777215
+	iand
+	istore 3
+	iinc 2 1
+	goto WLOOP
+OUT:	iload 3
+	ireturn
+.end
+.end`
+
 // keeperSource is the per-tenant resident thread: it only sleeps, keeping
 // the process alive between requests (a process whose last thread exits is
 // reclaimed by the kernel). The serving plane spawns it as a daemon thread
@@ -126,6 +227,11 @@ func NetServletModule() *bytecode.Module { return bytecode.MustAssemble(netServl
 
 // NetHogModule returns the request-driven MemHog program.
 func NetHogModule() *bytecode.Module { return bytecode.MustAssemble(netHogSource) }
+
+// NetWarmModule returns the expensive-startup servlet: a <clinit> warm
+// table whose construction dominates cold start, built for the
+// template/fork serving path.
+func NetWarmModule() *bytecode.Module { return bytecode.MustAssemble(netWarmSource) }
 
 // KeeperModule returns the keep-alive program the serving plane loads into
 // every tenant process alongside its handler.

@@ -148,8 +148,25 @@ func (l *Loader) arrayClass(name string) (*object.Class, error) {
 // linking constant pools and building vtables. Process loaders clone
 // method code (reloaded classes do not share text).
 func (l *Loader) DefineModule(m *bytecode.Module) error {
-	if err := bytecode.VerifyModule(m); err != nil {
-		return fmt.Errorf("loader %s: %w", l.Tag, err)
+	return l.define(m, true)
+}
+
+// DefineTemplate defines m's classes for a process forked from a process
+// template. The module was verified when the template's origin loaded it,
+// the origin already ran its <clinit>s (their effects arrive through the
+// statics objects copied out of the template heap), and the statics
+// objects themselves are bound by the fork after the heap copy — so
+// verification, statics allocation, and clinit queueing are all skipped.
+// Until the fork binds Statics, the namespace's classes must not execute.
+func (l *Loader) DefineTemplate(m *bytecode.Module) error {
+	return l.define(m, false)
+}
+
+func (l *Loader) define(m *bytecode.Module, fresh bool) error {
+	if fresh {
+		if err := bytecode.VerifyModule(m); err != nil {
+			return fmt.Errorf("loader %s: %w", l.Tag, err)
+		}
 	}
 	defs, err := l.topoOrder(m)
 	if err != nil {
@@ -209,6 +226,9 @@ func (l *Loader) DefineModule(m *bytecode.Module) error {
 		if err := l.linkClass(c); err != nil {
 			return err
 		}
+	}
+	if !fresh {
+		return nil
 	}
 	// Allocate statics and queue <clinit>s.
 	for _, c := range created {

@@ -112,6 +112,17 @@ func (o *Object) String() string {
 	return fmt.Sprintf("%s@%x", o.Class.Name, o.Addr)
 }
 
+// DataCloner is implemented by native payloads stored in Object.Data that
+// carry mutable state. A process fork deep-copies objects between heaps;
+// payloads implementing DataCloner are cloned through it so the copy does
+// not alias the original's state. Payloads that do not implement it (and
+// are not one of the copier's known builtin shapes) are shared by
+// reference, which is only correct for immutable values such as strings.
+type DataCloner interface {
+	// CloneData returns an independent copy of the payload.
+	CloneData() any
+}
+
 // New creates an instance of c with zeroed fields. The caller (a heap) is
 // responsible for address assignment, accounting, and registration; this
 // only builds the storage.

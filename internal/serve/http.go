@@ -172,14 +172,10 @@ type TenantRow struct {
 // rowFor snapshots one tenant. Safe from any goroutine: it reads only
 // atomics, the shard pointer, and the mutex-guarded process pointer.
 func rowFor(tn *tenant) TenantRow {
-	role := "servlet"
-	if tn.cfg.Hog {
-		role = "memhog"
-	}
 	row := TenantRow{
 		Route:      tn.cfg.Route,
 		Name:       tn.cfg.Name,
-		Role:       role,
+		Role:       tn.role(),
 		Shard:      tn.sh.Load().id,
 		Requests:   tn.reqs.Value(),
 		OK:         tn.okCount.Value(),

@@ -11,12 +11,15 @@ import (
 //
 //	path[:attr[:attr...]]
 //
-// where each attr is "hog" or "servlet" (role), "norestart", or an
-// integer memlimit in KiB. Examples:
+// where each attr is "hog", "servlet" or "warm" (role), "norestart",
+// "template" (fork incarnations from a checkpointed zygote), "lazy"
+// (scale-from-zero: start on first request), or an integer memlimit in
+// KiB. Examples:
 //
 //	/zone0,/zone1,/zone2
 //	/a,/b:8192,/memhog:hog:1024
 //	/once:hog:512:norestart
+//	/fast:warm:template:lazy
 func ParseRoutes(spec string) ([]TenantConfig, error) {
 	var out []TenantConfig
 	seen := make(map[string]bool)
@@ -44,6 +47,12 @@ func ParseRoutes(spec string) ([]TenantConfig, error) {
 				tc.Hog = true
 			case "servlet":
 				tc.Hog = false
+			case "warm":
+				tc.Warm = true
+			case "template":
+				tc.Template = true
+			case "lazy":
+				tc.Lazy = true
 			case "norestart":
 				tc.NoRestart = true
 			default:

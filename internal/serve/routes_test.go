@@ -42,6 +42,7 @@ func TestParseRoutesTable(t *testing.T) {
 		{name: "trailing comma", spec: "/a,/b,", want: []string{"/a", "/b"}},
 		{name: "servlet attr resets hog", spec: "/a:hog:servlet", want: []string{"/a"}},
 		{name: "all attrs", spec: "/a:hog:512:norestart", want: []string{"/a"}},
+		{name: "zygote attrs", spec: "/a:warm:template:lazy", want: []string{"/a"}},
 
 		{name: "empty", spec: "", errSub: "empty route spec"},
 		{name: "only commas", spec: " , ", errSub: "empty route spec"},
@@ -93,7 +94,7 @@ func TestParseRoutesTable(t *testing.T) {
 // route lists: roles, memlimits and restart policy land on the right
 // tenant when several are combined in one spec.
 func TestParseRoutesAttrSemantics(t *testing.T) {
-	got, err := ParseRoutes("/plain,/big:8192,/hog:hog:1024:norestart")
+	got, err := ParseRoutes("/plain,/big:8192,/hog:hog:1024:norestart,/zyg:warm:template:lazy:2048")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +102,12 @@ func TestParseRoutesAttrSemantics(t *testing.T) {
 		{Route: "/plain"},
 		{Route: "/big", MemKB: 8192},
 		{Route: "/hog", Hog: true, MemKB: 1024, NoRestart: true},
+		{Route: "/zyg", Warm: true, Template: true, Lazy: true, MemKB: 2048},
 	}
 	for i, w := range want {
 		g := got[i]
-		if g.Route != w.Route || g.Hog != w.Hog || g.MemKB != w.MemKB || g.NoRestart != w.NoRestart {
+		if g.Route != w.Route || g.Hog != w.Hog || g.MemKB != w.MemKB || g.NoRestart != w.NoRestart ||
+			g.Warm != w.Warm || g.Template != w.Template || g.Lazy != w.Lazy {
 			t.Errorf("entry %d = %+v, want %+v", i, g, w)
 		}
 	}

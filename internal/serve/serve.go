@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/jserv"
@@ -74,6 +75,22 @@ type TenantConfig struct {
 	// NoRestart disables the supervisor: a dead tenant stays dead and its
 	// route sheds until the server closes.
 	NoRestart bool
+	// Warm selects the expensive-startup servlet: a <clinit>-built lookup
+	// table that makes every cold start pay a long warmup — the workload
+	// the template path exists for.
+	Warm bool
+	// Template starts incarnations by forking a checkpointed zygote
+	// instead of re-initializing from bytecode: the first start on a shard
+	// warms a quiescent process once, checkpoints it into an immutable
+	// template, and every (re)start after that stamps out a clone by heap
+	// copy — microsecond cold starts, shared per program shape across the
+	// shard's tenants.
+	Template bool
+	// Lazy defers the tenant's first start until a request arrives
+	// (scale-from-zero): the route is registered but no process exists
+	// until traffic shows up. Combined with Template, the first request
+	// pays one fork, not a full init.
+	Lazy bool
 }
 
 func (c *TenantConfig) fill() error {
@@ -100,6 +117,12 @@ func (c *TenantConfig) fill() error {
 	}
 	if c.ShedFraction == 0 {
 		c.ShedFraction = 0.9
+	}
+	if c.Hog && c.Warm {
+		return fmt.Errorf("serve: route %q: hog and warm are mutually exclusive", c.Route)
+	}
+	if c.Lazy && c.NoRestart {
+		return fmt.Errorf("serve: route %q: lazy needs the supervisor (norestart set)", c.Route)
 	}
 	return nil
 }
@@ -302,10 +325,33 @@ type tenant struct {
 }
 
 func (t *tenant) handlerClass() string {
-	if t.cfg.Hog {
+	switch {
+	case t.cfg.Hog:
 		return jserv.NetHogClass
+	case t.cfg.Warm:
+		return jserv.NetWarmClass
 	}
 	return jserv.NetServletClass
+}
+
+func (t *tenant) handlerModule() *bytecode.Module {
+	switch {
+	case t.cfg.Hog:
+		return jserv.NetHogModule()
+	case t.cfg.Warm:
+		return jserv.NetWarmModule()
+	}
+	return jserv.NetServletModule()
+}
+
+func (t *tenant) role() string {
+	switch {
+	case t.cfg.Hog:
+		return "memhog"
+	case t.cfg.Warm:
+		return "warm"
+	}
+	return "servlet"
 }
 
 // proc reads the tenant's current process (HTTP-side safe).
@@ -429,12 +475,20 @@ func newServer(vms []*core.VM, cfg Config, tenants []TenantConfig) (*Server, err
 	return s, nil
 }
 
-// Start spawns every tenant process on its shard, binds addr (":0" picks
-// a free port), and launches the accept loop and one engine loop per
-// shard. It returns the bound address.
+// Start spawns every tenant process on its shard (lazy tenants stay cold
+// until their first request), binds addr (":0" picks a free port), and
+// launches the accept loop and one engine loop per shard. It returns the
+// bound address.
 func (s *Server) Start(addr string) (string, error) {
 	for _, sh := range s.shards {
 		for _, tn := range sh.tenants {
+			if tn.cfg.Lazy {
+				// Scale-from-zero: registered but cold. The supervisor
+				// starts it when the first request queues up behind it
+				// (the zero-valued nextRestart is already due).
+				tn.down = true
+				continue
+			}
 			if err := sh.startTenant(tn); err != nil {
 				return "", err
 			}

@@ -28,6 +28,14 @@ type shard struct {
 	// goroutine (Migrate edits it via ctrl).
 	tenants []*tenant
 
+	// zygotes caches one checkpointed warm template per program shape
+	// (handler class): the first Template tenant of a shape pays the full
+	// init once, every start after that — first starts, supervisor
+	// restarts, migrations landing here — forks a clone from the template
+	// instead. Engine-goroutine-only (startTenant runs on it), except the
+	// pre-loop Start path, which is single-threaded by construction.
+	zygotes map[string]*core.Template
+
 	submit   chan *request
 	ctrl     chan func()
 	quit     chan struct{}
@@ -50,6 +58,7 @@ func newShard(id int, vm *core.VM, cfg Config) *shard {
 		id:       id,
 		vm:       vm,
 		cfg:      cfg,
+		zygotes:  make(map[string]*core.Template),
 		submit:   make(chan *request, cfg.SubmitBuffer),
 		ctrl:     make(chan func(), 8),
 		quit:     make(chan struct{}),
@@ -91,40 +100,40 @@ func (sh *shard) do(fn func()) error {
 	}
 }
 
-// startTenant (re)creates the tenant's process on this shard's VM: fresh
-// memlimit, heap and namespace, the handler program, and a daemon
-// keep-alive thread (a process whose last thread exits is reclaimed, and
-// request threads come and go).
+// startTenant (re)creates the tenant's process on this shard's VM — by
+// full init (fresh memlimit, heap and namespace, the handler program) or,
+// for Template tenants, by forking a checkpointed zygote — then spawns
+// the daemon keep-alive thread (a process whose last thread exits is
+// reclaimed, and request threads come and go).
 func (sh *shard) startTenant(tn *tenant) error {
-	p, err := sh.vm.NewProcess(tn.cfg.Name, core.ProcessOptions{MemLimit: uint64(tn.cfg.MemKB) << 10})
+	var p *core.Process
+	var err error
+	if tn.cfg.Template {
+		p, err = sh.forkTenant(tn)
+	} else {
+		p, err = sh.initTenant(tn)
+	}
 	if err != nil {
-		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
-	}
-	mod := jserv.NetServletModule()
-	if tn.cfg.Hog {
-		mod = jserv.NetHogModule()
-	}
-	if err := p.Load(mod); err != nil {
-		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
-	}
-	if err := p.Load(jserv.KeeperModule()); err != nil {
-		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+		return err
 	}
 	if _, err := p.SpawnDaemon(jserv.KeeperClass, "main()V"); err != nil {
+		p.Kill(nil)
 		return fmt.Errorf("serve: tenant %s keeper: %w", tn.cfg.Name, err)
 	}
 	arrCls, err := p.Loader.Class("[I")
 	if err != nil {
+		p.Kill(nil)
 		return fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
 	}
 	scope := sh.vm.Tel.Reg.Proc(int32(p.ID))
 	scope.SetMeta("serve.route", tn.cfg.Route)
-	role := "servlet"
-	if tn.cfg.Hog {
-		role = "memhog"
-	}
-	scope.SetMeta("serve.role", role)
+	scope.SetMeta("serve.role", tn.role())
 	scope.SetMeta("serve.shard", fmt.Sprint(sh.id))
+	origin := "init"
+	if tn.cfg.Template {
+		origin = "fork"
+	}
+	scope.SetMeta("serve.origin", origin)
 
 	tn.mu.Lock()
 	tn.proc = p
@@ -134,6 +143,72 @@ func (sh *shard) startTenant(tn *tenant) error {
 	tn.down = false
 	sh.publish(tn)
 	return nil
+}
+
+// initTenant is the classic cold start: a fresh process that loads and
+// initializes the handler and keeper programs from bytecode.
+func (sh *shard) initTenant(tn *tenant) (*core.Process, error) {
+	p, err := sh.vm.NewProcess(tn.cfg.Name, core.ProcessOptions{MemLimit: uint64(tn.cfg.MemKB) << 10})
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+	}
+	if err := p.Load(tn.handlerModule()); err != nil {
+		p.Kill(nil)
+		return nil, fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+	}
+	if err := p.Load(jserv.KeeperModule()); err != nil {
+		p.Kill(nil)
+		return nil, fmt.Errorf("serve: tenant %s: %w", tn.cfg.Name, err)
+	}
+	return p, nil
+}
+
+// forkTenant stamps out the tenant's incarnation from the shard's zygote
+// template for its program shape, building (and caching) the template
+// first if this is the shape's first start on this shard. The clone gets
+// its own pid, heap and memlimit — charged in full for the copied bytes —
+// and has never run a clinit: the warmup happened once, in the zygote.
+func (sh *shard) forkTenant(tn *tenant) (*core.Process, error) {
+	tpl, err := sh.zygote(tn)
+	if err != nil {
+		return nil, err
+	}
+	p, err := tpl.Fork(tn.cfg.Name, core.ProcessOptions{MemLimit: uint64(tn.cfg.MemKB) << 10})
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %s: fork from %s: %w", tn.cfg.Name, tpl.Name, err)
+	}
+	return p, nil
+}
+
+// zygote returns the shard's warm template for tn's program shape,
+// creating it on first use: warm a quiescent process (module loads run
+// the clinits on the bootstrap thread; no scheduler threads are spawned),
+// checkpoint it, and kill the origin — the template stands on its own.
+func (sh *shard) zygote(tn *tenant) (*core.Template, error) {
+	key := tn.handlerClass()
+	if tpl, ok := sh.zygotes[key]; ok {
+		return tpl, nil
+	}
+	origin, err := sh.vm.NewProcess("zygote-"+tn.cfg.Name, core.ProcessOptions{MemLimit: uint64(tn.cfg.MemKB) << 10})
+	if err != nil {
+		return nil, fmt.Errorf("serve: zygote for %s: %w", tn.cfg.Name, err)
+	}
+	if err := origin.Load(tn.handlerModule()); err != nil {
+		origin.Kill(nil)
+		return nil, fmt.Errorf("serve: zygote for %s: %w", tn.cfg.Name, err)
+	}
+	if err := origin.Load(jserv.KeeperModule()); err != nil {
+		origin.Kill(nil)
+		return nil, fmt.Errorf("serve: zygote for %s: %w", tn.cfg.Name, err)
+	}
+	tpl, err := sh.vm.Checkpoint(origin, key)
+	if err != nil {
+		origin.Kill(nil)
+		return nil, fmt.Errorf("serve: zygote for %s: checkpoint: %w", tn.cfg.Name, err)
+	}
+	origin.Kill(nil) // threadless: reclaims inline
+	sh.zygotes[key] = tpl
+	return tpl, nil
 }
 
 // publish mirrors the tenant's lifetime aggregates into the current
@@ -532,10 +607,15 @@ func (sh *shard) markDown(tn *tenant, now time.Time) {
 	sh.publish(tn)
 }
 
-// checkRestarts restarts dead tenants whose backoff expired.
+// checkRestarts restarts dead tenants whose backoff expired. A lazy
+// tenant with no queued demand stays cold — scale-from-zero means the
+// supervisor works on demand, not on a timer.
 func (sh *shard) checkRestarts(now time.Time) {
 	for _, tn := range sh.tenants {
 		if !tn.down || tn.migrating || tn.cfg.NoRestart || now.Before(tn.nextRestart) {
+			continue
+		}
+		if tn.cfg.Lazy && len(tn.queue) == 0 {
 			continue
 		}
 		deaths := tn.deaths
@@ -661,7 +741,9 @@ func (sh *shard) nextWake() (time.Duration, bool) {
 		if !tn.down {
 			continue
 		}
-		if !tn.cfg.NoRestart && !tn.migrating {
+		// A cold lazy tenant has no timed obligation: it wakes on the
+		// submission that queues its first request, not on a timer.
+		if !tn.cfg.NoRestart && !tn.migrating && !(tn.cfg.Lazy && len(tn.queue) == 0) {
 			earlier(tn.nextRestart)
 		}
 		for _, r := range tn.queue {
@@ -717,6 +799,12 @@ func (sh *shard) shutdown() {
 		tn.inflight = nil
 		tn.infl.Set(0)
 		tn.qdepth.Set(0)
+	}
+	// Return the zygote templates' memory: nothing forks after shutdown,
+	// and a clean teardown leaves the VM with only the kernel heap.
+	for key, tpl := range sh.zygotes {
+		_ = tpl.Release()
+		delete(sh.zygotes, key)
 	}
 	// One last sweep: submissions that raced in while we were tearing
 	// tenants down (Close's straggler goroutines cover anything later).

@@ -83,6 +83,13 @@ const (
 	// B = heaps whose limits were updated this round. Detail carries
 	// "partial" when the fault plane aborted the round mid-redistribution.
 	EvMemRebalance
+	// EvCheckpoint: a warmed process was frozen into an immutable template.
+	// A = template bytes, B = objects copied. Detail = template name.
+	EvCheckpoint
+	// EvFork: a fresh process was stamped out from a template. A = bytes
+	// copied (charged in full to the clone), B = template pid. Detail =
+	// clone process name.
+	EvFork
 
 	kindMax
 )
@@ -109,6 +116,8 @@ var kindNames = [kindMax]string{
 	EvServeRestart:     "serve-restart",
 	EvServeMigrate:     "serve-migrate",
 	EvMemRebalance:     "membal-rebalance",
+	EvCheckpoint:       "proc-checkpoint",
+	EvFork:             "proc-fork",
 }
 
 func (k Kind) String() string {
@@ -135,6 +144,8 @@ var fieldNames = [kindMax][2]string{
 	EvServeRestart: {"deaths", ""},
 	EvServeMigrate: {"from_shard", "to_shard"},
 	EvMemRebalance: {"budget_bytes", "updated"},
+	EvCheckpoint:   {"template_bytes", "objects"},
+	EvFork:         {"copied_bytes", "template_pid"},
 }
 
 // FieldNames reports the JSON key names of an event kind's A and B words

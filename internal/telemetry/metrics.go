@@ -382,6 +382,14 @@ const (
 	MSpanDropped    = "span.dropped"     // kernel gauge: spans that fell off the ring
 	MTraceDropped   = "trace.dropped"    // kernel gauge: events that fell off the ring
 
+	// Process templates (checkpoint/fork). Kernel scope of the owning VM;
+	// a template's residency shows through its own memlimit child.
+	MForkCheckpoints = "fork.checkpoints"  // counter: templates created
+	MForks           = "fork.forks"        // counter: processes forked from templates
+	MForkBytes       = "fork.copied_bytes" // counter: bytes deep-copied by forks
+	MForkFailures    = "fork.failures"     // counter: checkpoints/forks aborted (fault, memlimit)
+	MForkTemplates   = "fork.templates"    // gauge: templates currently resident
+
 	// Memory-balancer controller (internal/membal). Kernel scope of the
 	// controlled VM; per-process limits show through the mem.limit gauge.
 	MMemBalRounds  = "membal.rounds"  // counter: rebalance rounds completed

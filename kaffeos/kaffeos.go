@@ -271,6 +271,71 @@ func (vm *VM) Processes() []*Process {
 	return out
 }
 
+// Checkpoint freezes a warmed, quiescent process (loaded modules, run
+// clinits, no live threads) into an immutable template. The origin keeps
+// running — or can be killed — independently; the template stands on its
+// own until Release.
+func (vm *VM) Checkpoint(p *Process, name string) (*Template, error) {
+	tpl, err := vm.inner.Checkpoint(p.inner, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Template{inner: tpl, vm: vm}, nil
+}
+
+// Templates lists live templates.
+func (vm *VM) Templates() []*Template {
+	inner := vm.inner.Templates()
+	out := make([]*Template, len(inner))
+	for i, tpl := range inner {
+		out[i] = &Template{inner: tpl, vm: vm}
+	}
+	return out
+}
+
+// Template is a frozen process image: the heap snapshot, loaded classes
+// and initialized statics of a checkpointed process. Fork stamps out
+// fresh, fully isolated processes from it without re-running class
+// initialization — the warmup is paid once, at checkpoint time.
+type Template struct {
+	inner *core.Template
+	vm    *VM
+}
+
+// Pid reports the template's id (templates share the pid space with
+// processes; `kaffeos ps` shows them in state "template").
+func (t *Template) Pid() int32 { return int32(t.inner.ID) }
+
+// Name reports the template name.
+func (t *Template) Name() string { return t.inner.Name }
+
+// Bytes reports the frozen image's heap size — also exactly what every
+// fork charges its clone's memory limit up front.
+func (t *Template) Bytes() uint64 { return t.inner.Bytes() }
+
+// Fork stamps out a new isolated process from the template: new pid,
+// fresh memlimit charged in full for the copied image, own class
+// namespace bound to the copied statics. The clone starts quiescent;
+// Start/StartMethod run code in it like any other process.
+func (t *Template) Fork(name string, cfg ProcessConfig) (*Process, error) {
+	p, err := t.inner.Fork(name, core.ProcessOptions{
+		MemLimit:  cfg.MemLimit,
+		HardLimit: cfg.Reserve,
+		CPULimit:  cfg.CPULimit,
+		IOLimit:   cfg.IOLimit,
+		Out:       cfg.Stdout,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Process{inner: p}, nil
+}
+
+// Release destroys the template and returns every byte it held.
+// Idempotent; forked processes are unaffected.
+func (t *Template) Release() error { return t.inner.Release() }
+
 // Process is one isolated KaffeOS process.
 type Process struct {
 	inner *core.Process
