@@ -848,6 +848,70 @@ func BenchmarkForkColdStart(b *testing.B) {
 	}
 }
 
+// BenchmarkColdStartSharedCode prices the other cold-start tax: JIT
+// compilation. The NetWide servlet has no clinit — its startup cost is
+// translating a wide method surface (~12k instructions) — so the A/B
+// isolates what the shared code cache buys: with the cache off, every
+// process compiles the module privately before it can answer; with the
+// cache on, the first process compiles once into an immutable artifact
+// and every later process attaches (pure cache hits) and just executes.
+// The hit/miss counters land in the -benchmem baseline via ReportMetric.
+func BenchmarkColdStartSharedCode(b *testing.B) {
+	mod := jserv.NetWideModule()
+	for _, cache := range []bool{false, true} {
+		name := "cache=off"
+		if cache {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			vm, err := core.NewVM(core.Config{Engine: core.EngineJITOpt, CodeCache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One unmeasured run: records the expected result and, on the
+			// cache arm, pays the one-time compile-and-insert — the role
+			// the first tenant (or a primer) plays in a serving fleet.
+			run := func(i int) int64 {
+				p, err := vm.NewProcess(fmt.Sprintf("wide%d", i), core.ProcessOptions{MemLimit: 8 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Load(mod); err != nil {
+					b.Fatal(err)
+				}
+				th, err := p.Spawn(jserv.NetWideClass, "selftest()I")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := vm.Run(0); err != nil {
+					b.Fatal(err)
+				}
+				if p.State() != core.ProcReclaimed {
+					b.Fatal("not reclaimed")
+				}
+				return th.Result.I
+			}
+			want := run(-1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := run(i); got != want {
+					b.Fatalf("selftest = %d, want %d", got, want)
+				}
+			}
+			b.StopTimer()
+			if cache {
+				kernel := vm.Tel.Reg.Kernel()
+				b.ReportMetric(float64(kernel.Counter(telemetry.MCodeHits).Value()), "cache-hits")
+				b.ReportMetric(float64(kernel.Counter(telemetry.MCodeMisses).Value()), "cache-misses")
+				vm.CodeMgr.EvictOrphans()
+			}
+			if rep := vm.Audit(true); !rep.OK() {
+				b.Fatalf("post-bench audit failed:\n%s", rep)
+			}
+		})
+	}
+}
+
 // BenchmarkMemBalRebalance prices one controller round: estimate every
 // tenant's allocation rate, solve the square-root split of the budget,
 // and apply the new limits through the memlimit tree. This runs on the

@@ -1,6 +1,7 @@
 // Command benchgate is the CI benchmark regression gate: it compares two
-// `go test -bench` outputs and fails when any benchmark's ns/op regressed
-// beyond a threshold.
+// `go test -bench` outputs and fails when any benchmark's ns/op — or,
+// when both files carry -benchmem output, allocs/op — regressed beyond a
+// threshold.
 //
 // It exists because the gate must be hermetic — no tool installation on
 // the critical path — and deterministic: for each benchmark name the
@@ -10,12 +11,14 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench <tier1> -count=6 . > new.txt
+//	go test -run '^$' -bench <tier1> -benchmem -count=6 . > new.txt
 //	benchgate -baseline BENCH_baseline.txt -candidate new.txt -threshold 15
 //
 // Exit status 1 means at least one regression above the threshold.
 // Benchmarks present in only one file are reported but never fail the
-// gate (they are new or retired, not regressed). The trailing -N
+// gate (they are new or retired, not regressed); likewise allocs/op is
+// gated only for benchmarks where both files report it, so a baseline
+// recorded without -benchmem keeps gating ns/op. The trailing -N
 // GOMAXPROCS suffix is stripped so baselines are portable across runners.
 package main
 
@@ -32,7 +35,10 @@ import (
 	"repro/internal/telemetry"
 )
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	allocsRe  = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+)
 
 // hostLine records the machine a bench file was produced on, e.g.
 //
@@ -78,18 +84,26 @@ func HostLine() string {
 	return fmt.Sprintf("benchgate-host: cores=%d gomaxprocs=%d", h.Cores, h.GOMAXPROCS)
 }
 
-// parseBench collects ns/op samples per benchmark name from one
-// `go test -bench` output file.
-func parseBench(path string) (map[string][]float64, error) {
+// samples holds one benchmark's measurements across -count repetitions.
+// Allocs is empty when the file was produced without -benchmem.
+type samples struct {
+	Ns     []float64
+	Allocs []float64
+}
+
+// parseBench collects ns/op (and, with -benchmem, allocs/op) samples per
+// benchmark name from one `go test -bench` output file.
+func parseBench(path string) (map[string]*samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string][]float64)
+	out := make(map[string]*samples)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -97,7 +111,17 @@ func parseBench(path string) (map[string][]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[m[1]] = append(out[m[1]], v)
+		s := out[m[1]]
+		if s == nil {
+			s = &samples{}
+			out[m[1]] = s
+		}
+		s.Ns = append(s.Ns, v)
+		if am := allocsRe.FindStringSubmatch(line); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
+				s.Allocs = append(s.Allocs, a)
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -119,18 +143,89 @@ func median(xs []float64) float64 {
 }
 
 // Row is one benchmark's comparison, also emitted to the -json artifact.
+// The alloc fields are zero/absent when either file lacks -benchmem data
+// for the benchmark.
 type Row struct {
-	Name     string  `json:"name"`
-	OldNs    float64 `json:"old_ns"`
-	NewNs    float64 `json:"new_ns"`
-	DeltaPct float64 `json:"delta_pct"`
-	Verdict  string  `json:"verdict"` // ok | regression | new | retired
+	Name           string  `json:"name"`
+	OldNs          float64 `json:"old_ns"`
+	NewNs          float64 `json:"new_ns"`
+	DeltaPct       float64 `json:"delta_pct"`
+	OldAllocs      float64 `json:"old_allocs,omitempty"`
+	NewAllocs      float64 `json:"new_allocs,omitempty"`
+	AllocsDeltaPct float64 `json:"allocs_delta_pct,omitempty"`
+	Verdict        string  `json:"verdict"` // ok | regression | regression(allocs) | regression(ns,allocs) | new | retired
+}
+
+// compare builds the per-benchmark rows and counts regressions. ns/op
+// gates at thresholdPct; allocs/op gates at allocThresholdPct, but only
+// for benchmarks where both files carry alloc samples.
+func compare(old, fresh map[string]*samples, thresholdPct, allocThresholdPct float64) ([]Row, int) {
+	names := make([]string, 0, len(old)+len(fresh))
+	seen := make(map[string]bool)
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range fresh {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var rows []Row
+	regressions := 0
+	for _, name := range names {
+		o, haveOld := old[name]
+		n, haveNew := fresh[name]
+		switch {
+		case !haveOld:
+			rows = append(rows, Row{Name: name, NewNs: median(n.Ns), Verdict: "new"})
+		case !haveNew:
+			rows = append(rows, Row{Name: name, OldNs: median(o.Ns), Verdict: "retired"})
+		default:
+			om, nm := median(o.Ns), median(n.Ns)
+			r := Row{Name: name, OldNs: om, NewNs: nm, DeltaPct: (nm - om) / om * 100}
+			nsBad := r.DeltaPct > thresholdPct
+			allocsBad := false
+			if len(o.Allocs) > 0 && len(n.Allocs) > 0 {
+				oa, na := median(o.Allocs), median(n.Allocs)
+				r.OldAllocs, r.NewAllocs = oa, na
+				switch {
+				case oa > 0:
+					r.AllocsDeltaPct = (na - oa) / oa * 100
+					allocsBad = r.AllocsDeltaPct > allocThresholdPct
+				case na > 0:
+					// A zero-alloc baseline that now allocates is an
+					// unbounded relative regression.
+					r.AllocsDeltaPct = 100
+					allocsBad = true
+				}
+			}
+			switch {
+			case nsBad && allocsBad:
+				r.Verdict = "regression(ns,allocs)"
+			case nsBad:
+				r.Verdict = "regression"
+			case allocsBad:
+				r.Verdict = "regression(allocs)"
+			default:
+				r.Verdict = "ok"
+			}
+			if nsBad || allocsBad {
+				regressions++
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, regressions
 }
 
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.txt", "committed baseline bench output")
 	candidate := flag.String("candidate", "", "fresh bench output to gate")
 	threshold := flag.Float64("threshold", 15, "fail when ns/op grows more than this percent")
+	allocThreshold := flag.Float64("allocthreshold", 15, "fail when allocs/op grows more than this percent (gated only when both files carry -benchmem output)")
 	jsonPath := flag.String("json", "", "write the comparison (with host info) to this file")
 	printHost := flag.Bool("host-line", false, "print this machine's benchgate-host line and exit (append it to a fresh baseline)")
 	flag.Parse()
@@ -160,55 +255,30 @@ func main() {
 	runnerCores := telemetry.Host().Cores
 	hostMismatch := baseHost != nil && baseHost.Cores != runnerCores
 
-	names := make([]string, 0, len(old)+len(fresh))
-	seen := make(map[string]bool)
-	for n := range old {
-		names = append(names, n)
-		seen[n] = true
-	}
-	for n := range fresh {
-		if !seen[n] {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
+	rows, regressions := compare(old, fresh, *threshold, *allocThreshold)
 
-	var rows []Row
-	regressions := 0
-	for _, name := range names {
-		o, haveOld := old[name]
-		n, haveNew := fresh[name]
-		switch {
-		case !haveOld:
-			rows = append(rows, Row{Name: name, NewNs: median(n), Verdict: "new"})
-		case !haveNew:
-			rows = append(rows, Row{Name: name, OldNs: median(o), Verdict: "retired"})
-		default:
-			om, nm := median(o), median(n)
-			delta := (nm - om) / om * 100
-			verdict := "ok"
-			if delta > *threshold {
-				verdict = "regression"
-				regressions++
-			}
-			rows = append(rows, Row{Name: name, OldNs: om, NewNs: nm, DeltaPct: delta, Verdict: verdict})
-		}
-	}
-
-	fmt.Printf("%-55s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	fmt.Printf("%-55s %14s %14s %8s %15s %8s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "delta", "verdict")
 	for _, r := range rows {
-		fmt.Printf("%-55s %14.2f %14.2f %+7.1f%%  %s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, r.Verdict)
+		allocs, adelta := "-", "-"
+		if r.OldAllocs > 0 || r.NewAllocs > 0 {
+			allocs = fmt.Sprintf("%.0f→%.0f", r.OldAllocs, r.NewAllocs)
+			adelta = fmt.Sprintf("%+.1f%%", r.AllocsDeltaPct)
+		}
+		fmt.Printf("%-55s %14.2f %14.2f %+7.1f%% %15s %8s  %s\n",
+			r.Name, r.OldNs, r.NewNs, r.DeltaPct, allocs, adelta, r.Verdict)
 	}
 
 	if *jsonPath != "" {
 		artifact := struct {
-			Host         telemetry.HostInfo `json:"host"`
-			BaselineHost *benchHost         `json:"baseline_host,omitempty"`
-			HostMismatch bool               `json:"host_mismatch"`
-			ThresholdPct float64            `json:"threshold_pct"`
-			Regressions  int                `json:"regressions"`
-			Rows         []Row              `json:"rows"`
-		}{telemetry.Host(), baseHost, hostMismatch, *threshold, regressions, rows}
+			Host              telemetry.HostInfo `json:"host"`
+			BaselineHost      *benchHost         `json:"baseline_host,omitempty"`
+			HostMismatch      bool               `json:"host_mismatch"`
+			ThresholdPct      float64            `json:"threshold_pct"`
+			AllocThresholdPct float64            `json:"alloc_threshold_pct"`
+			Regressions       int                `json:"regressions"`
+			Rows              []Row              `json:"rows"`
+		}{telemetry.Host(), baseHost, hostMismatch, *threshold, *allocThreshold, regressions, rows}
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fail(err)
@@ -226,14 +296,15 @@ func main() {
 	switch {
 	case regressions > 0 && hostMismatch:
 		fmt.Fprintf(os.Stderr,
-			"benchgate: WARNING: %d benchmark(s) over the %.0f%% threshold, but the baseline was recorded on %d core(s) and this runner has %d — numbers are not comparable, warning instead of failing\n",
-			regressions, *threshold, baseHost.Cores, runnerCores)
+			"benchgate: WARNING: %d benchmark(s) over the threshold (ns>%.0f%% or allocs>%.0f%%), but the baseline was recorded on %d core(s) and this runner has %d — numbers are not comparable, warning instead of failing\n",
+			regressions, *threshold, *allocThreshold, baseHost.Cores, runnerCores)
 		fmt.Fprintln(os.Stderr, "benchgate: refresh the baseline on a matching host (append `benchgate -host-line` output) to re-arm the gate")
 	case regressions > 0:
-		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold)
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed (ns/op>%.0f%% or allocs/op>%.0f%%)\n",
+			regressions, *threshold, *allocThreshold)
 		os.Exit(1)
 	default:
-		fmt.Printf("benchgate: ok (%d benchmarks within %.0f%%)\n", len(rows), *threshold)
+		fmt.Printf("benchgate: ok (%d benchmarks within thresholds)\n", len(rows))
 	}
 }
 

@@ -27,11 +27,93 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got["BenchmarkFoo/sub-case"]) != 2 {
-		t.Errorf("BenchmarkFoo/sub-case samples = %v, want 2 (procs suffix stripped, counts merged)", got["BenchmarkFoo/sub-case"])
+	if len(got["BenchmarkFoo/sub-case"].Ns) != 2 {
+		t.Errorf("BenchmarkFoo/sub-case samples = %v, want 2 (procs suffix stripped, counts merged)", got["BenchmarkFoo/sub-case"].Ns)
 	}
-	if len(got["BenchmarkBar"]) != 1 || got["BenchmarkBar"][0] != 2000 {
-		t.Errorf("BenchmarkBar = %v", got["BenchmarkBar"])
+	if len(got["BenchmarkBar"].Ns) != 1 || got["BenchmarkBar"].Ns[0] != 2000 {
+		t.Errorf("BenchmarkBar = %v", got["BenchmarkBar"].Ns)
+	}
+}
+
+func TestParseBenchAllocs(t *testing.T) {
+	p := writeTemp(t, "b.txt", `
+BenchmarkMem-4      	 1000	  100.0 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkMem-4      	 1000	  110.0 ns/op	  2048 B/op	      14 allocs/op
+BenchmarkNoMem-4    	 1000	  200.0 ns/op
+BenchmarkMetric-4   	   50	  300.0 ns/op	       7.000 cache-hits	  512 B/op	       3 allocs/op
+PASS
+`)
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := got["BenchmarkMem"].Allocs; len(a) != 2 || a[0] != 12 || a[1] != 14 {
+		t.Errorf("BenchmarkMem allocs = %v, want [12 14]", a)
+	}
+	if a := got["BenchmarkNoMem"].Allocs; len(a) != 0 {
+		t.Errorf("BenchmarkNoMem allocs = %v, want none", a)
+	}
+	// Custom ReportMetric columns between ns/op and allocs/op must not
+	// confuse the parser.
+	if a := got["BenchmarkMetric"].Allocs; len(a) != 1 || a[0] != 3 {
+		t.Errorf("BenchmarkMetric allocs = %v, want [3]", a)
+	}
+}
+
+// A synthetic alloc regression with flat ns/op must trip the gate, and
+// staying inside both thresholds must not.
+func TestCompareGatesAllocs(t *testing.T) {
+	old := map[string]*samples{
+		"BenchmarkX": {Ns: []float64{100}, Allocs: []float64{100}},
+	}
+	flat := map[string]*samples{
+		"BenchmarkX": {Ns: []float64{101}, Allocs: []float64{130}},
+	}
+	rows, regressions := compare(old, flat, 15, 15)
+	if regressions != 1 || rows[0].Verdict != "regression(allocs)" {
+		t.Fatalf("alloc regression not gated: %d regressions, verdict %q", regressions, rows[0].Verdict)
+	}
+
+	ok := map[string]*samples{
+		"BenchmarkX": {Ns: []float64{101}, Allocs: []float64{110}},
+	}
+	if rows, regressions := compare(old, ok, 15, 15); regressions != 0 || rows[0].Verdict != "ok" {
+		t.Fatalf("within-threshold change gated: %d regressions, verdict %q", regressions, rows[0].Verdict)
+	}
+
+	// Both dimensions over threshold: one regression, combined verdict.
+	both := map[string]*samples{
+		"BenchmarkX": {Ns: []float64{150}, Allocs: []float64{150}},
+	}
+	if rows, regressions := compare(old, both, 15, 15); regressions != 1 || rows[0].Verdict != "regression(ns,allocs)" {
+		t.Fatalf("combined regression: %d regressions, verdict %q", regressions, rows[0].Verdict)
+	}
+}
+
+// A baseline without -benchmem must keep gating ns/op and never gate
+// allocs, whichever side lacks the samples.
+func TestCompareAllocsNeedBothSides(t *testing.T) {
+	old := map[string]*samples{"BenchmarkX": {Ns: []float64{100}}}
+	fresh := map[string]*samples{"BenchmarkX": {Ns: []float64{101}, Allocs: []float64{9999}}}
+	if _, regressions := compare(old, fresh, 15, 15); regressions != 0 {
+		t.Fatalf("allocs gated with no baseline samples: %d regressions", regressions)
+	}
+	if _, regressions := compare(fresh, old, 15, 15); regressions != 0 {
+		t.Fatalf("allocs gated with no candidate samples: %d regressions", regressions)
+	}
+}
+
+// A zero-alloc baseline that starts allocating is a regression at any
+// threshold.
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	old := map[string]*samples{"BenchmarkX": {Ns: []float64{100}, Allocs: []float64{0}}}
+	fresh := map[string]*samples{"BenchmarkX": {Ns: []float64{100}, Allocs: []float64{1}}}
+	if rows, regressions := compare(old, fresh, 15, 15); regressions != 1 || rows[0].Verdict != "regression(allocs)" {
+		t.Fatalf("zero-alloc baseline: %d regressions, verdict %q", regressions, rows[0].Verdict)
+	}
+	same := map[string]*samples{"BenchmarkX": {Ns: []float64{100}, Allocs: []float64{0}}}
+	if _, regressions := compare(old, same, 15, 15); regressions != 0 {
+		t.Fatalf("zero to zero gated: %d regressions", regressions)
 	}
 }
 
@@ -60,7 +142,7 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || len(got["BenchmarkFoo"]) != 1 {
+	if len(got) != 1 || len(got["BenchmarkFoo"].Ns) != 1 {
 		t.Errorf("parseBench with host line = %v", got)
 	}
 }

@@ -535,7 +535,13 @@ func checkSweep(n int, spec string, files []string) error {
 		// exercises the membal.rebalance fault site alongside the rest;
 		// the tight interval (one quantum) gets rebalance rounds even into
 		// runs that injected faults cut short.
-		vm, err := kaffeos.New(kaffeos.Config{Faults: plan, MemBudget: 48 << 20, MemBalInterval: 100_000})
+		// CodeCache (with the default jit-opt engine) puts the
+		// codecache.attach site on every process creation and module load,
+		// so the sweep injects into attach unwinds too.
+		vm, err := kaffeos.New(kaffeos.Config{
+			Faults: plan, MemBudget: 48 << 20, MemBalInterval: 100_000,
+			Engine: kaffeos.JITOpt, CodeCache: true,
+		})
 		if err != nil {
 			return err
 		}

@@ -23,13 +23,16 @@ func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "TCP listen address")
 	routes := fs.String("routes", "/zone0,/zone1,/zone2,/memhog:hog:1024",
-		"route spec: path[:hog|servlet|warm][:template][:lazy][:memKiB][:norestart], comma-separated")
+		"route spec: path[:hog|servlet|warm|wide][:template][:lazy][:memKiB][:norestart], comma-separated")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
 		"engine shards, one VM per shard (default GOMAXPROCS); tenants spread least-loaded")
 	work := fs.Int("work", 100, "per-request servlet work units")
 	queueMax := fs.Int("queue", 0, "per-tenant request queue bound (0 = default 64)")
 	inflight := fs.Int("inflight", 0, "per-tenant concurrent requests (0 = default 8)")
 	engine := fs.String("engine", "jit-opt", "execution engine: interp | jit | jit-opt")
+	codeCache := fs.Bool("codecache", false,
+		"share JIT-compiled code across tenant processes: one content-addressed\n"+
+			"artifact per (module, engine) pair, each sharer charged its full size")
 	faultSpec := fs.String("faults", "", `arm fault injection (e.g. "seed=7,serve.dispatch=@100")`)
 	telAddr := fs.String("http", "", "also serve the aggregated telemetry endpoint on this address")
 	spans := fs.Bool("spans", false, "record per-request cost spans (view at /spans or with kaffeos trace)")
@@ -73,7 +76,7 @@ func serveCmd(args []string) error {
 		}
 	}
 	srv, err := serve.NewSharded(
-		core.Config{Engine: core.EngineKind(*engine), Faults: plane},
+		core.Config{Engine: core.EngineKind(*engine), Faults: plane, CodeCache: *codeCache},
 		serve.Config{Shards: *shards, Place: serve.LeastLoaded, FlightDir: *flightDir, MemBudget: budget},
 		tenants)
 	if err != nil {
@@ -103,6 +106,8 @@ func serveCmd(args []string) error {
 			role = "memhog"
 		case tc.Warm:
 			role = "warm"
+		case tc.Wide:
+			role = "wide"
 		}
 		fmt.Fprintf(os.Stderr, "kaffeos:   %-16s %-8s shard %d\n", tc.Route, role, srv.ShardOf(tc.Route))
 	}

@@ -16,6 +16,8 @@
 //	                     # limits vs the memory controller under one budget
 //	servbench -net -coldstart                       # A/B: clinit cold starts vs
 //	                     # zygote forks, gated at a 10x median improvement
+//	servbench -net -codecache                       # A/B: private per-process JIT
+//	                     # vs the shared code cache, gated at a 3x median improvement
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 	coldstart := flag.Bool("coldstart", false, "-net: run the cold-start A/B (clinit init vs zygote fork) and gate on -coldstartmin")
 	trials := flag.Int("trials", 24, "-net -coldstart: scale-from-zero trials per arm")
 	coldstartMin := flag.Float64("coldstartmin", 10, "-net -coldstart: minimum median init/fork improvement ratio (0 disables the gate)")
+	codecache := flag.Bool("codecache", false, "-net: run the shared-code-cache A/B (private JIT per process vs shared artifacts) and gate on -codecachemin")
+	codecacheMin := flag.Float64("codecachemin", 3, "-net -codecache: minimum median private/shared improvement ratio (0 disables the gate)")
 	overcommit := flag.Bool("overcommit", false, "-net: run the overcommit A/B (static limits vs memory controller) under -membudget")
 	memBudget := flag.Uint64("membudget", 12<<20, "-net -overcommit: global tenant memory budget in bytes")
 	csv := flag.Bool("csv", false, "CSV output")
@@ -51,6 +55,8 @@ func main() {
 	switch {
 	case *net && *coldstart:
 		err = coldstartBench(*trials, *shards, *jsonPath, *coldstartMin)
+	case *net && *codecache:
+		err = codecacheBench(*trials, *shards, *jsonPath, *codecacheMin)
 	case *net && *overcommit:
 		n := *requests
 		if n == 60 && !flagSet("requests") {

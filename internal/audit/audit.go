@@ -19,7 +19,9 @@
 //     source heaps holding a matching exit;
 //   - memory charged to every memlimit equals the memory attributable to it:
 //     heap bytes + standing lease + entry/exit item bytes + shared-heap
-//     attach charges, after subtracting child reservations;
+//     attach charges + code-cache charges (full artifact size per sharer,
+//     plus residency on the cache's base limit), after subtracting child
+//     reservations;
 //   - every mapped page is owned by a live heap, and each heap's chunk list
 //     covers exactly the pages the table says it owns;
 //   - (graph mode) every cross-heap reference in the object graph is backed
@@ -52,6 +54,16 @@ type World struct {
 	Limits *memlimit.Node
 	Pages  map[uint64]vmaddr.HeapID
 	Shared []shared.ChargeInfo
+	// Code is the shared-code-cache charge table (empty when the cache
+	// is off). Every sharer owes Size; the cache's base limit owes Size
+	// per resident artifact (code has no heap backing — the modeled
+	// bytes live only in the memlimit tree). The type is local rather
+	// than codecache.ChargeInfo so the auditor — which fault-injection
+	// tests pull into low-level packages — does not transitively import
+	// the execution engine.
+	Code []CodeCharge
+	// CodeLimit is the cache's base limit (nil when the cache is off).
+	CodeLimit *memlimit.Limit
 	// KernelID identifies the kernel heap.
 	KernelID vmaddr.HeapID
 	// LivePids, when non-nil, is the set of processes not yet reclaimed;
@@ -60,6 +72,15 @@ type World struct {
 	// TemplatePids, when non-nil, is the set of registered process
 	// templates; template heaps must belong to one of them.
 	TemplatePids map[int32]bool
+}
+
+// CodeCharge mirrors codecache.ChargeInfo: one resident artifact's
+// charge state at the snapshot instant.
+type CodeCharge struct {
+	Name    string
+	Variant string
+	Size    uint64
+	Sharers []*memlimit.Limit
 }
 
 // Options selects optional checks.
@@ -327,6 +348,17 @@ func (c *checker) checkLimits() {
 		for _, lim := range ci.Sharers {
 			expected[lim] += ci.Size
 		}
+	}
+	for _, ci := range c.w.Code {
+		for _, lim := range ci.Sharers {
+			expected[lim] += ci.Size
+		}
+		if c.w.CodeLimit == nil {
+			c.fail("code-limit", "code artifact %q (%s) is resident but the cache has no base limit",
+				ci.Name, ci.Variant)
+			continue
+		}
+		expected[c.w.CodeLimit] += ci.Size
 	}
 	known := make(map[*memlimit.Limit]bool)
 	var walk func(n *memlimit.Node)

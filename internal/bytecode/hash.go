@@ -1,0 +1,124 @@
+package bytecode
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+)
+
+// Hash returns a canonical content hash of the module: every semantic
+// field of every class, in definition order, serialized unambiguously
+// (length-prefixed strings, fixed-width integers, per-section tags so
+// adjacent sections cannot alias). Two modules hash equal iff a loader
+// would build identical namespaces from them, which makes the hash a
+// safe content address for the shared code cache: processes that load
+// byte-identical modules may share one compiled artifact.
+//
+// Class order matters deliberately — the loader defines classes in
+// module order and clinit queueing follows it — so reordered classes
+// are a different module.
+// The digest is memoized on first use (modules are read-only once built;
+// see the Module doc), so per-process cache attaches pay a map lookup,
+// not a rehash of every instruction.
+func (m *Module) Hash() [32]byte {
+	m.hashOnce.Do(func() { m.hash = m.computeHash() })
+	return m.hash
+}
+
+func (m *Module) computeHash() [32]byte {
+	h := sha256.New()
+	w := hashWriter{h: h}
+	w.uvarint(uint64(len(m.Classes)))
+	for _, c := range m.Classes {
+		w.tag('C')
+		w.str(c.Name)
+		w.str(c.Super)
+		w.uvarint(uint64(len(c.Fields)))
+		for _, f := range c.Fields {
+			w.tag('F')
+			w.str(f.Name)
+			w.str(f.Desc)
+			w.bool(f.Static)
+		}
+		w.uvarint(uint64(len(c.Methods)))
+		for _, md := range c.Methods {
+			w.tag('M')
+			w.str(md.Name)
+			w.str(md.Sig)
+			w.bool(md.Static)
+			w.uvarint(uint64(md.MaxStack))
+			w.uvarint(uint64(md.MaxLocals))
+			if md.Code == nil {
+				w.tag('n') // native: no body
+				continue
+			}
+			w.tag('b')
+			w.uvarint(uint64(len(md.Code.Instrs)))
+			for _, in := range md.Code.Instrs {
+				w.u64(uint64(in.Op))
+				w.u64(uint64(uint32(in.A)))
+				w.u64(uint64(uint32(in.B)))
+			}
+			w.uvarint(uint64(len(md.Code.Consts)))
+			for _, k := range md.Code.Consts {
+				w.tag('k')
+				w.u64(uint64(k.Kind))
+				w.u64(uint64(k.I))
+				w.u64(floatBits(k.D))
+				w.str(k.S)
+				w.str(k.Class)
+				w.str(k.Name)
+				w.str(k.Sig)
+			}
+			w.uvarint(uint64(len(md.Code.Handlers)))
+			for _, hd := range md.Code.Handlers {
+				w.tag('h')
+				w.uvarint(uint64(hd.Start))
+				w.uvarint(uint64(hd.End))
+				w.uvarint(uint64(hd.PC))
+				w.str(hd.Type)
+			}
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// hashWriter serializes canonical primitives into a hash. Writes to a
+// hash.Hash never fail, so errors are ignored by design.
+type hashWriter struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *hashWriter) tag(b byte) { w.h.Write([]byte{b}) }
+
+func (w *hashWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.h.Write(w.buf[:n])
+}
+
+func (w *hashWriter) u64(v uint64) {
+	binary.BigEndian.PutUint64(w.buf[:8], v)
+	w.h.Write(w.buf[:8])
+}
+
+func (w *hashWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *hashWriter) bool(b bool) {
+	if b {
+		w.tag(1)
+	} else {
+		w.tag(0)
+	}
+}
+
+// floatBits canonicalizes the double constant's bit pattern (the only
+// float in the format); distinct NaN payloads survive, which is fine —
+// the assembler only ever produces one.
+func floatBits(d float64) uint64 { return math.Float64bits(d) }

@@ -3,13 +3,20 @@ package bytecode
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Module is a linkable unit: the output of the assembler and the input to a
 // class loader. It is pure data — no runtime state — so one Module can be
-// defined into any number of namespaces.
+// defined into any number of namespaces. A module must not be mutated
+// after its first Hash call: the content hash is memoized (the shared
+// code cache keys every load by it, and rehashing a large module per
+// process would dominate the attach it exists to make cheap).
 type Module struct {
 	Classes []*ClassDef
+
+	hashOnce sync.Once
+	hash     [32]byte
 }
 
 // ClassDef describes one class symbolically.

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/codecache"
+	"repro/internal/object"
+)
+
+// The shared-code-cache wiring: module load, fork, checkpoint, and
+// reclamation all pass through here. Compiled bodies are relocatable
+// (see internal/interp/jit.go), so the first namespace to load a module
+// compiles it once and every later namespace installs the same
+// immutable artifact — paying an attach (a full-size memlimit debit,
+// the paper's full-charging rule) instead of a compile.
+
+// moduleClasses resolves the module's class definitions in p's
+// namespace, in definition order.
+func (p *Process) moduleClasses(m *bytecode.Module) ([]*object.Class, error) {
+	classes := make([]*object.Class, 0, len(m.Classes))
+	for _, def := range m.Classes {
+		c, err := p.Loader.Class(def.Name)
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, c)
+	}
+	return classes, nil
+}
+
+// moduleLabel names an artifact for ps/metrics: the module's first
+// class (modules are anonymous linkable units).
+func moduleLabel(m *bytecode.Module) string {
+	if len(m.Classes) > 0 {
+		return m.Classes[0].Name
+	}
+	return "(empty)"
+}
+
+// defineModule defines m into p's namespace. When the cache already
+// holds an artifact for this exact content under the VM's engine
+// variant, the per-process verification pass is skipped: the key is the
+// module hash, so a resident artifact is proof that byte-identical
+// bytecode verified (and compiled) once already. Verification is a
+// property of the content, not the namespace — re-proving it per
+// process would dominate exactly the cold starts the cache exists to
+// shorten.
+func (vm *VM) defineModule(p *Process, m *bytecode.Module) error {
+	if vm.CodeMgr != nil &&
+		vm.CodeMgr.Peek(codecache.Key{ModuleHash: m.Hash(), Variant: vm.engineJIT.Variant()}) {
+		return p.Loader.DefinePreverified(m)
+	}
+	return p.Loader.DefineModule(m)
+}
+
+// attachCachedCode fetches (or compiles and inserts) the module's
+// artifact for the VM's engine configuration, charges p the full
+// artifact size, and seeds p's namespace with the compiled bodies. A
+// no-op when the cache is off or the engine does not compile. On any
+// failure — memlimit too small for the artifact, codecache.attach
+// fault — nothing stays charged and no sharer is recorded; the caller
+// decides whether the load survives without cached code.
+func (vm *VM) attachCachedCode(p *Process, m *bytecode.Module) error {
+	if vm.CodeMgr == nil {
+		return nil
+	}
+	key := codecache.Key{ModuleHash: m.Hash(), Variant: vm.engineJIT.Variant()}
+	classes, err := p.moduleClasses(m)
+	if err != nil {
+		return err
+	}
+	a, ok := vm.CodeMgr.Lookup(key)
+	if !ok {
+		prog, cerr := vm.engineJIT.CompileProgram(classes)
+		if cerr != nil {
+			return cerr
+		}
+		a, err = vm.CodeMgr.Insert(key, moduleLabel(m), prog)
+		if err != nil {
+			return err
+		}
+	}
+	if err := vm.CodeMgr.Attach(a, p, p.Limit); err != nil {
+		return err
+	}
+	vm.engineJIT.InstallProgram(a.Program, classes)
+	return nil
+}
+
+// detachCachedCode credits back every artifact charge who (a process or
+// template) holds — termination, creation failure, fork unwind.
+func (vm *VM) detachCachedCode(who any) {
+	if vm.CodeMgr != nil {
+		vm.CodeMgr.DetachAll(who)
+	}
+}
+
+// attachTemplateCode gives the template its own handle on each of its
+// modules' artifacts, charged to the template's limit: the zygote's
+// compiled code stays resident — structurally unevictable — for as long
+// as the template lives, so forks share it even after the origin dies.
+// Modules with no resident artifact (cache miss after an eviction race)
+// are skipped; forks fall back to compiling.
+func (vm *VM) attachTemplateCode(t *Template) error {
+	if vm.CodeMgr == nil {
+		return nil
+	}
+	for _, m := range t.modules {
+		key := codecache.Key{ModuleHash: m.Hash(), Variant: vm.engineJIT.Variant()}
+		a, ok := vm.CodeMgr.Lookup(key)
+		if !ok {
+			continue
+		}
+		if err := vm.CodeMgr.Attach(a, t, t.Limit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// codeBytesFor reports p's code-cache residency (ps/top CODE column).
+func (vm *VM) codeBytesFor(who any) uint64 {
+	if vm.CodeMgr == nil {
+		return 0
+	}
+	return vm.CodeMgr.BytesFor(who)
+}

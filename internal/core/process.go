@@ -191,7 +191,7 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 	p.Loader = loader.NewProcess(fmt.Sprintf("%s#%d", name, pid), p.Heap, vm.Shared)
 	p.Loader.RegisterNatives(vm.Lib.Natives, vm.Lib.Kernel)
 
-	if err := p.Loader.DefineModule(vm.Lib.ReloadedModule); err != nil {
+	if err := vm.defineModule(p, vm.Lib.ReloadedModule); err != nil {
 		p.releaseEarly()
 		return nil, fmt.Errorf("core: reloaded library for %q: %w", name, err)
 	}
@@ -200,6 +200,10 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 		return nil, fmt.Errorf("core: library clinit for %q: %w", name, err)
 	}
 	p.modules = append(p.modules, vm.Lib.ReloadedModule)
+	if err := vm.attachCachedCode(p, vm.Lib.ReloadedModule); err != nil {
+		p.releaseEarly()
+		return nil, fmt.Errorf("core: code cache for %q: %w", name, err)
+	}
 
 	vm.mu.Lock()
 	vm.procs[pid] = p
@@ -210,6 +214,7 @@ func (vm *VM) NewProcess(name string, opts ProcessOptions) (*Process, error) {
 // releaseEarly tears down a half-built process (creation failure).
 func (p *Process) releaseEarly() {
 	p.reclaiming.Store(true)
+	p.VM.detachCachedCode(p)
 	_ = p.Heap.MergeInto(p.VM.KernelHeap)
 	p.Limit.Release()
 	p.state.Store(uint32(ProcReclaimed))
@@ -302,7 +307,7 @@ func (p *Process) Load(m *bytecode.Module) error {
 	if s := p.State(); s != ProcRunning {
 		return fmt.Errorf("core: load into %s process", s)
 	}
-	if err := p.Loader.DefineModule(m); err != nil {
+	if err := p.VM.defineModule(p, m); err != nil {
 		return err
 	}
 	if err := p.VM.runClinits(p, p.Loader.PendingClinits()); err != nil {
@@ -311,6 +316,14 @@ func (p *Process) Load(m *bytecode.Module) error {
 	p.mu.Lock()
 	p.modules = append(p.modules, m)
 	p.mu.Unlock()
+	// Attach (or compile into) the shared code cache last: the module is
+	// already defined and recorded, so a failed attach — memlimit, or
+	// the codecache.attach fault site — leaves a consistent namespace
+	// with no cached code and no residual charge; the error tells the
+	// caller the load did not complete as configured.
+	if err := p.VM.attachCachedCode(p, m); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -511,6 +524,7 @@ func (p *Process) reclaim() {
 	vm := p.VM
 	vm.SharedMgr.DetachAll(p)
 	vm.SharedMgr.UnfrozenOwnedBy(p.Limit, vm.KernelHeap)
+	vm.detachCachedCode(p)
 	p.intern = make(map[string]*object.Object)
 	p.Loader.Unload()
 	merged := p.Heap.Bytes()

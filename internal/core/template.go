@@ -127,6 +127,7 @@ func (vm *VM) Checkpoint(p *Process, name string) (*Template, error) {
 	p.mu.Unlock()
 
 	unwind := func(err error) (*Template, error) {
+		vm.detachCachedCode(t)
 		_ = t.Heap.Destroy()
 		lim.Release()
 		if vm.Tel != nil {
@@ -160,6 +161,13 @@ func (vm *VM) Checkpoint(p *Process, name string) (*Template, error) {
 		if cp, ok := copies[o]; ok {
 			t.intern[s] = cp
 		}
+	}
+
+	// Pin the origin's compiled code before the residency cap is fixed:
+	// the template's limit is charged the full size of each artifact, so
+	// SetMax below covers heap bytes + code charges together.
+	if err := vm.attachTemplateCode(t); err != nil {
+		return unwind(fmt.Errorf("core: checkpoint of process %d: %w", p.ID, err))
 	}
 
 	t.Heap.Freeze()
@@ -247,6 +255,7 @@ func (t *Template) Fork(name string, opts ProcessOptions) (*Process, error) {
 	p.Loader.RegisterNatives(vm.Lib.Natives, vm.Lib.Kernel)
 
 	unwind := func(err error) (*Process, error) {
+		vm.detachCachedCode(p)
 		_ = p.Heap.Destroy()
 		lim.Release()
 		p.reclaiming.Store(true)
@@ -307,6 +316,16 @@ func (t *Template) Fork(name string, opts ProcessOptions) (*Process, error) {
 	p.modules = append(p.modules, t.modules...)
 	p.mu.Unlock()
 
+	// Share the zygote's compiled code: each module's artifact is still
+	// resident (the template holds a handle), so this attaches and
+	// installs instead of compiling — the clone pays a memlimit debit,
+	// not a JIT pass.
+	for _, m := range t.modules {
+		if err := vm.attachCachedCode(p, m); err != nil {
+			return unwind(fmt.Errorf("core: fork from template %q: %w", t.Name, err))
+		}
+	}
+
 	vm.mu.Lock()
 	vm.procs[pid] = p
 	vm.mu.Unlock()
@@ -337,6 +356,7 @@ func (t *Template) Release() error {
 	if err := t.Heap.Destroy(); err != nil {
 		return fmt.Errorf("core: release of template %q: %w", t.Name, err)
 	}
+	t.VM.detachCachedCode(t)
 	t.Limit.Release()
 	t.released = true
 	vm := t.VM

@@ -22,6 +22,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/bytecode"
 	"repro/internal/classlib"
+	"repro/internal/codecache"
 	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/interp"
@@ -107,6 +108,14 @@ type Config struct {
 	// MemBalInterval is the controller period in virtual cycles
 	// (default 500k = 1 virtual ms).
 	MemBalInterval uint64
+	// CodeCache enables the shared JIT code cache (internal/codecache):
+	// modules are compiled once per engine configuration and the
+	// immutable artifact is shared read-only by every process loading
+	// identical bytecode, each sharer charged the full artifact size
+	// (the paper's full-charging rule applied to code residency).
+	// Interpreter engines compile nothing, so the cache is a no-op for
+	// them. Off by default.
+	CodeCache bool
 	// Stdout is where process output goes unless a process overrides it.
 	Stdout io.Writer
 	// Telemetry, when set, is used instead of a freshly-created hub —
@@ -167,15 +176,22 @@ type VM struct {
 	KernelHeap *heap.Heap
 	Shared     *loader.Loader
 	SharedMgr  *shared.Manager
-	Sched      *sched.Scheduler
-	Lib        *classlib.Library
-	Env        *interp.Env
-	Stats      *barrier.Stats
+	// CodeMgr is the shared JIT code cache (nil unless Cfg.CodeCache is
+	// set and the engine compiles).
+	CodeMgr *codecache.Manager
+	Sched   *sched.Scheduler
+	Lib     *classlib.Library
+	Env     *interp.Env
+	Stats   *barrier.Stats
 	// Tel routes every subsystem's telemetry: metrics update always, the
 	// event ring fills only while tracing is enabled.
 	Tel *telemetry.Hub
 
 	engine interp.Engine
+	// engineJIT is the engine downcast to the closure compiler when it
+	// is one (the code-cache compile/install path needs its Variant and
+	// Program surface); nil for interpreter engines.
+	engineJIT *interp.JIT
 
 	// ctl is the MemBalancer controller (nil unless Cfg.MemBudget is
 	// set). It and lastRebalance are touched only by the goroutine
@@ -239,11 +255,27 @@ func NewVM(cfg Config) (*VM, error) {
 	case EngineInterp, EngineInterpSpill:
 		vm.engine = interp.Interpreter{}
 	case EngineJIT:
-		vm.engine = &interp.JIT{}
+		vm.engineJIT = &interp.JIT{}
+		vm.engine = vm.engineJIT
 	case EngineJITOpt:
-		vm.engine = &interp.JIT{Fused: true, InlineCache: true}
+		vm.engineJIT = &interp.JIT{Fused: true, InlineCache: true}
+		vm.engine = vm.engineJIT
 	default:
 		return nil, fmt.Errorf("core: unknown engine %q", cfg.Engine)
+	}
+
+	if cfg.CodeCache && vm.engineJIT != nil {
+		// The cache's residency lives under its own soft child of the
+		// root, mirroring the shared-heap base: artifacts are kernel
+		// state, charged to no process (sharers additionally pay full
+		// size against their own limits on attach).
+		codeBase, err := vm.RootLimit.NewChild("codecache", memlimit.Unlimited, false)
+		if err != nil {
+			return nil, err
+		}
+		vm.CodeMgr = codecache.NewManager(codeBase)
+		vm.CodeMgr.Metrics = vm.Tel.Reg.Kernel()
+		vm.CodeMgr.Faults = cfg.Faults
 	}
 
 	vm.Lib = classlib.New()
@@ -583,6 +615,20 @@ func (vm *VM) Rebalance() []membal.Applied {
 			vm.Tel.Reg.Proc(a.ID).Gauge(telemetry.MMemLimit).Set(a.Max)
 		}
 	}
+	// Kernel memory pressure evicts orphaned code artifacts: when the
+	// processes' live bytes plus the cache's residency overrun the
+	// controller's budget, zero-sharer artifacts are dropped (artifacts
+	// with live sharers are never touched — a process' installed code
+	// cannot vanish underneath it).
+	if vm.CodeMgr != nil {
+		var live uint64
+		for _, t := range targets {
+			live += t.Live
+		}
+		if live+vm.CodeMgr.ResidentBytes() > vm.Cfg.MemBudget {
+			vm.CodeMgr.EvictOrphans()
+		}
+	}
 	return applied
 }
 
@@ -632,15 +678,15 @@ func (vm *VM) KernelGCs() uint64 {
 // goroutine while the VM runs; live fields (state, threads, heap bytes)
 // are joined in for processes still in the table.
 func (vm *VM) Snapshot() telemetry.Snapshot {
-	rows := vm.Tel.Reg.Rows(func(pid int32) (string, int, uint64, uint64, bool) {
+	rows := vm.Tel.Reg.Rows(func(pid int32) (string, int, uint64, uint64, uint64, bool) {
 		p, ok := vm.Process(Pid(pid))
 		if !ok {
 			if t, tok := vm.Template(Pid(pid)); tok {
-				return "template", 0, t.Heap.Bytes(), t.Limit.Use(), true
+				return "template", 0, t.Heap.Bytes(), t.Limit.Use(), vm.codeBytesFor(t), true
 			}
-			return "", 0, 0, 0, false
+			return "", 0, 0, 0, 0, false
 		}
-		return p.State().String(), p.Threads(), p.HeapBytes(), p.MemUse(), true
+		return p.State().String(), p.Threads(), p.HeapBytes(), p.MemUse(), vm.codeBytesFor(p), true
 	})
 	return telemetry.Snapshot{
 		NowCycles:    vm.Sched.Now(),

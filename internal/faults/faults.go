@@ -75,6 +75,11 @@ const (
 	// half-built heap must unwind to zero residual charges, pages, and
 	// entry/exit items (`fork.copy=@N`).
 	SiteForkCopy
+	// SiteCodeAttach: attaching a shared code-cache artifact to a process
+	// fails mid-attach — after the memlimit debit would have happened but
+	// before the sharer is recorded — and the attach must unwind to zero
+	// leaked bytes and zero refcounts (`codecache.attach=@N`).
+	SiteCodeAttach
 
 	numSites
 )
@@ -94,6 +99,7 @@ var siteNames = [numSites]string{
 	SiteServeDispatch: "serve.dispatch",
 	SiteMemBalance:    "membal.rebalance",
 	SiteForkCopy:      "fork.copy",
+	SiteCodeAttach:    "codecache.attach",
 }
 
 func (s Site) String() string {

@@ -18,6 +18,15 @@ package interp
 // host wall-clock time, not the virtual machine's cost model — so CPU
 // accounting and the servlet experiment's virtual clock are engine-
 // independent, while Figure 3's wall-clock spread emerges naturally.
+//
+// Compiled bodies are relocatable: closures never capture namespace-bound
+// pointers (classes, fields, resolved methods). Anything that differs
+// between two processes that defined the same module is re-derived at run
+// time through the executing frame's own link table (f.M.Links[idx]), so
+// one compiled artifact can be installed into every process that loads
+// the module (internal/codecache). Only values that are deterministic per
+// identical ClassDef — field slots, branch targets, argument counts,
+// constants, cycle costs — are captured at compile time.
 
 import (
 	"fmt"
@@ -425,9 +434,9 @@ func (j *JIT) compileOne(m *object.Method, pc int) (closure, error) {
 		}, nil
 
 	case bytecode.NEW:
-		c := m.Links[in.A].Class
+		idx := in.A
 		return func(t *Thread, f *Frame) control {
-			o, err := t.Env.AllocObject(t, c)
+			o, err := t.Env.AllocObject(t, f.M.Links[idx].Class)
 			if err != nil {
 				return jitFault(t, err)
 			}
@@ -435,13 +444,13 @@ func (j *JIT) compileOne(m *object.Method, pc int) (closure, error) {
 			return ctlNext
 		}, nil
 	case bytecode.NEWARRAY:
-		c := m.Links[in.A].Class
+		idx := in.A
 		return func(t *Thread, f *Frame) control {
 			n := f.pop().I
 			if n < 0 {
 				return jitThrow(t, ClsNegativeArraySize, fmt.Sprintf("%d", n))
 			}
-			o, err := t.Env.AllocArray(t, c, int(n))
+			o, err := t.Env.AllocArray(t, f.M.Links[idx].Class, int(n))
 			if err != nil {
 				return jitFault(t, err)
 			}
@@ -537,8 +546,9 @@ func (j *JIT) compileOne(m *object.Method, pc int) (closure, error) {
 			return ctlNext
 		}, nil
 	case bytecode.GETSTATIC:
-		fl := m.Links[in.A].Field
+		idx := in.A
 		return func(t *Thread, f *Frame) control {
+			fl := f.M.Links[idx].Field
 			st := fl.Class.Statics
 			if fl.Ref {
 				f.push(RefSlot(st.Refs[fl.Slot]))
@@ -548,8 +558,9 @@ func (j *JIT) compileOne(m *object.Method, pc int) (closure, error) {
 			return ctlNext
 		}, nil
 	case bytecode.PUTSTATIC:
-		fl := m.Links[in.A].Field
+		idx := in.A
 		return func(t *Thread, f *Frame) control {
+			fl := f.M.Links[idx].Field
 			st := fl.Class.Statics
 			v := f.pop()
 			if fl.Ref {
@@ -564,8 +575,9 @@ func (j *JIT) compileOne(m *object.Method, pc int) (closure, error) {
 		}, nil
 
 	case bytecode.INSTANCEOF:
-		c := m.Links[in.A].Class
+		idx := in.A
 		return func(t *Thread, f *Frame) control {
+			c := f.M.Links[idx].Class
 			o := f.pop().R
 			if o != nil && c.AssignableFrom(o.Class) {
 				f.push(IntSlot(1))
@@ -575,8 +587,9 @@ func (j *JIT) compileOne(m *object.Method, pc int) (closure, error) {
 			return ctlNext
 		}, nil
 	case bytecode.CHECKCAST:
-		c := m.Links[in.A].Class
+		idx := in.A
 		return func(t *Thread, f *Frame) control {
+			c := f.M.Links[idx].Class
 			o := f.top().R
 			if o != nil && !c.AssignableFrom(o.Class) {
 				return jitThrow(t, ClsClassCast, o.Class.Name+" -> "+c.Name)
@@ -648,29 +661,39 @@ func (j *JIT) compileOne(m *object.Method, pc int) (closure, error) {
 }
 
 // compileInvoke builds the call closure, with an optional monomorphic
-// inline cache for virtual sites.
+// inline cache for virtual sites. The resolved callee is re-derived from
+// the executing frame's link table at run time; only scalars that are
+// identical for every namespace defining the same module (argument count,
+// vtable presence, name) are captured, keeping the closure relocatable.
+// The inline cache still works across processes: it is keyed on the
+// receiver's class pointer, so a clone's first call through a shared
+// site simply misses and refills.
 func (j *JIT) compileInvoke(m *object.Method, pc int) closure {
 	in := m.Code.Instrs[pc]
-	callee := m.Links[in.A].Method
+	idx := in.A
+	callee := m.Links[idx].Method
 	static := in.Op == bytecode.INVOKESTATIC
 	virtual := in.Op == bytecode.INVOKEVIRTUAL
 	nargs := callee.NArgs
 	if !static {
 		nargs++
 	}
+	name := callee.Name
+	hasVIdx := callee.VIndex >= 0
 	var cache inlineCacheSite
-	useIC := j.InlineCache && virtual && callee.VIndex >= 0
+	useIC := j.InlineCache && virtual && hasVIdx
 
 	return func(t *Thread, f *Frame) control {
+		callee := f.M.Links[idx].Method
 		target := callee
 		if !static {
 			recv := f.Stack[f.SP-nargs].R
 			if recv == nil {
 				f.SP -= nargs
 				f.clearAbove()
-				return jitThrow(t, ClsNullPointer, "invoke "+callee.Name)
+				return jitThrow(t, ClsNullPointer, "invoke "+name)
 			}
-			if virtual && callee.VIndex >= 0 {
+			if virtual && hasVIdx {
 				if useIC && cache.class == recv.Class {
 					target = cache.method
 				} else {

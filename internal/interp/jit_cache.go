@@ -1,0 +1,124 @@
+package interp
+
+// The bridge between the closure engine and the shared code cache
+// (internal/codecache): compiled bodies are relocatable (see jit.go), so
+// a module compiled once can be installed into every process namespace
+// that defines the same bytecode. This file exports just enough surface
+// for the cache to hold and re-seed compilations without exposing the
+// closure machinery itself.
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+)
+
+// Variant names one engine configuration for cache keying. Name()
+// collapses both optimizing flags into "jit-opt" for display; the cache
+// key must distinguish them, because a fused body and a plain body are
+// different artifacts.
+func (j *JIT) Variant() string {
+	v := "jit"
+	if j.Fused {
+		v += "+fuse"
+	}
+	if j.InlineCache {
+		v += "+ic"
+	}
+	return v
+}
+
+// Artifact size accounting. Go gives no way to measure a closure graph's
+// real footprint, so the cache charges a deterministic model instead:
+// a fixed overhead per compiled method plus a per-instruction closure
+// cost. Determinism is the point — every sharer is charged the same
+// size, and the auditor can reconcile charges exactly.
+const (
+	artifactMethodBytes = 256
+	artifactInstrBytes  = 96
+)
+
+// Program is one module compiled for one engine configuration: an
+// immutable set of relocatable method bodies, keyed by class-qualified
+// method signature. It is created once by CompileProgram and installed
+// read-only into any number of process namespaces.
+type Program struct {
+	bodies map[string]*compiled
+	size   uint64
+}
+
+// Size reports the modeled resident size of the artifact in bytes.
+func (p *Program) Size() uint64 { return p.size }
+
+// NumMethods reports how many method bodies the artifact holds.
+func (p *Program) NumMethods() int { return len(p.bodies) }
+
+func methodKey(c *object.Class, m *object.Method) string {
+	return c.Name + "." + m.Name + m.Sig
+}
+
+// SyntheticProgram builds a bodiless placeholder sized like a real
+// artifact of the given shape, for cache-accounting tests and
+// benchmarks that attach but never execute it.
+func SyntheticProgram(methods, instrs int) *Program {
+	return &Program{
+		bodies: make(map[string]*compiled),
+		size:   uint64(methods)*artifactMethodBytes + uint64(instrs)*artifactInstrBytes,
+	}
+}
+
+// CompileProgram compiles every bytecode-bearing method of the given
+// classes into one relocatable Program. The classes come from whichever
+// namespace compiles first; because the bodies capture no namespace-bound
+// pointers, the result is valid for any namespace defining identical
+// bytecode.
+func (j *JIT) CompileProgram(classes []*object.Class) (*Program, error) {
+	p := &Program{bodies: make(map[string]*compiled)}
+	for _, c := range classes {
+		for _, m := range c.Methods {
+			if m.Code == nil {
+				continue
+			}
+			body, err := j.compile(m)
+			if err != nil {
+				return nil, fmt.Errorf("interp: compile %s: %w", methodKey(c, m), err)
+			}
+			p.bodies[methodKey(c, m)] = body
+			p.size += artifactMethodBytes + artifactInstrBytes*uint64(len(m.Code.Instrs))
+		}
+	}
+	return p, nil
+}
+
+// InstallProgram seeds the per-method compilation caches of the given
+// classes with the Program's bodies, so bodyFor hits without compiling.
+// Methods the Program does not cover (or that already carry a body for
+// this configuration) are left alone. Returns the number of bodies
+// installed.
+func (j *JIT) InstallProgram(p *Program, classes []*object.Class) int {
+	key := jitKey{j.Fused, j.InlineCache}
+	jitMu.Lock()
+	defer jitMu.Unlock()
+	installed := 0
+	for _, c := range classes {
+		for _, m := range c.Methods {
+			if m.Code == nil {
+				continue
+			}
+			body, ok := p.bodies[methodKey(c, m)]
+			if !ok {
+				continue
+			}
+			cache, _ := m.Compiled.(map[jitKey]*compiled)
+			if cache == nil {
+				cache = make(map[jitKey]*compiled)
+				m.Compiled = cache
+			}
+			if _, exists := cache[key]; !exists {
+				cache[key] = body
+				installed++
+			}
+		}
+	}
+	return installed
+}

@@ -1,6 +1,12 @@
 package jserv
 
-import "repro/internal/bytecode"
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/bytecode"
+)
 
 // This file holds the request-driven servlet programs used by the network
 // serving plane (internal/serve). Unlike servletSource/memHogSource above —
@@ -20,6 +26,7 @@ const (
 	NetServletClass = "jserv/NetServlet"
 	NetHogClass     = "jserv/NetHog"
 	NetWarmClass    = "jserv/NetWarm"
+	NetWideClass    = "jserv/NetWide"
 	KeeperClass     = "jserv/Keeper"
 )
 
@@ -207,6 +214,66 @@ OUT:	iload 3
 .end
 .end`
 
+// The compile-heavy servlet: NetWarm's dual. Where NetWarm makes cold
+// starts expensive by running bytecode (a long <clinit> the template/fork
+// path amortizes), NetWide makes them expensive by *compiling* bytecode —
+// many straight-line stage methods the JIT must translate before the
+// first request answers, with no clinit at all. That is the cost the
+// shared code cache (internal/codecache) eliminates: the first loader
+// compiles the module once into an immutable artifact, every later tenant
+// attaches and serves its first request without compiling anything.
+const (
+	// wideStages is how many stage methods handle() chains through.
+	wideStages = 96
+	// wideRounds is the mix rounds per stage, 6 instructions each.
+	wideRounds = 20
+)
+
+// netWideSource generates the NetWide assembly. handle([II)I folds the
+// request length and work units through every stage; selftest()I drives
+// the same surface without a marshalled request, for benchmarks.
+func netWideSource() string {
+	var b strings.Builder
+	b.WriteString(".class jserv/NetWide\n")
+
+	b.WriteString(".method handle ([II)I static\n.locals 3\n.stack 2\n")
+	b.WriteString("# locals: 0=request array, 1=work units, 2=acc\n")
+	b.WriteString("\taload 0\n\tarraylength\n\tiload 1\n\tiadd\n\tistore 2\n")
+	for i := 0; i < wideStages; i++ {
+		fmt.Fprintf(&b, "\tiload 2\n\tinvokestatic jserv/NetWide.stage%d (I)I\n\tistore 2\n", i)
+	}
+	b.WriteString("\tiload 2\n\tireturn\n.end\n")
+
+	b.WriteString(".method selftest ()I static\n.locals 1\n.stack 2\n")
+	b.WriteString("\ticonst 1\n\tistore 0\n")
+	for i := 0; i < wideStages; i++ {
+		fmt.Fprintf(&b, "\tiload 0\n\tinvokestatic jserv/NetWide.stage%d (I)I\n\tistore 0\n", i)
+	}
+	b.WriteString("\tiload 0\n\tireturn\n.end\n")
+
+	for i := 0; i < wideStages; i++ {
+		fmt.Fprintf(&b, ".method stage%d (I)I static\n.locals 1\n.stack 2\n\tiload 0\n", i)
+		for r := 0; r < wideRounds; r++ {
+			fmt.Fprintf(&b, "\tldc %d\n\timul\n\tldc %d\n\tiadd\n\tldc 16777215\n\tiand\n",
+				31+2*(i%7), 1+(i+r)%13)
+		}
+		b.WriteString("\tireturn\n.end\n")
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+// The generated module is memoized: it is large (~12k instructions), the
+// source never varies, and modules are read-only to loaders, so every
+// tenant — and every process in the go benchmarks — can define from the
+// same one. Assembling per incarnation would also bill module parsing to
+// both arms of the codecache A/B, diluting the compile-cost signal the
+// workload exists to expose.
+var (
+	wideOnce   sync.Once
+	wideModule *bytecode.Module
+)
+
 // keeperSource is the per-tenant resident thread: it only sleeps, keeping
 // the process alive between requests (a process whose last thread exits is
 // reclaimed by the kernel). The serving plane spawns it as a daemon thread
@@ -232,6 +299,14 @@ func NetHogModule() *bytecode.Module { return bytecode.MustAssemble(netHogSource
 // table whose construction dominates cold start, built for the
 // template/fork serving path.
 func NetWarmModule() *bytecode.Module { return bytecode.MustAssemble(netWarmSource) }
+
+// NetWideModule returns the compile-heavy servlet: a wide, clinit-free
+// method surface whose per-process JIT cost dominates cold start — the
+// workload the shared code cache is for.
+func NetWideModule() *bytecode.Module {
+	wideOnce.Do(func() { wideModule = bytecode.MustAssemble(netWideSource()) })
+	return wideModule
+}
 
 // KeeperModule returns the keep-alive program the serving plane loads into
 // every tenant process alongside its handler.

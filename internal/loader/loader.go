@@ -85,18 +85,35 @@ func (l *Loader) RegisterNatives(impls map[string]any, kernelKeys map[string]boo
 // (so a process cannot shadow a shared class), then checking this
 // namespace, then synthesizing array classes on demand.
 func (l *Loader) Class(name string) (*object.Class, error) {
-	if l.Delegate != nil {
-		if c, err := l.Delegate.Class(name); err == nil {
-			return c, nil
-		}
-	}
-	if c, ok := l.classes[name]; ok {
+	if c, ok := l.lookup(name); ok {
 		return c, nil
 	}
 	if len(name) > 0 && name[0] == '[' {
+		// Re-run synthesis for the detailed error.
 		return l.arrayClass(name)
 	}
 	return nil, fmt.Errorf("loader %s: class %q not found", l.Tag, name)
+}
+
+// lookup resolves name without allocating a not-found error. Every link
+// of a process-local class misses the delegate first, so the miss path
+// runs once per symbolic reference per define — it must not pay for
+// error formatting nobody reads.
+func (l *Loader) lookup(name string) (*object.Class, bool) {
+	if l.Delegate != nil {
+		if c, ok := l.Delegate.lookup(name); ok {
+			return c, true
+		}
+	}
+	if c, ok := l.classes[name]; ok {
+		return c, true
+	}
+	if len(name) > 0 && name[0] == '[' {
+		if c, err := l.arrayClass(name); err == nil {
+			return c, true
+		}
+	}
+	return nil, false
 }
 
 // Defined reports whether name is defined in this namespace directly.
@@ -148,7 +165,17 @@ func (l *Loader) arrayClass(name string) (*object.Class, error) {
 // linking constant pools and building vtables. Process loaders clone
 // method code (reloaded classes do not share text).
 func (l *Loader) DefineModule(m *bytecode.Module) error {
-	return l.define(m, true)
+	return l.define(m, true, false)
+}
+
+// DefinePreverified is DefineModule without the bytecode verification
+// pass. Verification is a property of the module's content, not of the
+// namespace, so a caller holding independent proof that this exact
+// content already verified — the shared code cache's content-addressed
+// artifact, whose key is the module hash — may skip re-proving it per
+// process. Statics allocation and clinit queueing still happen.
+func (l *Loader) DefinePreverified(m *bytecode.Module) error {
+	return l.define(m, true, true)
 }
 
 // DefineTemplate defines m's classes for a process forked from a process
@@ -159,11 +186,11 @@ func (l *Loader) DefineModule(m *bytecode.Module) error {
 // verification, statics allocation, and clinit queueing are all skipped.
 // Until the fork binds Statics, the namespace's classes must not execute.
 func (l *Loader) DefineTemplate(m *bytecode.Module) error {
-	return l.define(m, false)
+	return l.define(m, false, true)
 }
 
-func (l *Loader) define(m *bytecode.Module, fresh bool) error {
-	if fresh {
+func (l *Loader) define(m *bytecode.Module, fresh, preverified bool) error {
+	if fresh && !preverified {
 		if err := bytecode.VerifyModule(m); err != nil {
 			return fmt.Errorf("loader %s: %w", l.Tag, err)
 		}

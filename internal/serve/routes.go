@@ -49,6 +49,8 @@ func ParseRoutes(spec string) ([]TenantConfig, error) {
 				tc.Hog = false
 			case "warm":
 				tc.Warm = true
+			case "wide":
+				tc.Wide = true
 			case "template":
 				tc.Template = true
 			case "lazy":

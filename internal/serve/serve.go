@@ -79,6 +79,11 @@ type TenantConfig struct {
 	// table that makes every cold start pay a long warmup — the workload
 	// the template path exists for.
 	Warm bool
+	// Wide selects the compile-heavy servlet: a wide method surface with
+	// no clinit, so cold start is dominated by per-process JIT
+	// compilation — the workload the shared code cache
+	// (core.Config.CodeCache) exists for.
+	Wide bool
 	// Template starts incarnations by forking a checkpointed zygote
 	// instead of re-initializing from bytecode: the first start on a shard
 	// warms a quiescent process once, checkpoints it into an immutable
@@ -118,8 +123,14 @@ func (c *TenantConfig) fill() error {
 	if c.ShedFraction == 0 {
 		c.ShedFraction = 0.9
 	}
-	if c.Hog && c.Warm {
-		return fmt.Errorf("serve: route %q: hog and warm are mutually exclusive", c.Route)
+	kinds := 0
+	for _, k := range []bool{c.Hog, c.Warm, c.Wide} {
+		if k {
+			kinds++
+		}
+	}
+	if kinds > 1 {
+		return fmt.Errorf("serve: route %q: hog, warm, and wide are mutually exclusive", c.Route)
 	}
 	if c.Lazy && c.NoRestart {
 		return fmt.Errorf("serve: route %q: lazy needs the supervisor (norestart set)", c.Route)
@@ -330,6 +341,8 @@ func (t *tenant) handlerClass() string {
 		return jserv.NetHogClass
 	case t.cfg.Warm:
 		return jserv.NetWarmClass
+	case t.cfg.Wide:
+		return jserv.NetWideClass
 	}
 	return jserv.NetServletClass
 }
@@ -340,6 +353,8 @@ func (t *tenant) handlerModule() *bytecode.Module {
 		return jserv.NetHogModule()
 	case t.cfg.Warm:
 		return jserv.NetWarmModule()
+	case t.cfg.Wide:
+		return jserv.NetWideModule()
 	}
 	return jserv.NetServletModule()
 }
@@ -350,6 +365,8 @@ func (t *tenant) role() string {
 		return "memhog"
 	case t.cfg.Warm:
 		return "warm"
+	case t.cfg.Wide:
+		return "wide"
 	}
 	return "servlet"
 }

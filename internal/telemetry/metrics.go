@@ -397,4 +397,15 @@ const (
 	MMemBalExtra   = "membal.extra"   // gauge: last round's distributable pool (budget - Σlive)
 	MMemBalClamped = "membal.clamped" // counter: shrinks clamped up to current use
 	MMemBalPartial = "membal.partial" // counter: rounds cut short by the fault plane
+
+	// Shared code cache (internal/codecache). Kernel scope of the owning
+	// VM; per-shard labels come from the serving plane's labelled hubs.
+	MCodeHits      = "codecache.hits"           // counter: lookups served from the cache
+	MCodeMisses    = "codecache.misses"         // counter: lookups that had to compile
+	MCodeAttached  = "codecache.attached"       // counter: sharer attaches (full-size debits)
+	MCodeDetached  = "codecache.detached"       // counter: sharer detaches (full-size credits)
+	MCodeEvicted   = "codecache.evicted"        // counter: zero-sharer artifacts evicted
+	MCodeAborts    = "codecache.attach_aborts"  // counter: attaches unwound by the fault plane
+	MCodeArtifacts = "codecache.artifacts"      // gauge: artifacts currently resident
+	MCodeResident  = "codecache.resident_bytes" // gauge: modeled bytes resident in the cache
 )

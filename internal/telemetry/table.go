@@ -22,6 +22,9 @@ type ProcRow struct {
 	GCCycles   uint64 `json:"gc_cycles"`
 	GCPauseP50 uint64 `json:"gc_pause_p50"`
 	GCPauseMax uint64 `json:"gc_pause_max"`
+	// CodeBytes is the shared-code-cache residency charged to this
+	// process (full artifact size per attached artifact).
+	CodeBytes uint64 `json:"code_bytes"`
 }
 
 // Snapshot is one observation of the whole system, served over HTTP and
@@ -64,17 +67,18 @@ func baseRow(s *Scope) ProcRow {
 
 // Rows builds a table row per process scope. live reports current
 // process state by pid; it returns ok=false for reclaimed processes.
-func (r *Registry) Rows(live func(pid int32) (state string, threads int, heap, memUse uint64, ok bool)) []ProcRow {
+func (r *Registry) Rows(live func(pid int32) (state string, threads int, heap, memUse, code uint64, ok bool)) []ProcRow {
 	scopes := r.Procs()
 	out := make([]ProcRow, 0, len(scopes))
 	for _, s := range scopes {
 		row := baseRow(s)
 		if live != nil {
-			if state, threads, heap, memUse, ok := live(s.Pid); ok {
+			if state, threads, heap, memUse, code, ok := live(s.Pid); ok {
 				row.State = state
 				row.Threads = threads
 				row.HeapBytes = heap
 				row.MemUse = memUse
+				row.CodeBytes = code
 			}
 		}
 		out = append(out, row)
@@ -89,14 +93,14 @@ const CyclesPerMs = 500_000
 // RenderTable writes the ps/top process table. The format is fixed-width
 // and stable: scripts may rely on the column set and ordering.
 func RenderTable(w io.Writer, snap Snapshot) {
-	fmt.Fprintf(w, "%5s %-24s %-10s %4s %10s %10s %10s %9s %9s %5s %9s %9s %9s\n",
+	fmt.Fprintf(w, "%5s %-24s %-10s %4s %10s %10s %10s %9s %9s %5s %9s %9s %9s %9s\n",
 		"PID", "NAME", "STATE", "THR", "HEAP-B", "MEM-B", "LIM-B",
-		"CPU-MS", "IO-B", "GCS", "GC-MS", "GC-P50", "GC-MAX")
+		"CPU-MS", "IO-B", "GCS", "GC-MS", "GC-P50", "GC-MAX", "CODE-B")
 	for _, p := range snap.Procs {
-		fmt.Fprintf(w, "%5d %-24s %-10s %4d %10d %10d %10d %9d %9d %5d %9d %9d %9d\n",
+		fmt.Fprintf(w, "%5d %-24s %-10s %4d %10d %10d %10d %9d %9d %5d %9d %9d %9d %9d\n",
 			p.Pid, clip(p.Name, 24), p.State, p.Threads, p.HeapBytes, p.MemUse, p.MemLimit,
 			p.CPUCycles/CyclesPerMs, p.IOBytes, p.GCs, p.GCCycles/CyclesPerMs,
-			p.GCPauseP50, p.GCPauseMax)
+			p.GCPauseP50, p.GCPauseMax, p.CodeBytes)
 	}
 	// GC-scaling summary, appended after the table so existing column
 	// consumers are unaffected.

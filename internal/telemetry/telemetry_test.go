@@ -227,16 +227,16 @@ func TestRegistryRowsAndRender(t *testing.T) {
 	hub.Emit(Event{Kind: EvProcExit, Pid: 2})
 	hub.Emit(Event{Kind: EvProcReclaim, Pid: 2})
 
-	rows := hub.Reg.Rows(func(pid int32) (string, int, uint64, uint64, bool) {
+	rows := hub.Reg.Rows(func(pid int32) (string, int, uint64, uint64, uint64, bool) {
 		if pid == 1 {
-			return "running", 3, 1000, 2000, true
+			return "running", 3, 1000, 2000, 4096, true
 		}
-		return "", 0, 0, 0, false // pid 2 reclaimed: registry data only
+		return "", 0, 0, 0, 0, false // pid 2 reclaimed: registry data only
 	})
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(rows))
 	}
-	if rows[0].Pid != 1 || rows[0].Threads != 3 || rows[0].HeapBytes != 1000 {
+	if rows[0].Pid != 1 || rows[0].Threads != 3 || rows[0].HeapBytes != 1000 || rows[0].CodeBytes != 4096 {
 		t.Errorf("live row wrong: %+v", rows[0])
 	}
 	if rows[1].Pid != 2 || rows[1].State != "reclaimed" || rows[1].Name != "beta" {

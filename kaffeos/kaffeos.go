@@ -98,6 +98,11 @@ type Config struct {
 	// MemBalInterval is the controller period in virtual cycles
 	// (default 500,000 = 1 virtual ms). Only meaningful with MemBudget.
 	MemBalInterval uint64
+	// CodeCache, with a compiling engine, shares JIT-compiled code across
+	// processes: one immutable artifact per (module content, engine
+	// configuration) pair, each sharing process charged the artifact's
+	// full size against its memlimit. No-op for interpreter engines.
+	CodeCache bool
 }
 
 // ProcessConfig parameterizes process creation.
@@ -161,6 +166,7 @@ func New(cfg Config) (*VM, error) {
 		Faults:         plane,
 		MemBudget:      cfg.MemBudget,
 		MemBalInterval: cfg.MemBalInterval,
+		CodeCache:      cfg.CodeCache,
 	})
 	if err != nil {
 		return nil, err
